@@ -1,0 +1,7 @@
+"""Figure 3 reproduction: sagittaire 1x10 (paper-vs-measured in EXPERIMENTS.md)."""
+
+from _harness import figure_bench
+
+
+def test_fig03_sagittaire_1x10(harness, console, benchmark):
+    figure_bench(harness, console, benchmark, "fig3")

@@ -1,0 +1,7 @@
+"""Figure 4 reproduction: sagittaire 10x10 (paper-vs-measured in EXPERIMENTS.md)."""
+
+from _harness import figure_bench
+
+
+def test_fig04_sagittaire_10x10(harness, console, benchmark):
+    figure_bench(harness, console, benchmark, "fig4")

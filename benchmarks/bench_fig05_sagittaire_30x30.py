@@ -1,0 +1,7 @@
+"""Figure 5 reproduction: sagittaire 30x30 (paper-vs-measured in EXPERIMENTS.md)."""
+
+from _harness import figure_bench
+
+
+def test_fig05_sagittaire_30x30(harness, console, benchmark):
+    figure_bench(harness, console, benchmark, "fig5")

@@ -1,0 +1,7 @@
+"""Figure 6 reproduction: graphene 1x10 (paper-vs-measured in EXPERIMENTS.md)."""
+
+from _harness import figure_bench
+
+
+def test_fig06_graphene_1x10(harness, console, benchmark):
+    figure_bench(harness, console, benchmark, "fig6")

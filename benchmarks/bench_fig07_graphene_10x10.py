@@ -1,0 +1,7 @@
+"""Figure 7 reproduction: graphene 10x10 (paper-vs-measured in EXPERIMENTS.md)."""
+
+from _harness import figure_bench
+
+
+def test_fig07_graphene_10x10(harness, console, benchmark):
+    figure_bench(harness, console, benchmark, "fig7")

@@ -1,0 +1,7 @@
+"""Figure 8 reproduction: graphene 30x30 (paper-vs-measured in EXPERIMENTS.md)."""
+
+from _harness import figure_bench
+
+
+def test_fig08_graphene_30x30(harness, console, benchmark):
+    figure_bench(harness, console, benchmark, "fig8")

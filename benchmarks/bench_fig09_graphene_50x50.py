@@ -1,0 +1,7 @@
+"""Figure 9 reproduction: graphene 50x50 (paper-vs-measured in EXPERIMENTS.md)."""
+
+from _harness import figure_bench
+
+
+def test_fig09_graphene_50x50(harness, console, benchmark):
+    figure_bench(harness, console, benchmark, "fig9")

@@ -1,0 +1,7 @@
+"""Figure 10 reproduction: grid 10x30 (paper-vs-measured in EXPERIMENTS.md)."""
+
+from _harness import figure_bench
+
+
+def test_fig10_grid_10x30(harness, console, benchmark):
+    figure_bench(harness, console, benchmark, "fig10")

@@ -1,0 +1,7 @@
+"""Figure 11 reproduction: grid 60x60 (paper-vs-measured in EXPERIMENTS.md)."""
+
+from _harness import figure_bench
+
+
+def test_fig11_grid_60x60(harness, console, benchmark):
+    figure_bench(harness, console, benchmark, "fig11")

@@ -1,0 +1,31 @@
+"""§V-B1 second bullet: "predictions and actual transfers on graphene, from
+50 sources to 30 destinations or from 30 sources to 50 destinations,
+converge more nicely than 30 to 30 or 50 to 50."
+
+The real endpoint collisions (a node receiving/sending two streams) raise
+the measured times toward the over-predicted values, shrinking the error
+plateau relative to the symmetric cases.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.protocol import LARGE_SIZE_THRESHOLD
+
+SIZES = (5.99e7, 7.74e8, 1e10)
+REPS = 3
+
+
+def test_asymmetric_cases_converge(harness, console, benchmark):
+    plateaus = {}
+    for fig_id in ("fig8", "fig9", "fig9-asym-30x50", "fig9-asym-50x30"):
+        series = harness.series(fig_id, sizes=SIZES, repetitions=REPS)
+        plateaus[fig_id] = series.plateau_error(LARGE_SIZE_THRESHOLD)
+    console(render_table(
+        ["experiment", "plateau error (log2)"],
+        [(k, v) for k, v in plateaus.items()],
+        title="graphene large-transfer plateaus (symmetric vs asymmetric)",
+    ))
+    worst_symmetric = plateaus["fig9"]
+    assert plateaus["fig9-asym-30x50"] < worst_symmetric - 0.15
+    assert plateaus["fig9-asym-50x30"] < worst_symmetric - 0.15
+    workload = harness.prediction_workload("fig9-asym-30x50")
+    benchmark(lambda: harness.forecast.predict_transfers("g5k_test", workload))

@@ -1,0 +1,39 @@
+"""§V-A platform ablation: "we have found that all predictions based on
+g5k_test are better" than g5k_cabinets.
+
+Re-runs the fig5/fig8/fig10 workloads against both platform descriptions at
+a reduced sweep and compares the pooled median absolute errors.
+"""
+
+from repro._util.stats import median
+from repro.analysis.tables import render_table
+
+WORKLOADS = ("fig5", "fig8", "fig10")
+SIZES = (4.64e6, 2.15e8, 1e10)
+REPS = 3
+
+
+def pooled_abs_errors(harness, platform_name):
+    errors = []
+    for fig_id in WORKLOADS:
+        series = harness.series(fig_id, platform_name=platform_name,
+                                sizes=SIZES, repetitions=REPS)
+        for point in series.points:
+            errors.extend(abs(e) for e in point.errors)
+    return errors
+
+
+def test_g5k_test_beats_cabinets(harness, console, benchmark):
+    test_errors = pooled_abs_errors(harness, "g5k_test")
+    cab_errors = pooled_abs_errors(harness, "g5k_cabinets")
+    rows = [
+        ("g5k_test", median(test_errors), len(test_errors)),
+        ("g5k_cabinets", median(cab_errors), len(cab_errors)),
+    ]
+    console(render_table(
+        ["platform", "median |log2 err|", "n"], rows,
+        title=f"§V-A ablation over {'/'.join(WORKLOADS)} workloads",
+    ))
+    assert median(test_errors) < median(cab_errors)
+    workload = harness.prediction_workload("fig8")
+    benchmark(lambda: harness.forecast.predict_transfers("g5k_cabinets", workload))

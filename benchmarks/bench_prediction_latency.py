@@ -1,0 +1,51 @@
+"""§IV-C2 latency claim: "a typical request to a local Pilgrim instance for
+a prediction involving 30 concurrent transfers on Grid'5000 takes less than
+0.1 s" — measured here against the whole-grid ``g5k_test`` platform, both
+in-process and over HTTP (local server, as the paper measured)."""
+
+import time
+
+import pytest
+
+from repro.core.framework import Pilgrim
+from repro.core.rest.client import RestClient
+from repro.experiments.protocol import ExperimentSpec, Topology, draw_transfer_pairs
+
+SPEC = ExperimentSpec("latency-30", Topology.GRID_MULTI, 30, 30)
+
+
+def workload(harness):
+    pairs = draw_transfer_pairs(SPEC, harness.seed)
+    return [(src, dst, 5e8) for src, dst in pairs]
+
+
+def test_30_transfer_prediction_under_100ms(harness, console, benchmark):
+    transfers = workload(harness)
+    assert len(transfers) == 30
+    result = benchmark(
+        lambda: harness.forecast.predict_transfers("g5k_test", transfers)
+    )
+    assert len(result) == 30
+    median = benchmark.stats.stats.median
+    console(f"in-process 30-transfer prediction median: {median * 1e3:.2f} ms "
+            f"(paper bound: 100 ms)")
+    assert median < 0.1
+
+
+def test_30_transfer_prediction_over_http(harness, console, benchmark):
+    pilgrim = Pilgrim()
+    for name in harness.forecast.platform_names():
+        pilgrim.register_platform(name, harness.forecast.platform(name))
+    transfers = workload(harness)
+    with pilgrim.serve() as server:
+        client = RestClient(server.url)
+
+        def request():
+            return client.predict_transfers("g5k_test", transfers)
+
+        answers = benchmark(request)
+        assert len(answers) == 30
+        median = benchmark.stats.stats.median
+    console(f"HTTP 30-transfer prediction median: {median * 1e3:.2f} ms "
+            f"(paper bound: 100 ms, local instance)")
+    assert median < 0.1

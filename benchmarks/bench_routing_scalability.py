@@ -1,0 +1,57 @@
+"""§IV-C2 AS-routing discussion: "Before the introduction of AS, routing was
+not hierarchical, thus we had to model Grid'5000 as a 'flat' platform,
+leading to a huge routing table which would consume a lot of memory, to the
+point that it was impossible to wholly simulate Grid'5000."
+
+Compares the hierarchical platform against its flattened equivalent (every
+host pair declared in one AS): route-table entries, memory estimate, and
+resolution latency — same simulated timings, very different costs.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.simgrid.builder import build_two_level_grid
+from repro.simgrid.engine import Simulation
+from repro.simgrid.models import CM02
+from repro.simgrid.routing import flatten_platform, route_table_bytes
+
+# a mid-size grid keeps the flat quadratic build affordable in a bench;
+# sites use Dijkstra routing (adjacency only), the compact representation
+# that hierarchical AS routing enables
+SITES = {"lyon": 40, "nancy": 40, "lille": 30}
+
+
+@pytest.fixture(scope="module")
+def platforms():
+    hierarchical = build_two_level_grid(SITES, site_routing="Dijkstra")
+    flat = flatten_platform(hierarchical)
+    return hierarchical, flat
+
+
+def test_flat_table_explodes(platforms, console, benchmark):
+    hierarchical, flat = platforms
+    rows = [
+        ("hierarchical (AS per site)", hierarchical.total_route_table_entries(),
+         route_table_bytes(hierarchical)),
+        ("flat (pre-AS SimGrid)", flat.root.route_table_size(),
+         route_table_bytes(flat)),
+    ]
+    console(render_table(["model", "route entries", "approx bytes"], rows,
+                         title="§IV-C2: hierarchical vs flat routing tables"))
+    assert rows[1][1] > 50 * rows[0][1]
+    assert rows[1][2] > 10 * rows[0][2]
+    benchmark(lambda: hierarchical.route("lyon-1", "lille-30"))
+
+
+def test_timings_identical_across_representations(platforms, console, benchmark):
+    hierarchical, flat = platforms
+    transfers = [("lyon-1", "nancy-1", 1e9), ("lyon-2", "lille-3", 1e9)]
+    d1 = [c.duration for c in
+          Simulation(hierarchical, CM02()).simulate_transfers(transfers)]
+    d2 = [c.duration for c in
+          Simulation(flat, CM02()).simulate_transfers(transfers)]
+    assert d1 == pytest.approx(d2, rel=1e-9)
+    console(f"identical durations on both representations: {d1}")
+    flat.invalidate_route_cache()
+    benchmark(lambda: flat.route("lyon-1", "lille-30"))

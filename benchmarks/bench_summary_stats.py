@@ -1,0 +1,27 @@
+"""§V-B headline statistics: pooled accuracy over all nine figures.
+
+Paper: "the median of the absolute value of all the errors is 0.149, with a
+standard deviation of 0.532 […] 74% of the predictions have an absolute
+error less than 0.575" (for sizes > 1.67e7 bytes, all experiments pooled).
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.figures import FIGURES
+from repro.experiments.summary import summarize, verify_summary
+
+ALL_FIGS = [f"fig{i}" for i in range(3, 12)]
+
+
+def test_summary_statistics(harness, console, benchmark):
+    all_series = [harness.series(fig_id) for fig_id in ALL_FIGS]
+    stats = summarize(all_series)
+    rows = [(metric, paper, measured) for metric, paper, measured in stats.rows()]
+    console(render_table(
+        ["metric", "paper", "measured"], rows,
+        title=f"§V-B summary over {stats.n_observations} large transfers "
+              f"({len(ALL_FIGS)} experiments, reps={harness.repetitions})",
+    ))
+    failures = verify_summary(stats)
+    assert failures == [], "\n".join(failures)
+    # the pooled computation itself is the benchmarked operation
+    benchmark(lambda: summarize(all_series))

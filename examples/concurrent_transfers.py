@@ -1,0 +1,46 @@
+"""PNFS over HTTP: the REST deployment of §IV-C.
+
+Starts a local Pilgrim server, then issues the exact style of request the
+paper shows with curl::
+
+    GET /pilgrim/predict_transfers/g5k_test?transfer=src,dst,size&transfer=...
+
+and prints how predictions change as concurrency on a destination NIC grows
+— the contention-awareness that motivates simulation-based forecasting.
+
+Run:  python examples/concurrent_transfers.py
+"""
+
+from repro import Pilgrim
+from repro.core.rest.client import RestClient
+
+DEST = "graphene-1.nancy.grid5000.fr"
+SOURCES = [f"graphene-{i}.nancy.grid5000.fr" for i in range(2, 10)]
+SIZE = 5e8
+
+
+def main() -> None:
+    pilgrim = Pilgrim.with_grid5000(include_cabinets=False)
+    with pilgrim.serve() as server:
+        print(f"Pilgrim serving at {server.url}")
+        client = RestClient(server.url)
+
+        print(f"\n{SIZE / 1e6:.0f} MB transfers into {DEST}:")
+        print(f"{'concurrent flows':>18s}  {'per-flow prediction':>20s}")
+        for n in (1, 2, 4, 8):
+            transfers = [(src, DEST, SIZE) for src in SOURCES[:n]]
+            answers = client.predict_transfers("g5k_test", transfers)
+            durations = sorted(a["duration"] for a in answers)
+            print(f"{n:>18d}  {durations[-1]:>18.3f} s")
+
+        print("\nraw JSON answer for two concurrent transfers "
+              "(the paper's §IV-C2 format):")
+        answers = client.predict_transfers(
+            "g5k_test", [(SOURCES[0], DEST, SIZE), (SOURCES[1], DEST, SIZE)]
+        )
+        for answer in answers:
+            print(f"  {answer}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""A miniature §V validation run: predictions vs "actual" transfers.
+
+Runs the paper's experimental protocol on the synthetic testbed for one
+configuration (graphene, 10 sources x 10 destinations) over a reduced size
+sweep, and renders the error figure the way the paper's plots read: error
+boxes per transfer size, measured durations on the right.
+
+Run:  python examples/grid_experiment.py            (about 20 s)
+"""
+
+from repro.analysis.asciiplot import render_error_plot
+from repro.experiments.environment import forecast_service, testbed
+from repro.experiments.figures import FIGURES
+from repro.experiments.runner import run_experiment
+
+SIZES = (1e5, 1.29e6, 1.67e7, 2.15e8, 2.78e9)
+REPS = 3
+
+
+def main() -> None:
+    print("building platforms and testbed (cached after first use)...")
+    forecast = forecast_service()
+    network = testbed()
+
+    for fig_id in ("fig4", "fig7"):
+        figure = FIGURES[fig_id]
+        print(f"\nrunning {figure.title} "
+              f"({REPS} repetitions x {len(SIZES)} sizes)...")
+        series = run_experiment(
+            figure.spec, forecast, network,
+            seed=42, repetitions=REPS, sizes=SIZES,
+        )
+        print(render_error_plot(series))
+        failures = figure.verify(series)
+        print("shape checks:", "PASS" if not failures else failures)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""The Pilgrim metrology service (§IV-C1).
+
+Plays the role of a Ganglia deployment recording the power consumption of
+``sagittaire-1`` into an RRD, then serves it over HTTP and issues the
+paper's example request::
+
+    GET /pilgrim/rrd/ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd/
+        ?begin=...&end=...
+
+Run:  python examples/metrology_service.py
+"""
+
+import math
+
+from repro.core.framework import Pilgrim
+from repro.core.rest.client import RestClient
+from repro.metrology.collectors import GangliaCollector, MetricKey
+
+
+def main() -> None:
+    pilgrim = Pilgrim()  # metrology only; no platforms needed
+
+    # a synthetic PDU: ~168.9 W with a slow sinusoidal drift, 15 s period
+    collector = GangliaCollector(pilgrim.registry, period=15.0)
+    key = MetricKey("ganglia", "Lyon", "sagittaire-1.lyon.grid5000.fr", "pdu")
+    collector.register(
+        key, lambda t: 168.9 + 0.8 * math.sin(t / 300.0), kind="GAUGE"
+    )
+    cycles = collector.collect_until(3600.0)  # one hour of samples
+    print(f"collected {cycles} samples into {key.path()}")
+
+    with pilgrim.serve() as server:
+        client = RestClient(server.url)
+        print(f"\nGET {server.url}/pilgrim/rrd/ganglia/Lyon/"
+              f"sagittaire-1.lyon.grid5000.fr/pdu.rrd/?begin=3000&end=3060")
+        rows = client.fetch_metric(
+            "ganglia", "Lyon", "sagittaire-1.lyon.grid5000.fr", "pdu",
+            begin=3000, end=3060,
+        )
+        # the paper's answer format: [[timestamp, value], ...]
+        for timestamp, value in rows:
+            print(f"  [{timestamp:.0f}, {value:.5f}]")
+
+        info = client.get(
+            "/pilgrim/rrd/ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd/info"
+        )
+        print("\narchives in this RRD (multiple precisions, §IV-C1):")
+        for rra in info["rras"]:
+            print(f"  {rra['cf']:8s} resolution {rra['resolution']:6.0f}s  "
+                  f"retention {rra['retention'] / 3600:5.1f}h")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Quickstart: predict completion times of concurrent TCP transfers.
+
+Reproduces the paper's §IV-C2 example request: two concurrent 500 MB
+transfers from ``capricorne-36`` in Lyon — one to ``griffon-50`` in Nancy
+(crossing the RENATER backbone), one to ``capricorne-1`` next door.  Both
+share the sender's gigabit NIC, and the prediction accounts for it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Pilgrim, TransferSpec
+
+
+def main() -> None:
+    print("building Pilgrim with the Grid'5000 platform descriptions...")
+    pilgrim = Pilgrim.with_grid5000()
+
+    transfers = [
+        TransferSpec("capricorne-36.lyon.grid5000.fr",
+                     "griffon-50.nancy.grid5000.fr", "500MB"),
+        TransferSpec("capricorne-36.lyon.grid5000.fr",
+                     "capricorne-1.lyon.grid5000.fr", "500MB"),
+    ]
+    forecasts = pilgrim.predict_transfers("g5k_test", transfers)
+
+    print("\npredicted completion times (transfers start simultaneously):")
+    for fc in forecasts:
+        print(f"  {fc.src:40s} -> {fc.dst:40s} "
+              f"{fc.size / 1e6:6.0f} MB   {fc.duration:8.3f} s")
+
+    # the same transfers alone, for contrast: contention matters
+    print("\nthe same transfers, each running alone:")
+    for spec in transfers:
+        fc = pilgrim.predict_transfers("g5k_test", [spec])[0]
+        print(f"  {fc.src:40s} -> {fc.dst:40s} "
+              f"{fc.size / 1e6:6.0f} MB   {fc.duration:8.3f} s")
+
+
+if __name__ == "__main__":
+    main()

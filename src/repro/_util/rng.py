@@ -1,0 +1,33 @@
+"""Deterministic RNG derivation.
+
+Every stochastic component of the reproduction (testbed noise, random node
+draws, cross-traffic) derives its generator from a root seed plus a string
+label, so experiments are reproducible bit-for-bit while independent
+components stay decorrelated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root: int, *labels: object) -> int:
+    """Derive a child seed from ``root`` and a sequence of labels.
+
+    Uses SHA-256 over the root and the ``repr`` of each label, so any hashable
+    or printable object (strings, ints, tuples) can participate.  The result
+    fits in 63 bits (always non-negative).
+    """
+    h = hashlib.sha256()
+    h.update(str(int(root)).encode())
+    for label in labels:
+        h.update(b"\x1f")
+        h.update(repr(label).encode())
+    return int.from_bytes(h.digest()[:8], "big") & (2**63 - 1)
+
+
+def rng_for(root: int, *labels: object) -> np.random.Generator:
+    """A :class:`numpy.random.Generator` seeded from ``root`` and ``labels``."""
+    return np.random.default_rng(derive_seed(root, *labels))

@@ -1,0 +1,73 @@
+"""ASCII rendering of the paper's error-vs-size figures.
+
+Each row is one transfer size; the horizontal axis is the log2 error.  The
+inter-quartile box is drawn with ``=``, the median with ``M``, whiskers with
+``-``, and the zero-error axis with ``|``.  The right column shows the
+median measured duration — the information the paper plots on the right
+axis of Figures 3–11.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.errors import ErrorSeries
+
+
+def render_error_plot(series: ErrorSeries, width: int = 61) -> str:
+    """Text rendering of one figure's error boxes."""
+    if not series.points:
+        return f"{series.name}: (no data)"
+    lo = min(p.error_stats.minimum for p in series.points)
+    hi = max(p.error_stats.maximum for p in series.points)
+    lo = min(lo, 0.0)
+    hi = max(hi, 0.0)
+    span = hi - lo or 1.0
+    lo -= span * 0.05
+    hi += span * 0.05
+    span = hi - lo
+
+    def column(err: float) -> int:
+        col = int(round((err - lo) / span * (width - 1)))
+        return max(0, min(width - 1, col))
+
+    zero_col = column(0.0)
+    lines = [f"{series.name}  (error = log2(prediction) - log2(measure))"]
+    header = f"{'size':>10s}  {'med':>6s}  " + "·" * width + "  duration"
+    lines.append(header)
+    for point in series.points:
+        stats = point.error_stats
+        row = [" "] * width
+        row[zero_col] = "|"
+        c_min, c_q1 = column(stats.minimum), column(stats.q1)
+        c_med, c_q3, c_max = column(stats.median), column(stats.q3), column(stats.maximum)
+        for c in range(c_min, c_q1):
+            row[c] = "-"
+        for c in range(c_q1, c_q3 + 1):
+            row[c] = "="
+        for c in range(c_q3 + 1, c_max + 1):
+            row[c] = "-"
+        row[c_med] = "M"
+        duration = point.median_duration
+        lines.append(
+            f"{point.size:10.2e}  {stats.median:+6.2f}  {''.join(row)}  {duration:9.3g}s"
+        )
+    ticks = _tick_line(lo, hi, width)
+    lines.append(f"{'':10s}  {'':6s}  {ticks}")
+    return "\n".join(lines)
+
+
+def _tick_line(lo: float, hi: float, width: int) -> str:
+    """Numeric ticks under the plot at the left, zero and right positions."""
+    line = [" "] * width
+    labels = []
+    for err in (lo, 0.0, hi):
+        col = int(round((err - lo) / (hi - lo) * (width - 1)))
+        labels.append((col, f"{err:+.1f}"))
+    out = [" "] * width
+    for col, label in labels:
+        start = min(max(0, col - len(label) // 2), width - len(label))
+        for i, ch in enumerate(label):
+            out[start + i] = ch
+    del line
+    return "".join(out)

@@ -1,0 +1,79 @@
+"""Full validation report generation.
+
+Builds a self-contained markdown report of a validation campaign: one
+section per figure (ASCII plot + per-size table + shape-check outcome) plus
+the pooled §V-B statistics — the artifact a re-run of the paper's campaign
+produces.  Used by ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.asciiplot import render_error_plot
+from repro.analysis.errors import ErrorSeries
+from repro.analysis.tables import render_table
+from repro.experiments.figures import FIGURES
+from repro.experiments.summary import summarize, verify_summary
+
+
+def figure_section(fig_id: str, series: ErrorSeries,
+                   failures: Sequence[str]) -> str:
+    """One report section for a completed figure experiment."""
+    figure = FIGURES[fig_id]
+    lines = [f"## {fig_id}: {figure.title}", ""]
+    lines.append("```")
+    lines.append(render_error_plot(series))
+    lines.append("```")
+    lines.append("")
+    lines.append(render_table(
+        ["size (B)", "median err", "q1", "q3", "median duration (s)", "n"],
+        series.rows(),
+    ))
+    lines.append("")
+    if failures:
+        lines.append("**shape checks FAILED:**")
+        lines.extend(f"- {failure}" for failure in failures)
+    else:
+        lines.append("shape checks: **PASS**")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def build_report(
+    results: dict[str, tuple[ErrorSeries, Sequence[str]]],
+    repetitions: int,
+    seed: int,
+    title: str = "Pilgrim validation campaign",
+) -> str:
+    """Assemble the full markdown report.
+
+    ``results`` maps figure id → (series, shape-check failures), as produced
+    by :func:`repro.experiments.figures.run_figure`.
+    """
+    lines = [f"# {title}", "",
+             f"Configuration: {repetitions} repetitions per combination, "
+             f"seed {seed}.  Error metric: "
+             f"`log2(prediction) - log2(measure)` per transfer.", ""]
+    paper_figs = [fig_id for fig_id in results if fig_id in FIGURES]
+    headline = [fig_id for fig_id in paper_figs
+                if not fig_id.startswith("fig9-asym")]
+    if headline:
+        stats = summarize([results[f][0] for f in headline])
+        lines.append("## Summary (sizes > 1.67e7 B, all experiments pooled)")
+        lines.append("")
+        lines.append(render_table(
+            ["metric", "paper", "measured"],
+            [(m, p, v) for m, p, v in stats.rows()],
+        ))
+        lines.append("")
+        summary_failures = verify_summary(stats)
+        if summary_failures:
+            lines.append("**summary checks FAILED:**")
+            lines.extend(f"- {failure}" for failure in summary_failures)
+        else:
+            lines.append("summary checks: **PASS**")
+        lines.append("")
+    for fig_id, (series, failures) in results.items():
+        lines.append(figure_section(fig_id, series, failures))
+    return "\n".join(lines)

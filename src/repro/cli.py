@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+::
+
+    python -m repro platforms
+    python -m repro predict --platform g5k_test \\
+        --transfer capricorne-36.lyon.grid5000.fr,griffon-50.nancy.grid5000.fr,5e8 \\
+        --transfer capricorne-36.lyon.grid5000.fr,capricorne-1.lyon.grid5000.fr,5e8
+    python -m repro serve --port 8080
+    python -m repro experiment --figure fig8 --reps 3 --sizes 1e5,2.15e8,1e10
+    python -m repro figures
+
+The ``predict`` command prints the same JSON documents the REST service
+answers (§IV-C2); ``experiment`` regenerates one paper figure on the
+synthetic testbed and renders it as text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pilgrim reproduction: dynamic network forecasting "
+                    "(Imbert & Caron, CLUSTER 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list the built-in platform descriptions")
+    sub.add_parser("figures", help="list the reproducible paper figures")
+    sub.add_parser("version", help="print the package version")
+
+    predict = sub.add_parser("predict", help="predict concurrent transfer times")
+    predict.add_argument("--platform", default="g5k_test",
+                         choices=("g5k_test", "g5k_cabinets"))
+    predict.add_argument("--transfer", action="append", required=True,
+                         metavar="SRC,DST,SIZE",
+                         help="repeatable: source,destination,bytes")
+    predict.add_argument("--ongoing", action="append", default=[],
+                         metavar="SRC,DST,REMAINING",
+                         help="repeatable: in-flight transfers sharing bandwidth")
+    predict.add_argument("--model", default="LV08", choices=("LV08", "CM02"))
+
+    serve = sub.add_parser("serve", help="run the Pilgrim HTTP services")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate one paper figure")
+    experiment.add_argument("--figure", default="fig8")
+    experiment.add_argument("--reps", type=int, default=3)
+    experiment.add_argument("--seed", type=int, default=20120917)
+    experiment.add_argument("--sizes", default=None,
+                            help="comma-separated byte counts "
+                                 "(default: the paper's 10-point sweep)")
+    experiment.add_argument("--platform", default="g5k_test",
+                            choices=("g5k_test", "g5k_cabinets"))
+
+    report = sub.add_parser(
+        "report", help="run the full validation campaign, emit markdown")
+    report.add_argument("--reps", type=int, default=3)
+    report.add_argument("--seed", type=int, default=20120917)
+    report.add_argument("--sizes", default=None,
+                        help="comma-separated byte counts")
+    report.add_argument("--figures", default=None,
+                        help="comma-separated figure ids (default: all)")
+    report.add_argument("--output", default=None,
+                        help="write the report to this file (default: stdout)")
+    return parser
+
+
+def _cmd_platforms(out) -> int:
+    from repro.experiments.environment import forecast_service
+
+    service = forecast_service()
+    for name in service.platform_names():
+        platform = service.platform(name)
+        out.write(f"{name}: {len(platform.hosts())} hosts, "
+                  f"{len(platform.links())} links, "
+                  f"{platform.total_route_table_entries()} route entries\n")
+    return 0
+
+
+def _cmd_figures(out) -> int:
+    from repro.experiments.figures import FIGURES
+
+    for fig_id, figure in FIGURES.items():
+        out.write(f"{fig_id:18s} {figure.title}\n")
+    return 0
+
+
+def _cmd_version(out) -> int:
+    import repro
+
+    out.write(f"repro {repro.__version__}\n")
+    return 0
+
+
+def _cmd_predict(args, out) -> int:
+    from repro.core.forecast import TransferSpec
+    from repro.experiments.environment import forecast_service
+    from repro.simgrid.models import model_by_name
+
+    service = forecast_service()
+    transfers = [TransferSpec.parse(t) for t in args.transfer]
+    ongoing = [TransferSpec.parse(t) for t in args.ongoing]
+    forecasts = service.predict_transfers(
+        args.platform, transfers, model=model_by_name(args.model),
+        ongoing=ongoing,
+    )
+    out.write(json.dumps([f.to_json() for f in forecasts], indent=1) + "\n")
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    from repro.core.framework import Pilgrim
+
+    out.write("loading Grid'5000 platforms...\n")
+    pilgrim = Pilgrim.with_grid5000()
+    server = pilgrim.serve(host=args.host, port=args.port).start()
+    out.write(f"Pilgrim serving at {server.url} (Ctrl-C to stop)\n")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        out.write("stopping\n")
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    from repro.analysis.asciiplot import render_error_plot
+    from repro.experiments.environment import forecast_service, testbed
+    from repro.experiments.figures import FIGURES, run_figure
+
+    if args.figure not in FIGURES:
+        out.write(f"unknown figure {args.figure!r}; "
+                  f"available: {', '.join(FIGURES)}\n")
+        return 2
+    sizes = None
+    if args.sizes:
+        sizes = tuple(float(s) for s in args.sizes.split(","))
+    out.write(f"running {FIGURES[args.figure].title} "
+              f"({args.reps} repetitions)...\n")
+    series, failures = run_figure(
+        args.figure, forecast_service(), testbed(), seed=args.seed,
+        repetitions=args.reps, sizes=sizes, platform_name=args.platform,
+    )
+    out.write(render_error_plot(series) + "\n")
+    if failures:
+        out.write("shape checks FAILED:\n")
+        for failure in failures:
+            out.write(f"  {failure}\n")
+        return 1
+    out.write("shape checks: PASS\n")
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    from repro.analysis.report import build_report
+    from repro.experiments.environment import forecast_service, testbed
+    from repro.experiments.figures import FIGURES, run_figure
+
+    fig_ids = (args.figures.split(",") if args.figures else list(FIGURES))
+    unknown = [f for f in fig_ids if f not in FIGURES]
+    if unknown:
+        out.write(f"unknown figures: {', '.join(unknown)}\n")
+        return 2
+    sizes = None
+    if args.sizes:
+        sizes = tuple(float(s) for s in args.sizes.split(","))
+    results = {}
+    for fig_id in fig_ids:
+        out.write(f"running {fig_id} ({FIGURES[fig_id].title})...\n")
+        results[fig_id] = run_figure(
+            fig_id, forecast_service(), testbed(), seed=args.seed,
+            repetitions=args.reps, sizes=sizes,
+        )
+    report = build_report(results, repetitions=args.reps, seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        out.write(f"report written to {args.output}\n")
+    else:
+        out.write(report + "\n")
+    return 0 if all(not fails for _, fails in results.values()) else 1
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "platforms":
+        return _cmd_platforms(out)
+    if args.command == "figures":
+        return _cmd_figures(out)
+    if args.command == "version":
+        return _cmd_version(out)
+    if args.command == "predict":
+        return _cmd_predict(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "experiment":
+        return _cmd_experiment(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,137 @@
+"""Coarse background-traffic modeling from metrology counters (§VI).
+
+"We also plan to model the background traffic of Grid'5000, thanks to the
+ongoing work on this platform's network instrumentation.  Of course, we will
+have to find a tradeoff between a very accurate dynamic model of the
+platform involving too much data … or a coarse model."
+
+This is the *coarse* model: per-host NIC byte counters (Ganglia's
+``bytes_out``/``bytes_in``, recorded as COUNTER RRDs by the metrology
+collectors) are turned into per-link *capacity factors* — the fraction of
+each host link still available to new transfers.  The forecast service
+applies the factors to the simulated link capacities
+(:meth:`repro.core.forecast.NetworkForecastService.predict_transfers`).
+
+The fine-grained alternative — passing the scheduler's own in-flight
+transfers as ``ongoing`` — lives directly in the forecast service.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrology.collectors import MetricRegistry, MetricKey, MetrologyError
+from repro.simgrid.platform import Platform
+
+#: Never derate a link below this fraction (keeps predictions finite even
+#: under mis-measured 100% utilization).
+MIN_CAPACITY_FACTOR = 0.05
+
+
+@dataclass(frozen=True)
+class HostLoad:
+    """Observed NIC utilization of one host over the estimation window."""
+
+    host: str
+    #: mean outgoing rate, bytes/s
+    tx_rate: float
+    #: mean incoming rate, bytes/s
+    rx_rate: float
+    #: NIC nominal capacity, bytes/s
+    nic_capacity: float
+
+    @property
+    def utilization(self) -> float:
+        """Worst-direction utilization in [0, 1]."""
+        return min(max(self.tx_rate, self.rx_rate) / self.nic_capacity, 1.0)
+
+
+class BackgroundTrafficModel:
+    """Derives per-link capacity factors from recorded NIC counters."""
+
+    #: Metrology layout: per-host counters named like Ganglia's.
+    TX_METRIC = "bytes_out"
+    RX_METRIC = "bytes_in"
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        platform: Platform,
+        tool: str = "ganglia",
+        nic_capacity: float = 1.25e8,
+    ) -> None:
+        self.registry = registry
+        self.platform = platform
+        self.tool = tool
+        self.nic_capacity = nic_capacity
+
+    def _mean_rate(self, site: str, host: str, metric: str,
+                   begin: float, end: float) -> Optional[float]:
+        try:
+            rrd = self.registry.lookup(self.tool, site, host, metric)
+        except MetrologyError:
+            return None
+        series = [v for _, v in rrd.fetch(begin, end) if not math.isnan(v)]
+        if not series:
+            return None
+        return sum(series) / len(series)
+
+    def host_load(self, host: str, begin: float, end: float) -> Optional[HostLoad]:
+        """NIC utilization of ``host`` over ``(begin, end]``; None when the
+        metrology has no data for it."""
+        site = host.split(".")[1] if "." in host else "local"
+        tx = self._mean_rate(site, host, self.TX_METRIC, begin, end)
+        rx = self._mean_rate(site, host, self.RX_METRIC, begin, end)
+        if tx is None and rx is None:
+            return None
+        return HostLoad(host=host, tx_rate=tx or 0.0, rx_rate=rx or 0.0,
+                        nic_capacity=self.nic_capacity)
+
+    def capacity_factors(self, begin: float, end: float,
+                         minimum_utilization: float = 0.05) -> dict[str, float]:
+        """Capacity factors for every instrumented host link.
+
+        Links follow the converter's naming convention (``{host}-link``);
+        hosts without metrology data or with negligible load are left at
+        full capacity (absent from the dict).
+        """
+        factors: dict[str, float] = {}
+        for host in self.platform.hosts():
+            load = self.host_load(host.name, begin, end)
+            if load is None or load.utilization < minimum_utilization:
+                continue
+            link_name = f"{host.name}-link"
+            try:
+                self.platform.link(link_name)
+            except Exception:
+                continue  # platform variant without per-host links
+            factors[link_name] = max(1.0 - load.utilization, MIN_CAPACITY_FACTOR)
+        return factors
+
+
+def record_nic_counters(
+    registry: MetricRegistry,
+    host: str,
+    tx_bytes_series: list[tuple[float, float]],
+    rx_bytes_series: Optional[list[tuple[float, float]]] = None,
+    tool: str = "ganglia",
+    step: float = 15.0,
+) -> None:
+    """Feed cumulative NIC byte counters for ``host`` into the registry.
+
+    Test/demo helper playing the role of a gmond agent: ``*_bytes_series``
+    are ``(timestamp, cumulative bytes)`` samples.
+    """
+    site = host.split(".")[1] if "." in host else "local"
+    for metric, series in ((BackgroundTrafficModel.TX_METRIC, tx_bytes_series),
+                           (BackgroundTrafficModel.RX_METRIC, rx_bytes_series)):
+        if series is None:
+            continue
+        key = MetricKey(tool, site, host, metric)
+        if key not in registry:
+            registry.create(key, kind="COUNTER", step=step)
+        rrd = registry.get(key)
+        for timestamp, value in series:
+            rrd.update(timestamp, value)

@@ -1,0 +1,151 @@
+"""PNFS — the Pilgrim Network Forecast Service (§IV-C2).
+
+"Given a list of 3-uples (source, destination, size), it will answer with
+the list of 4-uples (source, destination, size, predicted TCP transfer
+completion time)."  For each request "a SimGrid simulation is instantiated,
+containing one send and one receive process for each requested transfer.
+These processes do nothing except sending the data and waiting for it, and
+tracking the transfer completion time in the simulated world."
+
+This module implements exactly that, over :mod:`repro.simgrid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.rest.errors import BadRequest, NotFound
+from repro.simgrid.engine import Simulation
+from repro.simgrid.models import LV08, NetworkModel
+from repro.simgrid.msg import transfer_processes
+from repro.simgrid.platform import Platform, UnknownElementError
+from repro.simgrid.units import parse_size
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """One requested transfer: source host, destination host, size in bytes.
+
+    ``size`` accepts numbers or unit strings (``"5e8"``, ``"500MB"``)."""
+
+    src: str
+    dst: str
+    size: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "size", parse_size(self.size))
+        if self.size <= 0:
+            raise ValueError(f"transfer size must be positive, got {self.size}")
+        if not self.src or not self.dst:
+            raise ValueError("transfer endpoints must be non-empty")
+
+    @staticmethod
+    def parse(text: str) -> "TransferSpec":
+        """Parse the service's query form ``src,dst,size``."""
+        parts = text.split(",")
+        if len(parts) != 3:
+            raise BadRequest(
+                f"transfer must be 'src,dst,size', got {text!r}"
+            )
+        try:
+            return TransferSpec(parts[0].strip(), parts[1].strip(), parts[2].strip())
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from None
+
+
+@dataclass(frozen=True)
+class TransferForecast:
+    """One predicted transfer: the paper's answer 4-uple."""
+
+    src: str
+    dst: str
+    size: float
+    #: Predicted completion time, seconds (from simultaneous start).
+    duration: float
+
+    def to_json(self) -> dict:
+        return {"src": self.src, "dst": self.dst,
+                "size": self.size, "duration": self.duration}
+
+
+class NetworkForecastService:
+    """Prediction service over a set of named platform descriptions."""
+
+    def __init__(
+        self,
+        platforms: Optional[dict[str, Platform]] = None,
+        model: Optional[NetworkModel] = None,
+    ) -> None:
+        self._platforms: dict[str, Platform] = dict(platforms or {})
+        self.model = model if model is not None else LV08()
+
+    # -- platform registry -------------------------------------------------------
+
+    def register_platform(self, name: str, platform: Platform) -> None:
+        self._platforms[name] = platform
+
+    def platform(self, name: str) -> Platform:
+        try:
+            return self._platforms[name]
+        except KeyError:
+            raise NotFound(f"unknown platform {name!r}") from None
+
+    def platform_names(self) -> list[str]:
+        return sorted(self._platforms)
+
+    # -- the service -------------------------------------------------------------
+
+    def predict_transfers(
+        self,
+        platform_name: str,
+        transfers: Sequence[TransferSpec] | Iterable[tuple[str, str, float]],
+        model: Optional[NetworkModel] = None,
+        ongoing: Sequence[TransferSpec] | Iterable[tuple[str, str, float]] = (),
+        capacity_factors: Optional[dict[str, float]] = None,
+    ) -> list[TransferForecast]:
+        """Predict completion times of transfers started concurrently.
+
+        ``ongoing`` lists transfers already in flight (src, dst, remaining
+        bytes): they consume bandwidth in the simulated world but are not
+        part of the answer — the fine-grained half of the paper's §VI
+        background-traffic modeling (a scheduler knows its own in-flight
+        movements).  ``capacity_factors`` (link name → fraction of capacity
+        available) is the coarse half, typically produced by
+        :class:`repro.core.background.BackgroundTrafficModel` from
+        metrology counters.
+
+        Raises :class:`NotFound` for unknown platforms or hosts and
+        :class:`BadRequest` for empty requests.
+        """
+        platform = self.platform(platform_name)
+        specs = [
+            t if isinstance(t, TransferSpec) else TransferSpec(*t) for t in transfers
+        ]
+        ongoing_specs = [
+            t if isinstance(t, TransferSpec) else TransferSpec(*t) for t in ongoing
+        ]
+        if not specs:
+            raise BadRequest("at least one transfer is required")
+        for spec in specs + ongoing_specs:
+            for host in (spec.src, spec.dst):
+                if not platform.has_host(host):
+                    raise NotFound(
+                        f"unknown host {host!r} on platform {platform_name!r}"
+                    )
+        sim = Simulation(platform, model or self.model,
+                         capacity_factors=capacity_factors)
+        try:
+            for spec in ongoing_specs:
+                sim.add_comm(spec.src, spec.dst, spec.size,
+                             name=f"ongoing:{spec.src}->{spec.dst}")
+            records = transfer_processes(
+                sim, [(s.src, s.dst, s.size) for s in specs]
+            )
+        except UnknownElementError as exc:  # pragma: no cover - double guard
+            raise NotFound(str(exc)) from None
+        return [
+            TransferForecast(src=r["src"], dst=r["dst"], size=r["size"],
+                             duration=r["duration"])
+            for r in records
+        ]

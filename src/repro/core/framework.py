@@ -1,0 +1,133 @@
+"""The Pilgrim facade: services, platform registry, REST assembly.
+
+One :class:`Pilgrim` instance owns the platform descriptions, the metric
+registry and all services, and can expose them over HTTP exactly as the
+paper's deployment does::
+
+    pilgrim = Pilgrim.with_grid5000()
+    with pilgrim.serve() as server:
+        client = RestClient(server.url)
+        client.predict_transfers("g5k_test", [(src, dst, 5e8)])
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.forecast import NetworkForecastService, TransferSpec
+from repro.core.metrology import MetrologyService
+from repro.core.planner import Hypothesis, TransferPlanner
+from repro.core.rest.errors import BadRequest
+from repro.core.rest.router import Request, Router
+from repro.core.rest.server import PilgrimHTTPServer
+from repro.core.workflow import WorkflowForecastService
+from repro.metrology.collectors import MetricRegistry
+from repro.simgrid.models import NetworkModel
+from repro.simgrid.platform import Platform
+
+
+class Pilgrim:
+    """Framework facade wiring the metrology and forecast services."""
+
+    def __init__(
+        self,
+        platforms: Optional[dict[str, Platform]] = None,
+        registry: Optional[MetricRegistry] = None,
+        model: Optional[NetworkModel] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.forecast = NetworkForecastService(platforms, model=model)
+        self.metrology = MetrologyService(self.registry)
+        self.workflows = WorkflowForecastService(self.forecast)
+
+    @classmethod
+    def with_grid5000(
+        cls,
+        sites: Optional[Sequence[str]] = None,
+        include_cabinets: bool = True,
+        model: Optional[NetworkModel] = None,
+    ) -> "Pilgrim":
+        """A Pilgrim instance loaded with the Grid'5000 platforms.
+
+        Builds ``g5k_test`` from the development Reference API and (unless
+        disabled) ``g5k_cabinets`` from the stable one, like the paper's
+        deployment (§V-A).
+        """
+        from repro.g5k.converter import to_simgrid_platform
+        from repro.g5k.sites import grid5000_dev_reference, grid5000_stable_reference
+
+        platforms = {
+            "g5k_test": to_simgrid_platform(
+                grid5000_dev_reference(), "g5k_test", sites=sites
+            )
+        }
+        if include_cabinets:
+            platforms["g5k_cabinets"] = to_simgrid_platform(
+                grid5000_stable_reference(), "g5k_cabinets", sites=sites
+            )
+        return cls(platforms=platforms, model=model)
+
+    # -- convenience delegates ---------------------------------------------------
+
+    def register_platform(self, name: str, platform: Platform) -> None:
+        self.forecast.register_platform(name, platform)
+
+    def predict_transfers(self, platform_name: str, transfers) -> list:
+        return self.forecast.predict_transfers(platform_name, transfers)
+
+    def planner(self, platform_name: str) -> TransferPlanner:
+        return TransferPlanner(self.forecast, platform_name)
+
+    # -- REST assembly -------------------------------------------------------------
+
+    def build_router(self) -> Router:
+        """All Pilgrim endpoints on one router."""
+        router = Router()
+
+        @router.get("/pilgrim/platforms")
+        def list_platforms(request: Request):
+            return {"platforms": self.forecast.platform_names()}
+
+        @router.get("/pilgrim/metrics")
+        def list_metrics(request: Request):
+            return {"metrics": self.metrology.list_metrics()}
+
+        @router.get("/pilgrim/rrd/{tool}/{site}/{host}/{metric}.rrd")
+        def fetch_metric(request: Request, tool: str, site: str, host: str, metric: str):
+            begin = request.param("begin")
+            end = request.param("end")
+            return self.metrology.fetch(tool, site, host, metric, begin, end)
+
+        @router.get("/pilgrim/rrd/{tool}/{site}/{host}/{metric}.rrd/info")
+        def metric_info(request: Request, tool: str, site: str, host: str, metric: str):
+            return self.metrology.describe(tool, site, host, metric)
+
+        @router.get("/pilgrim/predict_transfers/{platform}")
+        def predict(request: Request, platform: str):
+            raw = request.params("transfer")
+            if not raw:
+                raise BadRequest("at least one transfer=src,dst,size is required")
+            specs = [TransferSpec.parse(item) for item in raw]
+            # §VI background modeling: in-flight transfers share bandwidth
+            # in the simulated world but are not part of the answer
+            ongoing = [TransferSpec.parse(item)
+                       for item in request.params("ongoing")]
+            forecasts = self.forecast.predict_transfers(
+                platform, specs, ongoing=ongoing
+            )
+            return [f.to_json() for f in forecasts]
+
+        @router.get("/pilgrim/select_fastest/{platform}")
+        def select_fastest(request: Request, platform: str):
+            raw = request.params("hypothesis")
+            if not raw:
+                raise BadRequest("at least one hypothesis=name:transfers is required")
+            hypotheses = [Hypothesis.parse(item) for item in raw]
+            result = self.planner(platform).select_fastest(hypotheses)
+            return result.to_json()
+
+        return router
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0) -> PilgrimHTTPServer:
+        """An HTTP server (not yet started) exposing all services."""
+        return PilgrimHTTPServer(self.build_router(), host=host, port=port)

@@ -1,0 +1,89 @@
+"""Dynamic latency calibration from metrology measurements (§VI).
+
+The converter hardcodes link latencies (1e-4 s intra-site, 2.25e-3 s
+backbone) because the Reference API does not measure them; the paper plans
+to "use automatic link latency measurements instead of arbitrary values"
+from SmokePing/Cacti through the Pilgrim metrology service.  This module
+implements that loop: probe representative host pairs, derive per-backbone
+one-way latencies, and update the (mutable) platform links in place.
+
+The routing layer reads latencies live, so the next forecast request uses
+the calibrated values — no platform rebuild needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrology.ping import LatencyProber
+from repro.simgrid.platform import Link, Platform
+
+#: Never calibrate a backbone below this one-way latency (sanity floor).
+MIN_BACKBONE_LATENCY = 1e-4
+
+
+@dataclass(frozen=True)
+class CalibrationEntry:
+    """One adjusted backbone link."""
+
+    link: str
+    old_latency: float
+    new_latency: float
+    measured_rtt: float
+
+
+class LatencyFeed:
+    """Backbone-latency calibration for one platform."""
+
+    def __init__(self, platform: Platform, prober: LatencyProber) -> None:
+        self.platform = platform
+        self.prober = prober
+
+    def _backbone_link(self, src: str, dst: str) -> Link:
+        """The backbone link on the modeled route: the largest-latency hop."""
+        route = self.platform.route(src, dst)
+        if not route:
+            raise ValueError(f"empty route {src!r} -> {dst!r}")
+        return max(route, key=lambda use: use.link.latency).link
+
+    def calibrate_backbone(
+        self,
+        site_representatives: dict[str, str],
+        probe_seconds: float = 300.0,
+    ) -> list[CalibrationEntry]:
+        """Probe one representative host per site, adjust backbone latencies.
+
+        For each site pair, the measured median RTT minus the modeled
+        intra-site latency contributions gives the backbone's one-way value.
+        Returns the adjustments applied.
+        """
+        sites = sorted(site_representatives)
+        pairs = [
+            (site_representatives[a], site_representatives[b])
+            for i, a in enumerate(sites)
+            for b in sites[i + 1:]
+        ]
+        for src, dst in pairs:
+            self.prober.add_pair(src, dst)
+        self.prober.probe_for(probe_seconds)
+
+        entries: list[CalibrationEntry] = []
+        for src, dst in pairs:
+            rtt = self.prober.measured_rtt(src, dst)
+            backbone = self._backbone_link(src, dst)
+            others = sum(
+                use.link.latency
+                for use in self.platform.route(src, dst)
+                if use.link is not backbone
+            )
+            new_latency = max(rtt / 2.0 - others, MIN_BACKBONE_LATENCY)
+            entries.append(
+                CalibrationEntry(
+                    link=backbone.name,
+                    old_latency=backbone.latency,
+                    new_latency=new_latency,
+                    measured_rtt=rtt,
+                )
+            )
+            backbone.latency = new_latency
+        return entries

@@ -1,0 +1,149 @@
+"""Transfer-hypothesis planning (§VI future work, implemented).
+
+"More clever services could also be added to Pilgrim, e.g., given n
+different transfer hypotheses, select the fastest one.  As Pilgrim has some
+knowledge of the platform, it could use some heuristic to prune the n
+hypotheses and only simulate a subset of them, before returning an answer."
+
+A *hypothesis* is a named set of concurrent transfers (e.g. "send the
+dataset to cluster A" vs "split it between A and B").  The planner scores
+each hypothesis by simulation and returns the fastest; the pruning heuristic
+discards hypotheses whose *static lower bound* (bottleneck bandwidth +
+latency, no contention) already exceeds the best static *upper bound*
+(serialised transfers), so they cannot win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.forecast import NetworkForecastService, TransferSpec
+from repro.core.rest.errors import BadRequest
+from repro.simgrid.platform import Platform
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """A named candidate set of concurrent transfers."""
+
+    name: str
+    transfers: tuple[TransferSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.transfers:
+            raise ValueError(f"hypothesis {self.name!r} has no transfers")
+
+    @staticmethod
+    def parse(text: str) -> "Hypothesis":
+        """Parse the query form ``name:src,dst,size;src,dst,size``."""
+        if ":" not in text:
+            raise BadRequest(f"hypothesis must be 'name:transfers', got {text!r}")
+        name, _, spec = text.partition(":")
+        transfers = tuple(
+            TransferSpec.parse(part) for part in spec.split(";") if part.strip()
+        )
+        if not transfers:
+            raise BadRequest(f"hypothesis {name!r} has no transfers")
+        return Hypothesis(name.strip(), transfers)
+
+
+@dataclass(frozen=True)
+class HypothesisScore:
+    """Outcome for one hypothesis."""
+
+    name: str
+    #: Completion time of the slowest transfer (the scheduling criterion).
+    makespan: float
+    #: Per-transfer predicted durations.
+    durations: tuple[float, ...]
+    #: Whether the score came from simulation (False = pruned).
+    simulated: bool
+
+
+@dataclass(frozen=True)
+class PlannerResult:
+    best: str
+    scores: tuple[HypothesisScore, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "best": self.best,
+            "scores": {
+                s.name: {
+                    "makespan": s.makespan,
+                    "durations": list(s.durations),
+                    "simulated": s.simulated,
+                }
+                for s in self.scores
+            },
+        }
+
+
+class TransferPlanner:
+    """Fastest-of-n hypothesis selection over one platform."""
+
+    def __init__(self, forecast: NetworkForecastService, platform_name: str) -> None:
+        self.forecast = forecast
+        self.platform_name = platform_name
+
+    # -- static bounds for pruning -----------------------------------------------
+
+    def _static_bounds(self, platform: Platform, hyp: Hypothesis) -> tuple[float, float]:
+        """(lower, upper) bounds on the makespan without simulating.
+
+        Lower: each transfer alone at its bottleneck bandwidth (no
+        contention can beat that).  Upper: all transfers serialised on the
+        slowest single path (full contention cannot be slower than fully
+        sequential on the worst shared path).
+        """
+        lower = 0.0
+        total_serial = 0.0
+        for t in hyp.transfers:
+            route = platform.route(t.src, t.dst)
+            bw = self.forecast.model.effective_bandwidth(
+                min((u.link.bandwidth for u in route), default=float("inf"))
+            )
+            lat = self.forecast.model.startup_latency(route)
+            alone = lat + (t.size / bw if bw != float("inf") else 0.0)
+            lower = max(lower, alone)
+            total_serial += alone
+        return lower, total_serial
+
+    def prune(self, hypotheses: Sequence[Hypothesis]) -> list[Hypothesis]:
+        """Keep only hypotheses whose lower bound beats the best upper bound."""
+        platform = self.forecast.platform(self.platform_name)
+        bounds = {h.name: self._static_bounds(platform, h) for h in hypotheses}
+        best_upper = min(upper for (_, upper) in bounds.values())
+        return [h for h in hypotheses if bounds[h.name][0] <= best_upper]
+
+    # -- selection ------------------------------------------------------------------
+
+    def select_fastest(
+        self,
+        hypotheses: Sequence[Hypothesis],
+        use_pruning: bool = True,
+    ) -> PlannerResult:
+        """Simulate (surviving) hypotheses; best = smallest makespan."""
+        if not hypotheses:
+            raise BadRequest("at least one hypothesis is required")
+        names = [h.name for h in hypotheses]
+        if len(set(names)) != len(names):
+            raise BadRequest("hypothesis names must be unique")
+        survivors = self.prune(hypotheses) if use_pruning else list(hypotheses)
+        surviving_names = {h.name for h in survivors}
+        scores: list[HypothesisScore] = []
+        for hyp in hypotheses:
+            if hyp.name in surviving_names:
+                forecasts = self.forecast.predict_transfers(
+                    self.platform_name, hyp.transfers
+                )
+                durations = tuple(f.duration for f in forecasts)
+                scores.append(HypothesisScore(hyp.name, max(durations),
+                                              durations, simulated=True))
+            else:
+                platform = self.forecast.platform(self.platform_name)
+                lower, _ = self._static_bounds(platform, hyp)
+                scores.append(HypothesisScore(hyp.name, lower, (), simulated=False))
+        best = min((s for s in scores if s.simulated), key=lambda s: s.makespan)
+        return PlannerResult(best=best.name, scores=tuple(scores))

@@ -1,0 +1,73 @@
+"""HTTP client for Pilgrim services.
+
+Thin urllib wrapper plus typed helpers mirroring the paper's two example
+``curl`` requests (§IV-C1, §IV-C2).
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Optional, Sequence
+
+from repro.core.rest.errors import ApiError, BadRequest, NotFound
+from repro.core.rest.json_codec import loads
+
+
+class RestClient:
+    """Client bound to a base URL (e.g. ``http://127.0.0.1:8080``)."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def get(self, path: str, params: Optional[Sequence[tuple[str, str]]] = None) -> object:
+        """GET ``path`` with multi-valued query ``params``; returns JSON."""
+        url = self.base_url + path
+        if params:
+            url += "?" + urllib.parse.urlencode(list(params))
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as response:
+                return loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", errors="replace")
+            try:
+                payload = loads(body)
+                message = payload.get("message", body)  # type: ignore[union-attr]
+            except Exception:  # noqa: BLE001 - best-effort decode
+                message = body
+            error_cls = {400: BadRequest, 404: NotFound}.get(exc.code, ApiError)
+            error = error_cls(message)
+            error.status = exc.code
+            raise error from None
+
+    # -- typed helpers -----------------------------------------------------------
+
+    def fetch_metric(self, tool: str, site: str, host: str, metric: str,
+                     begin: float | str, end: float | str) -> list[list[float]]:
+        """The §IV-C1 example: RRD values between two timestamps."""
+        path = f"/pilgrim/rrd/{tool}/{site}/{host}/{metric}.rrd/"
+        result = self.get(path, [("begin", str(begin)), ("end", str(end))])
+        return result  # type: ignore[return-value]
+
+    def predict_transfers(
+        self, platform: str, transfers: Sequence[tuple[str, str, float]]
+    ) -> list[dict]:
+        """The §IV-C2 example: predicted completion times for concurrent
+        transfers, each given as ``(src, dst, size)``."""
+        params = [
+            ("transfer", f"{src},{dst},{size:g}") for src, dst, size in transfers
+        ]
+        result = self.get(f"/pilgrim/predict_transfers/{platform}", params)
+        return result  # type: ignore[return-value]
+
+    def select_fastest(
+        self, platform: str, hypotheses: dict[str, Sequence[tuple[str, str, float]]]
+    ) -> dict:
+        """§VI extension: submit named transfer hypotheses, get the fastest."""
+        params = []
+        for name, transfers in hypotheses.items():
+            spec = ";".join(f"{s},{d},{z:g}" for s, d, z in transfers)
+            params.append(("hypothesis", f"{name}:{spec}"))
+        return self.get(f"/pilgrim/select_fastest/{platform}", params)  # type: ignore[return-value]

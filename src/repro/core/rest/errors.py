@@ -1,0 +1,31 @@
+"""API error hierarchy mapped to HTTP status codes."""
+
+from __future__ import annotations
+
+
+class ApiError(Exception):
+    """Base service error; subclasses carry the HTTP status."""
+
+    status = 500
+
+    def to_json(self) -> dict:
+        return {"error": type(self).__name__, "status": self.status,
+                "message": str(self)}
+
+
+class BadRequest(ApiError):
+    """Malformed parameters (missing query keys, bad numbers, …)."""
+
+    status = 400
+
+
+class NotFound(ApiError):
+    """Unknown resource (platform, host, metric, route…)."""
+
+    status = 404
+
+
+class MethodNotAllowed(ApiError):
+    """The path exists but not for this HTTP method."""
+
+    status = 405

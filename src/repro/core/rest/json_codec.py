@@ -1,0 +1,32 @@
+"""JSON encoding for service payloads.
+
+NaN/inf never appear on the wire (strict JSON): they are encoded as
+``null``, matching what the paper's clients (schedulers parsing predictions)
+can actually consume.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+
+def _sanitize(obj: Any) -> Any:
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        return {k: _sanitize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_sanitize(v) for v in obj]
+    return obj
+
+
+def dumps(payload: object) -> str:
+    """Serialise a payload to strict JSON (non-finite floats → null)."""
+    return json.dumps(_sanitize(payload), allow_nan=False, separators=(",", ":"))
+
+
+def loads(text: str) -> object:
+    """Parse strict JSON."""
+    return json.loads(text)

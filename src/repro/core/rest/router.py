@@ -1,0 +1,141 @@
+"""URI routing for the REST services.
+
+Route patterns are slash-separated segments; a segment may embed one
+``{placeholder}`` with optional literal prefix/suffix, e.g.::
+
+    /pilgrim/rrd/{tool}/{site}/{host}/{metric}.rrd
+
+matches the paper's example request and binds ``metric="pdu"`` for
+``…/pdu.rrd``.  Query parameters are multi-valued (``?transfer=…&transfer=…``
+is how PNFS receives its transfer list, §IV-C2).
+"""
+
+from __future__ import annotations
+
+import re
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.rest.errors import ApiError, BadRequest, MethodNotAllowed, NotFound
+
+_SEGMENT_RE = re.compile(r"^(?P<prefix>[^{}]*)\{(?P<name>[A-Za-z_][A-Za-z0-9_]*)\}(?P<suffix>[^{}]*)$")
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+
+    @staticmethod
+    def from_target(method: str, target: str) -> "Request":
+        """Build from a raw request target like ``/a/b?x=1&x=2``."""
+        parsed = urllib.parse.urlsplit(target)
+        query = urllib.parse.parse_qs(parsed.query, keep_blank_values=True)
+        return Request(method=method.upper(),
+                       path=urllib.parse.unquote(parsed.path), query=query)
+
+    # -- convenient, validated accessors -----------------------------------
+
+    def param(self, name: str, default: Optional[str] = None) -> str:
+        values = self.query.get(name)
+        if not values:
+            if default is not None:
+                return default
+            raise BadRequest(f"missing query parameter {name!r}")
+        return values[-1]
+
+    def params(self, name: str) -> list[str]:
+        return list(self.query.get(name, []))
+
+    def float_param(self, name: str, default: Optional[float] = None) -> float:
+        raw = self.query.get(name)
+        if not raw:
+            if default is not None:
+                return default
+            raise BadRequest(f"missing query parameter {name!r}")
+        try:
+            return float(raw[-1])
+        except ValueError:
+            raise BadRequest(f"parameter {name!r} is not a number: {raw[-1]!r}") from None
+
+
+class _Route:
+    def __init__(self, method: str, pattern: str, handler: Callable) -> None:
+        self.method = method.upper()
+        self.handler = handler
+        self.segments: list[tuple[str, str, str, Optional[str]]] = []
+        cleaned = pattern.strip("/")
+        for raw in cleaned.split("/") if cleaned else []:
+            match = _SEGMENT_RE.match(raw)
+            if match:
+                self.segments.append(
+                    (match.group("prefix"), match.group("suffix"), raw, match.group("name"))
+                )
+            else:
+                self.segments.append((raw, "", raw, None))
+
+    def match(self, path: str) -> Optional[dict[str, str]]:
+        cleaned = path.strip("/")
+        parts = cleaned.split("/") if cleaned else []
+        if len(parts) != len(self.segments):
+            return None
+        bound: dict[str, str] = {}
+        for part, (prefix, suffix, literal, name) in zip(parts, self.segments):
+            if name is None:
+                if part != literal:
+                    return None
+            else:
+                if not part.startswith(prefix) or not part.endswith(suffix):
+                    return None
+                value = part[len(prefix): len(part) - len(suffix) if suffix else len(part)]
+                if not value:
+                    return None
+                bound[name] = value
+        return bound
+
+
+class Router:
+    """Dispatches requests to handlers; converts errors to JSON responses."""
+
+    def __init__(self) -> None:
+        self._routes: list[_Route] = []
+
+    def add(self, method: str, pattern: str, handler: Callable) -> None:
+        """Register ``handler(request, **path_params) -> json-able``."""
+        self._routes.append(_Route(method, pattern, handler))
+
+    def get(self, pattern: str) -> Callable:
+        """Decorator form for GET routes."""
+
+        def decorate(handler: Callable) -> Callable:
+            self.add("GET", pattern, handler)
+            return handler
+
+        return decorate
+
+    def dispatch(self, request: Request) -> tuple[int, object]:
+        """Returns ``(http_status, payload)``; payload is JSON-able."""
+        path_exists = False
+        for route in self._routes:
+            bound = route.match(request.path)
+            if bound is None:
+                continue
+            path_exists = True
+            if route.method != request.method:
+                continue
+            try:
+                return 200, route.handler(request, **bound)
+            except ApiError as exc:
+                return exc.status, exc.to_json()
+            except Exception as exc:  # noqa: BLE001 - service boundary
+                return 500, {"error": "InternalError", "status": 500,
+                             "message": f"{type(exc).__name__}: {exc}"}
+        if path_exists:
+            err = MethodNotAllowed(f"{request.method} not allowed on {request.path}")
+            return err.status, err.to_json()
+        err = NotFound(f"no route for {request.path}")
+        return err.status, err.to_json()

@@ -1,0 +1,73 @@
+"""Threaded HTTP server exposing a :class:`~repro.core.rest.router.Router`.
+
+Binds to an ephemeral port by default so tests and examples can run many
+instances concurrently.  The server is deliberately minimal — HTTP GET with
+URI-embedded parameters and JSON answers is the paper's full transport
+contract (§IV-C).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.core.rest.json_codec import dumps
+from repro.core.rest.router import Request, Router
+
+
+class PilgrimHTTPServer:
+    """Lifecycle wrapper: ``start()`` serves in a daemon thread."""
+
+    def __init__(self, router: Router, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.router = router
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                self._handle("GET")
+
+            def _handle(self, method: str) -> None:
+                request = Request.from_target(method, self.path)
+                status, payload = outer.router.dispatch(request)
+                body = dumps(payload).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args: object) -> None:  # noqa: A003
+                pass  # keep test output clean
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "PilgrimHTTPServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "PilgrimHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

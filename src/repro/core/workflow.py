@@ -1,0 +1,109 @@
+"""Workflow forecasting: computations + transfers (§VI future work).
+
+"In the future we plan to add some service which will not only forecast
+network transfers but also full workflows involving computations and network
+transfers.  This is another reason why we chose SimGrid, as adding the
+simulation of computation will be straightforward."
+
+A workflow is a :class:`~repro.simgrid.tasks.TaskGraph`: tasks placed on
+hosts, each consuming its predecessors' output data (moved over the
+simulated network) and then computing its flops.  The forecast runs the DAG
+on the MSG layer — one process per task — and reports per-task finish times
+and the makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.forecast import NetworkForecastService
+from repro.core.rest.errors import BadRequest, NotFound
+from repro.simgrid.engine import Simulation
+from repro.simgrid.models import NetworkModel
+from repro.simgrid.msg import add_process
+from repro.simgrid.tasks import TaskGraph
+
+
+@dataclass(frozen=True)
+class WorkflowForecast:
+    """Predicted schedule of one workflow."""
+
+    makespan: float
+    #: task name -> (start_time, finish_time)
+    task_times: dict
+    #: (producer, consumer) -> transfer completion time
+    transfer_times: dict
+
+    def to_json(self) -> dict:
+        return {
+            "makespan": self.makespan,
+            "tasks": {
+                name: {"start": start, "finish": finish}
+                for name, (start, finish) in sorted(self.task_times.items())
+            },
+            "transfers": {
+                f"{p}->{c}": t for (p, c), t in sorted(self.transfer_times.items())
+            },
+        }
+
+
+class WorkflowForecastService:
+    """Workflow predictions over the forecast service's platforms."""
+
+    def __init__(self, forecast: NetworkForecastService) -> None:
+        self.forecast = forecast
+
+    def predict_workflow(
+        self,
+        platform_name: str,
+        graph: TaskGraph,
+        model: Optional[NetworkModel] = None,
+    ) -> WorkflowForecast:
+        """Simulate the workflow; returns task times and makespan."""
+        try:
+            graph.validate()
+        except ValueError as exc:
+            raise BadRequest(f"invalid workflow: {exc}") from None
+        platform = self.forecast.platform(platform_name)
+        for name, host in graph.placement.items():
+            if not platform.has_host(host):
+                raise NotFound(f"unknown host {host!r} for task {name!r}")
+
+        sim = Simulation(platform, model or self.forecast.model)
+        task_times: dict[str, tuple[float, float]] = {}
+        transfer_times: dict[tuple[str, str], float] = {}
+
+        def task_process(ctx, name):
+            task = graph.tasks[name]
+            preds = graph.predecessors(name)
+            if preds:
+                recvs = [ctx.recv(f"wf-{p}->{name}") for p in preds]
+                yield ctx.wait_all(recvs)
+                for p in preds:
+                    transfer_times[(p, name)] = ctx.now
+            start = ctx.now
+            if task.flops > 0:
+                yield ctx.execute(task.flops)
+            task_times[name] = (start, ctx.now)
+            for succ in graph.successors(name):
+                # successors wait on the data, so completion of the send is
+                # tracked on their side; fire-and-forget here
+                ctx.send(f"wf-{name}->{succ}", max(task.output_bytes, 1.0))
+            if not graph.successors(name):
+                return
+            yield ctx.sleep(0.0)
+
+        for name in graph.tasks:
+            add_process(sim, f"task-{name}", graph.placement[name], task_process, name)
+        sim.run()
+
+        if len(task_times) != len(graph.tasks):
+            missing = sorted(set(graph.tasks) - set(task_times))
+            raise BadRequest(f"workflow deadlocked; tasks never ran: {missing}")
+        makespan = max(finish for (_, finish) in task_times.values())
+        return WorkflowForecast(
+            makespan=makespan,
+            task_times=dict(task_times),
+            transfer_times=dict(transfer_times),
+        )

@@ -1,0 +1,36 @@
+"""The paper's validation campaign (§V): protocol, runner, figures, summary.
+
+- :mod:`repro.experiments.protocol` — the parameter space: 10 transfer sizes
+  on a geometric progression 0.1 MB → 10 GB, source/destination counts,
+  CLUSTER and GRID_MULTI topologies, endpoint drawing rules,
+- :mod:`repro.experiments.environment` — cached experiment environment
+  (g5k platforms, testbed, forecast service),
+- :mod:`repro.experiments.runner` — runs one experiment: measured transfers
+  on the testbed (via the orchestration + iperf layers) versus Pilgrim
+  predictions, aggregated into an :class:`~repro.analysis.errors.ErrorSeries`,
+- :mod:`repro.experiments.figures` — one spec per paper figure (3–11) plus
+  the §V-B1 asymmetric graphene cases, each with asserted shape checks,
+- :mod:`repro.experiments.summary` — the §V-B headline statistics.
+"""
+
+from repro.experiments.protocol import (
+    TRANSFER_SIZES,
+    LARGE_SIZE_THRESHOLD,
+    Topology,
+    ExperimentSpec,
+    draw_transfer_pairs,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.figures import FIGURES, FigureSpec, run_figure
+
+__all__ = [
+    "TRANSFER_SIZES",
+    "LARGE_SIZE_THRESHOLD",
+    "Topology",
+    "ExperimentSpec",
+    "draw_transfer_pairs",
+    "run_experiment",
+    "FIGURES",
+    "FigureSpec",
+    "run_figure",
+]

@@ -1,0 +1,125 @@
+"""The full experimental campaign (§V-A's complete parameter space).
+
+"The full set of our experiments (from which we have only showed a subset
+in this article) validates the network model of SimGrid" — the paper swept
+*all* combinations of topology × sources × destinations, not just the nine
+published figures.  This module expresses that campaign as an orchestration
+sweep (every feasible combination, with the infeasible ones excluded the
+way a 79-node cluster forces) and runs it through the experiment engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.errors import ErrorSeries
+from repro.core.forecast import NetworkForecastService
+from repro.experiments.protocol import (
+    ENDPOINT_COUNTS,
+    ExperimentSpec,
+    TRANSFER_SIZES,
+    Topology,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.summary import SummaryStats, summarize
+from repro.g5k.sites import cluster_spec
+from repro.orchestration.engine import ExperimentEngine, combination_id
+from repro.orchestration.sweep import ParamSweep
+from repro.testbed.fluid import TestbedNetwork
+
+#: The clusters the paper's CLUSTER experiments draw from (§V-B1).
+CAMPAIGN_CLUSTERS: tuple[str, ...] = ("sagittaire", "graphene")
+
+
+def _feasible(combination: dict) -> bool:
+    """Can the combination draw disjoint endpoint sets?"""
+    if combination["topology"] is Topology.GRID_MULTI:
+        return True
+    spec = cluster_spec(combination["cluster"])
+    return combination["n_src"] + combination["n_dst"] <= spec.n_nodes
+
+
+def campaign_sweep(
+    counts: Sequence[int] = ENDPOINT_COUNTS,
+    clusters: Sequence[str] = CAMPAIGN_CLUSTERS,
+) -> ParamSweep:
+    """Every (topology, cluster, n_src, n_dst) combination the paper's
+    campaign covers, minus infeasible draws.
+
+    GRID_MULTI combinations carry ``cluster=None``; CLUSTER ones are
+    generated per cluster.  The sweep is deduplicated on the grid side
+    (cluster is irrelevant there).
+    """
+    sweep = ParamSweep({
+        "topology": [Topology.CLUSTER, Topology.GRID_MULTI],
+        "cluster": list(clusters),
+        "n_src": list(counts),
+        "n_dst": list(counts),
+    })
+    sweep.exclude(lambda c: not _feasible(c))
+    # grid combinations are cluster-independent: keep only the first cluster
+    first = clusters[0]
+    sweep.exclude(
+        lambda c: c["topology"] is Topology.GRID_MULTI and c["cluster"] != first
+    )
+    # 1x1 exercises nothing the paper reports on
+    sweep.exclude(lambda c: c["n_src"] == 1 and c["n_dst"] == 1)
+    return sweep
+
+
+def spec_for(combination: dict, sizes: Optional[tuple[float, ...]] = None,
+             repetitions: int = 10) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` of one sweep combination."""
+    topology = combination["topology"]
+    cluster = combination["cluster"] if topology is Topology.CLUSTER else None
+    name = (
+        f"{topology.value}-{cluster or 'grid'}-"
+        f"{combination['n_src']}x{combination['n_dst']}"
+    )
+    return ExperimentSpec(
+        name=name, topology=topology, cluster=cluster,
+        n_sources=combination["n_src"], n_destinations=combination["n_dst"],
+        sizes=sizes or TRANSFER_SIZES, repetitions=repetitions,
+    )
+
+
+def run_campaign(
+    forecast: NetworkForecastService,
+    network: TestbedNetwork,
+    sweep: Optional[ParamSweep] = None,
+    seed: int = 0,
+    repetitions: int = 3,
+    sizes: Optional[tuple[float, ...]] = None,
+    platform_name: str = "g5k_test",
+    progress=None,
+) -> dict[str, ErrorSeries]:
+    """Run (a slice of) the campaign; returns series keyed by combination id.
+
+    Per-combination seeds derive from the engine's, so any single
+    combination can be re-run in isolation bit-for-bit.
+    """
+    sweep = sweep if sweep is not None else campaign_sweep()
+
+    def body(combination: dict, comb_seed: int) -> ErrorSeries:
+        spec = spec_for(combination, sizes=sizes, repetitions=repetitions)
+        return run_experiment(
+            spec, forecast, network, platform_name=platform_name,
+            seed=comb_seed, repetitions=repetitions, sizes=sizes,
+        )
+
+    engine = ExperimentEngine(sweep, body, seed=seed, progress=progress)
+    engine.run()
+    if engine.failures:
+        combination, error = engine.failures[0]
+        raise RuntimeError(
+            f"campaign combination {combination_id(combination)} failed: {error}"
+        )
+    return {
+        combination_id(combination): series
+        for combination, series in engine.results
+    }
+
+
+def campaign_summary(results: dict[str, ErrorSeries]) -> SummaryStats:
+    """§V-B pooled statistics over the whole campaign."""
+    return summarize(results.values())

@@ -1,0 +1,209 @@
+"""Per-figure experiment specs with asserted shape checks.
+
+One :class:`FigureSpec` per paper figure (3–11), plus the §V-B1 asymmetric
+graphene cases.  Checks encode the *shape* of each result — signs, rough
+factors, crossovers — not the paper's absolute error values (our testbed is
+a calibrated emulator, not the 2012 hardware; see EXPERIMENTS.md for the
+paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.errors import ErrorSeries
+from repro.experiments.protocol import (
+    LARGE_SIZE_THRESHOLD,
+    ExperimentSpec,
+    Topology,
+)
+
+Check = Callable[[ErrorSeries], Optional[str]]
+
+
+def small_size_error_at_most(threshold: float) -> Check:
+    """Median error at the smallest size must be <= threshold (optimistic
+    flow model: real small transfers are slower than predicted)."""
+
+    def check(series: ErrorSeries) -> Optional[str]:
+        err = series.points[0].median_error
+        if err > threshold:
+            return (
+                f"median error at size {series.points[0].size:.2e} is "
+                f"{err:+.2f}, expected <= {threshold:+.2f}"
+            )
+        return None
+
+    check.__name__ = f"small_size_error_at_most({threshold})"
+    return check
+
+
+def small_size_error_at_least(threshold: float) -> Check:
+    """Median error at the smallest size must be >= threshold (hierarchical
+    latency inflation: graphene small transfers are over-predicted)."""
+
+    def check(series: ErrorSeries) -> Optional[str]:
+        err = series.points[0].median_error
+        if err < threshold:
+            return (
+                f"median error at size {series.points[0].size:.2e} is "
+                f"{err:+.2f}, expected >= {threshold:+.2f}"
+            )
+        return None
+
+    check.__name__ = f"small_size_error_at_least({threshold})"
+    return check
+
+
+def plateau_within(lo: float, hi: float) -> Check:
+    """Median error over sizes > 1.67e7 must fall in [lo, hi]."""
+
+    def check(series: ErrorSeries) -> Optional[str]:
+        plateau = series.plateau_error(LARGE_SIZE_THRESHOLD)
+        if not lo <= plateau <= hi:
+            return (
+                f"large-size plateau error {plateau:+.3f} outside "
+                f"[{lo:+.2f}, {hi:+.2f}]"
+            )
+        return None
+
+    check.__name__ = f"plateau_within({lo}, {hi})"
+    return check
+
+
+def converges_with_size(min_improvement: float = 1.0) -> Check:
+    """|median error| must shrink from the smallest size to the plateau —
+    the paper's universal observation that the model is good for large
+    transfers and bad for small ones."""
+
+    def check(series: ErrorSeries) -> Optional[str]:
+        small = abs(series.points[0].median_error)
+        plateau = abs(series.plateau_error(LARGE_SIZE_THRESHOLD))
+        if small - plateau < min_improvement:
+            return (
+                f"|error| only improved {small - plateau:.2f} from smallest "
+                f"size ({small:.2f}) to plateau ({plateau:.2f}); "
+                f"expected >= {min_improvement}"
+            )
+        return None
+
+    check.__name__ = f"converges_with_size({min_improvement})"
+    return check
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One reproducible figure: experiment + shape assertions."""
+
+    fig_id: str
+    title: str
+    spec: ExperimentSpec
+    checks: tuple[Check, ...]
+
+    def verify(self, series: ErrorSeries) -> list[str]:
+        """All failed-check messages (empty = shape reproduced)."""
+        failures = []
+        for check in self.checks:
+            message = check(series)
+            if message is not None:
+                failures.append(f"{self.fig_id}/{check.__name__}: {message}")
+        return failures
+
+
+def _cluster(name: str, cluster: str, n_src: int, n_dst: int) -> ExperimentSpec:
+    return ExperimentSpec(name=name, topology=Topology.CLUSTER, cluster=cluster,
+                          n_sources=n_src, n_destinations=n_dst)
+
+
+def _grid(name: str, n_src: int, n_dst: int) -> ExperimentSpec:
+    return ExperimentSpec(name=name, topology=Topology.GRID_MULTI,
+                          n_sources=n_src, n_destinations=n_dst)
+
+
+FIGURES: dict[str, FigureSpec] = {
+    "fig3": FigureSpec(
+        "fig3", "sagittaire / CLUSTER / 1 source / 10 destinations",
+        _cluster("sagittaire-1x10", "sagittaire", 1, 10),
+        (small_size_error_at_most(-2.0), plateau_within(-0.5, 0.5),
+         converges_with_size(1.5)),
+    ),
+    "fig4": FigureSpec(
+        "fig4", "sagittaire / CLUSTER / 10 sources / 10 destinations",
+        _cluster("sagittaire-10x10", "sagittaire", 10, 10),
+        (small_size_error_at_most(-2.0), plateau_within(-0.5, 0.5),
+         converges_with_size(1.5)),
+    ),
+    "fig5": FigureSpec(
+        "fig5", "sagittaire / CLUSTER / 30 sources / 30 destinations",
+        _cluster("sagittaire-30x30", "sagittaire", 30, 30),
+        (small_size_error_at_most(-2.0), plateau_within(-0.5, 0.5),
+         converges_with_size(1.5)),
+    ),
+    "fig6": FigureSpec(
+        "fig6", "graphene / CLUSTER / 1 source / 10 destinations",
+        _cluster("graphene-1x10", "graphene", 1, 10),
+        (small_size_error_at_least(0.05), plateau_within(-0.5, 0.5)),
+    ),
+    "fig7": FigureSpec(
+        "fig7", "graphene / CLUSTER / 10 sources / 10 destinations",
+        _cluster("graphene-10x10", "graphene", 10, 10),
+        (small_size_error_at_least(0.5), plateau_within(-0.5, 0.5)),
+    ),
+    "fig8": FigureSpec(
+        "fig8", "graphene / CLUSTER / 30 sources / 30 destinations",
+        _cluster("graphene-30x30", "graphene", 30, 30),
+        # the unexplained ×~1.25 over-prediction (log2 1.25 ≈ +0.32)
+        (small_size_error_at_least(0.5), plateau_within(0.02, 0.65)),
+    ),
+    "fig9": FigureSpec(
+        "fig9", "graphene / CLUSTER / 50 sources / 50 destinations",
+        _cluster("graphene-50x50", "graphene", 50, 50),
+        # ×~1.7 over-prediction (log2 1.7 ≈ +0.77)
+        (small_size_error_at_least(0.5), plateau_within(0.35, 1.15)),
+    ),
+    "fig10": FigureSpec(
+        "fig10", "GRID_MULTI / 10 sources / 30 destinations",
+        _grid("grid-10x30", 10, 30),
+        (small_size_error_at_most(-1.0), plateau_within(-0.6, 0.4),
+         converges_with_size(0.8)),
+    ),
+    "fig11": FigureSpec(
+        "fig11", "GRID_MULTI / 60 sources / 60 destinations",
+        _grid("grid-60x60", 60, 60),
+        (small_size_error_at_most(-1.0), plateau_within(-0.6, 0.6),
+         converges_with_size(0.8)),
+    ),
+    # §V-B1 second bullet: 30→50 and 50→30 "converge more nicely" than the
+    # symmetric cases — their plateaus must stay below fig9's band
+    "fig9-asym-30x50": FigureSpec(
+        "fig9-asym-30x50", "graphene / CLUSTER / 30 sources / 50 destinations",
+        _cluster("graphene-30x50", "graphene", 30, 50),
+        (plateau_within(-0.35, 0.45),),
+    ),
+    "fig9-asym-50x30": FigureSpec(
+        "fig9-asym-50x30", "graphene / CLUSTER / 50 sources / 30 destinations",
+        _cluster("graphene-50x30", "graphene", 50, 30),
+        (plateau_within(-0.35, 0.45),),
+    ),
+}
+
+
+def run_figure(
+    fig_id: str,
+    forecast,
+    network,
+    seed: int = 0,
+    repetitions: Optional[int] = None,
+    sizes: Optional[tuple[float, ...]] = None,
+    platform_name: str = "g5k_test",
+) -> tuple[ErrorSeries, list[str]]:
+    """Run one figure's experiment; returns (series, check failures)."""
+    from repro.experiments.runner import run_experiment
+
+    figure = FIGURES[fig_id]
+    series = run_experiment(
+        figure.spec, forecast, network, platform_name=platform_name,
+        seed=seed, repetitions=repetitions, sizes=sizes,
+    )
+    return series, figure.verify(series)

@@ -1,0 +1,149 @@
+"""The experimental parameter space of §V-A.
+
+"Each experiment depends on a set of parameters:
+
+- Transfer size: 10 values on a geometrical progression between 0.1 MByte
+  and 10 GBytes.
+- Number of transfer sources: 1, 10, 30, 50 or 60.
+- Number of transfer destinations: 1, 10, 30, 50 or 60.
+- When nsources < ndestinations, some will be source of more than one TCP
+  transfer.  When nsources > ndestinations, some will be destination of more
+  than one TCP transfer.
+- Two Topologies: CLUSTER […] GRID_MULTI […]"
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro._util.rng import rng_for
+from repro.g5k.sites import CLUSTERS, cluster_spec
+
+#: The 10-point geometric progression 1e5 → 1e10 bytes.  These evaluate to
+#: the paper's tick labels exactly (1.00e5, 3.59e5, 1.29e6, 4.64e6, 1.67e7,
+#: 5.99e7, 2.15e8, 7.74e8, 2.78e9, 1.00e10).
+TRANSFER_SIZES: tuple[float, ...] = tuple(
+    float(v) for v in np.geomspace(1e5, 1e10, 10)
+)
+
+#: §V-B: "if we consider only results for transfer whose size > 1.67e7 bytes"
+LARGE_SIZE_THRESHOLD: float = TRANSFER_SIZES[4]
+
+#: §V-A endpoint counts.
+ENDPOINT_COUNTS: tuple[int, ...] = (1, 10, 30, 50, 60)
+
+#: Paper default: "each experiment is run 10 times and results are aggregated".
+DEFAULT_REPETITIONS = 10
+
+
+class Topology(enum.Enum):
+    """§V-A experiment topologies."""
+
+    #: all sources and destinations from a single cluster
+    CLUSTER = "CLUSTER"
+    #: endpoints from all clusters/sites, every transfer crossing sites
+    GRID_MULTI = "GRID_MULTI"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment configuration (one figure of the paper)."""
+
+    name: str
+    topology: Topology
+    n_sources: int
+    n_destinations: int
+    #: cluster name for CLUSTER topology (ignored for GRID_MULTI)
+    cluster: Optional[str] = None
+    sizes: tuple[float, ...] = TRANSFER_SIZES
+    repetitions: int = DEFAULT_REPETITIONS
+
+    def __post_init__(self) -> None:
+        if self.n_sources < 1 or self.n_destinations < 1:
+            raise ValueError("endpoint counts must be >= 1")
+        if self.topology is Topology.CLUSTER:
+            if self.cluster is None:
+                raise ValueError("CLUSTER topology requires a cluster name")
+            spec = cluster_spec(self.cluster)
+            if self.n_sources + self.n_destinations > spec.n_nodes:
+                raise ValueError(
+                    f"cluster {self.cluster!r} has only {spec.n_nodes} nodes, "
+                    f"cannot draw {self.n_sources}+{self.n_destinations} disjoint endpoints"
+                )
+
+    @property
+    def n_transfers(self) -> int:
+        """max(nsources, ndestinations) — the §V-A pairing rule."""
+        return max(self.n_sources, self.n_destinations)
+
+
+def _pair_cyclic(sources: list[str], destinations: list[str]) -> list[tuple[str, str]]:
+    """§V-A pairing: the smaller endpoint set is reused cyclically."""
+    n = max(len(sources), len(destinations))
+    return [
+        (sources[i % len(sources)], destinations[i % len(destinations)])
+        for i in range(n)
+    ]
+
+
+def draw_transfer_pairs(spec: ExperimentSpec, seed: int) -> list[tuple[str, str]]:
+    """Draw the (source, destination) node pairs for one repetition.
+
+    Endpoint sets are disjoint and drawn without replacement.  For
+    GRID_MULTI, every pair crosses a site boundary (§V-A: "with the
+    constraint that all transfers are across Grid'5000 site boundaries").
+    """
+    rng = rng_for(seed, "draw", spec.name)
+    if spec.topology is Topology.CLUSTER:
+        pool = cluster_spec(spec.cluster).node_uids()
+        chosen = rng.choice(len(pool), size=spec.n_sources + spec.n_destinations,
+                            replace=False)
+        sources = [pool[i] for i in chosen[: spec.n_sources]]
+        destinations = [pool[i] for i in chosen[spec.n_sources:]]
+        return _pair_cyclic(sources, destinations)
+
+    # GRID_MULTI
+    site_of: dict[str, str] = {}
+    pool = []
+    for cluster in CLUSTERS:
+        for uid in cluster.node_uids():
+            pool.append(uid)
+            site_of[uid] = cluster.site
+    chosen = rng.choice(len(pool), size=spec.n_sources, replace=False)
+    sources = [pool[i] for i in chosen]
+    used = set(sources)
+    destinations: list[str] = []
+    # draw destinations so that, once paired cyclically, every transfer
+    # crosses a site boundary: destination i pairs with source (i % nsrc)
+    for i in range(spec.n_destinations):
+        paired_source = sources[i % spec.n_sources]
+        for _ in range(100000):
+            candidate = pool[int(rng.integers(len(pool)))]
+            if candidate in used:
+                continue
+            if site_of[candidate] == site_of[paired_source]:
+                continue
+            destinations.append(candidate)
+            used.add(candidate)
+            break
+        else:  # pragma: no cover - pool is far larger than any draw
+            raise RuntimeError("could not draw a cross-site destination")
+    pairs = _pair_cyclic(sources, destinations)
+    # when destinations are reused cyclically (nsrc > ndst) the pairing can
+    # put a destination on the same site as a later source — redraw sources
+    # for those transfers from another site
+    fixed_pairs = []
+    for src, dst in pairs:
+        if site_of[src] == site_of[dst]:
+            for _ in range(100000):
+                candidate = pool[int(rng.integers(len(pool)))]
+                if candidate not in used and site_of[candidate] != site_of[dst]:
+                    used.add(candidate)
+                    src = candidate
+                    break
+        fixed_pairs.append((src, dst))
+    return fixed_pairs

@@ -1,0 +1,86 @@
+"""The Grid'5000 Reference API served over the REST layer.
+
+"Grid'5000 provides a set of introspective API which allow to query both its
+static (resources, network topology) and dynamic characteristics" (§IV-B).
+This module exposes the synthetic reference documents the same way, so the
+converter can be exercised end-to-end over HTTP like the paper's tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.core.rest.errors import NotFound
+from repro.core.rest.router import Request, Router
+from repro.core.rest.server import PilgrimHTTPServer
+from repro.g5k.refapi import Grid5000Reference, RefApiError
+
+
+def build_refapi_router(ref: Grid5000Reference) -> Router:
+    """Router exposing the reference documents under ``/g5k/…``."""
+    router = Router()
+
+    @router.get("/g5k")
+    def describe(request: Request):
+        return {
+            "version": ref.version,
+            "sites": [site.uid for site in ref.sites],
+            "backbone": [bb.uid for bb in ref.backbone],
+        }
+
+    @router.get("/g5k/sites")
+    def sites(request: Request):
+        return {"items": [site.uid for site in ref.sites]}
+
+    @router.get("/g5k/sites/{site}")
+    def site_doc(request: Request, site: str):
+        try:
+            return asdict(ref.site(site))
+        except RefApiError as exc:
+            raise NotFound(str(exc)) from None
+
+    @router.get("/g5k/sites/{site}/clusters")
+    def clusters(request: Request, site: str):
+        try:
+            doc = ref.site(site)
+        except RefApiError as exc:
+            raise NotFound(str(exc)) from None
+        return {"items": [c.uid for c in doc.clusters]}
+
+    @router.get("/g5k/sites/{site}/clusters/{cluster}")
+    def cluster_doc(request: Request, site: str, cluster: str):
+        try:
+            doc = ref.site(site)
+        except RefApiError as exc:
+            raise NotFound(str(exc)) from None
+        for c in doc.clusters:
+            if c.uid == cluster:
+                return asdict(c)
+        raise NotFound(f"no cluster {cluster!r} in site {site!r}")
+
+    @router.get("/g5k/backbone")
+    def backbone(request: Request):
+        return {"items": [asdict(bb) for bb in ref.backbone]}
+
+    return router
+
+
+def serve_refapi(
+    ref: Grid5000Reference, host: str = "127.0.0.1", port: int = 0
+) -> PilgrimHTTPServer:
+    """An HTTP server (not yet started) for the reference API."""
+    return PilgrimHTTPServer(build_refapi_router(ref), host=host, port=port)
+
+
+def fetch_reference(base_url: str) -> Grid5000Reference:
+    """Rebuild a :class:`Grid5000Reference` from a served API — what the
+    paper's converter scripts do against the real API."""
+    from repro.core.rest.client import RestClient
+
+    client = RestClient(base_url)
+    top = client.get("/g5k")
+    sites = [client.get(f"/g5k/sites/{uid}") for uid in top["sites"]]  # type: ignore[index]
+    backbone = client.get("/g5k/backbone")["items"]  # type: ignore[index]
+    return Grid5000Reference.from_json(
+        {"version": top["version"], "sites": sites, "backbone": backbone}  # type: ignore[index]
+    )

@@ -1,0 +1,14 @@
+"""Metrology collectors: Ganglia/Munin-like pollers writing into RRDs.
+
+The paper's metrology service fronts RRD files written by existing tools
+(Ganglia, Munin, Cacti, Smokeping — §III-A/§IV-C1).  This subpackage plays
+those tools' role: a registry of metric sources polled on a fixed period
+into per-(tool, site, host, metric) RRDs, plus a Smokeping-like latency
+prober measuring testbed RTTs — the data the paper plans to use for
+"automatic link latency measurements instead of arbitrary values" (§VI).
+"""
+
+from repro.metrology.collectors import MetricRegistry, MetricKey, GangliaCollector
+from repro.metrology.ping import LatencyProber
+
+__all__ = ["MetricRegistry", "MetricKey", "GangliaCollector", "LatencyProber"]

@@ -1,0 +1,125 @@
+"""Metric registry and collectors.
+
+A :class:`MetricRegistry` is the on-disk layout of a metrology deployment:
+``(tool, site, host, metric)`` → RRD, mirroring the URI scheme of the
+paper's example request (``/pilgrim/rrd/ganglia/Lyon/sagittaire-1…/pdu.rrd``).
+A :class:`GangliaCollector` polls registered metric sources on its period
+and updates the RRDs, like gmetad writing Ganglia's round-robin files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.rrd.database import DataSourceSpec, RoundRobinDatabase
+
+
+class MetrologyError(Exception):
+    """Unknown metric or inconsistent collector configuration."""
+
+
+@dataclass(frozen=True, order=True)
+class MetricKey:
+    """Identity of one time-series, matching the service URI layout."""
+
+    tool: str
+    site: str
+    host: str
+    metric: str  # e.g. "pdu" for the paper's power-consumption example
+
+    @property
+    def rrd_name(self) -> str:
+        return f"{self.metric}.rrd"
+
+    def path(self) -> str:
+        return f"{self.tool}/{self.site}/{self.host}/{self.rrd_name}"
+
+
+class MetricRegistry:
+    """All RRDs of a metrology deployment, addressable by :class:`MetricKey`."""
+
+    def __init__(self) -> None:
+        self._rrds: dict[MetricKey, RoundRobinDatabase] = {}
+
+    def create(
+        self,
+        key: MetricKey,
+        kind: str = "GAUGE",
+        step: float = 15.0,
+        heartbeat: Optional[float] = None,
+        start_time: float = 0.0,
+    ) -> RoundRobinDatabase:
+        if key in self._rrds:
+            raise MetrologyError(f"metric {key.path()!r} already exists")
+        ds = DataSourceSpec(
+            name=key.metric,
+            kind=kind,
+            heartbeat=heartbeat if heartbeat is not None else step * 2.5,
+        )
+        rrd = RoundRobinDatabase(ds, step=step, start_time=start_time)
+        self._rrds[key] = rrd
+        return rrd
+
+    def get(self, key: MetricKey) -> RoundRobinDatabase:
+        try:
+            return self._rrds[key]
+        except KeyError:
+            raise MetrologyError(f"unknown metric {key.path()!r}") from None
+
+    def lookup(self, tool: str, site: str, host: str, metric: str) -> RoundRobinDatabase:
+        return self.get(MetricKey(tool, site, host, metric))
+
+    def keys(self) -> list[MetricKey]:
+        return sorted(self._rrds)
+
+    def __contains__(self, key: MetricKey) -> bool:
+        return key in self._rrds
+
+    def __len__(self) -> int:
+        return len(self._rrds)
+
+
+class GangliaCollector:
+    """Polls metric sources on a fixed period into the registry's RRDs.
+
+    ``sources`` map a :class:`MetricKey` to a callable ``time -> value``.
+    Collection is driven explicitly (:meth:`collect_until`) with a simulated
+    clock, keeping the whole reproduction deterministic.
+    """
+
+    def __init__(self, registry: MetricRegistry, period: float = 15.0) -> None:
+        if period <= 0:
+            raise MetrologyError("period must be positive")
+        self.registry = registry
+        self.period = period
+        self._sources: dict[MetricKey, Callable[[float], float]] = {}
+        self._clock = 0.0
+
+    def register(
+        self,
+        key: MetricKey,
+        source: Callable[[float], float],
+        kind: str = "GAUGE",
+    ) -> None:
+        """Attach a source; creates the metric's RRD if missing."""
+        if key not in self.registry:
+            self.registry.create(key, kind=kind, step=self.period)
+        self._sources[key] = source
+
+    def collect_once(self) -> float:
+        """One poll cycle; returns the poll timestamp."""
+        self._clock += self.period
+        for key, source in self._sources.items():
+            value = float(source(self._clock))
+            self.registry.get(key).update(self._clock, value)
+        return self._clock
+
+    def collect_until(self, end_time: float) -> int:
+        """Poll repeatedly until the clock passes ``end_time``; returns the
+        number of cycles performed."""
+        cycles = 0
+        while self._clock + self.period <= end_time:
+            self.collect_once()
+            cycles += 1
+        return cycles

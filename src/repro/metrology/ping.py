@@ -1,0 +1,70 @@
+"""Smokeping-like latency prober over the testbed.
+
+Measures RTTs between node pairs (with sub-percent jitter, as ICMP probes
+would see) and records them into the metric registry under the ``smokeping``
+tool name.  This is the measurement source the paper's future-work plans to
+use for "automatic link latency measurements instead of arbitrary values"
+(§VI); :mod:`repro.core.latency_feed` consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro._util.rng import rng_for
+from repro.metrology.collectors import GangliaCollector, MetricKey, MetricRegistry
+from repro.testbed.fluid import TestbedNetwork
+
+
+class LatencyProber:
+    """Periodically measures RTTs of configured node pairs."""
+
+    def __init__(
+        self,
+        network: TestbedNetwork,
+        registry: MetricRegistry,
+        period: float = 30.0,
+        jitter: float = 0.03,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.collector = GangliaCollector(registry, period=period)
+        self.jitter = jitter
+        self.seed = seed
+        self._pairs: list[tuple[str, str]] = []
+
+    @staticmethod
+    def metric_key(src: str, dst: str) -> MetricKey:
+        site = src.split(".")[1] if "." in src else "local"
+        return MetricKey("smokeping", site, src, f"rtt_to_{dst}")
+
+    def add_pair(self, src: str, dst: str) -> MetricKey:
+        """Probe ``src → dst`` each period; returns the metric key."""
+        base_rtt = self.network.rtt(src, dst)  # validates the pair
+        del base_rtt
+        key = self.metric_key(src, dst)
+        index = len(self._pairs)
+        rng = rng_for(self.seed, "ping", index)
+
+        def probe(t: float) -> float:
+            rtt = self.network.rtt(src, dst)
+            return rtt * float(1.0 + rng.normal(0.0, self.jitter))
+
+        self.collector.register(key, probe, kind="GAUGE")
+        self._pairs.append((src, dst))
+        return key
+
+    def probe_for(self, duration: float) -> int:
+        """Run probe cycles covering ``duration`` seconds; returns cycles."""
+        return self.collector.collect_until(self.collector._clock + duration)
+
+    def measured_rtt(self, src: str, dst: str) -> float:
+        """Median of the recorded RTT series for the pair."""
+        from repro._util.stats import median
+
+        key = self.metric_key(src, dst)
+        rrd = self.collector.registry.get(key)
+        series = rrd.fetch(0.0, rrd.last_update)
+        if not series:
+            raise ValueError(f"no probe data yet for {src!r} -> {dst!r}")
+        return median([v for _, v in series])

@@ -1,0 +1,52 @@
+"""NWS-style transfer-time forecasts.
+
+The classic NWS consumer pattern (what FAST and schedulers did, §III-C):
+``predicted duration = latency_forecast + size / bandwidth_forecast``, with
+per-pair sensors.  Crucially the forecast for a *set* of transfers treats
+each transfer independently — NWS has no notion of the contention the
+request itself will create, unlike PNFS's simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nws.sensors import BandwidthSensor, LatencySensor
+from repro.testbed.fluid import TestbedNetwork
+
+
+class NwsForecastService:
+    """Per-pair sensor registry + independent transfer-time forecasts."""
+
+    def __init__(self, network: TestbedNetwork, seed: int = 0,
+                 warmup_probes: int = 10) -> None:
+        self.network = network
+        self.seed = seed
+        self.warmup_probes = warmup_probes
+        self._bandwidth: dict[tuple[str, str], BandwidthSensor] = {}
+        self._latency: dict[tuple[str, str], LatencySensor] = {}
+
+    def _sensors(self, src: str, dst: str) -> tuple[BandwidthSensor, LatencySensor]:
+        key = (src, dst)
+        if key not in self._bandwidth:
+            bw = BandwidthSensor(self.network, src, dst, seed=self.seed)
+            lat = LatencySensor(self.network, src, dst, seed=self.seed)
+            bw.probe(self.warmup_probes)
+            lat.probe(self.warmup_probes)
+            self._bandwidth[key] = bw
+            self._latency[key] = lat
+        return self._bandwidth[key], self._latency[key]
+
+    def predict_transfer(self, src: str, dst: str, size: float) -> float:
+        """Forecast one transfer's duration from the pair's sensor state."""
+        bw_sensor, lat_sensor = self._sensors(src, dst)
+        bandwidth = bw_sensor.forecast_bandwidth()
+        rtt = lat_sensor.forecast_rtt()
+        return rtt / 2.0 + size / bandwidth
+
+    def predict_transfers(
+        self, transfers: Sequence[tuple[str, str, float]]
+    ) -> list[float]:
+        """Independent forecasts for a set of concurrent transfers —
+        deliberately blind to their mutual contention."""
+        return [self.predict_transfer(src, dst, size) for src, dst, size in transfers]

@@ -1,0 +1,60 @@
+"""NWS's adaptive best-predictor selection.
+
+"Forecasts are obtained by using different predictors on each probe
+time-series, and using an algorithm which continuously selects the best
+among the set of available predictors" (§III-B).  Here *best* is the
+predictor with the lowest mean absolute error over the postcasts it has
+produced so far — NWS's published strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.nws.predictors import PREDICTOR_FACTORIES, Predictor
+
+
+class AdaptiveForecaster:
+    """Runs the battery on one series; forecasts with the current winner."""
+
+    def __init__(self, factories: Optional[Sequence] = None) -> None:
+        self.predictors: list[Predictor] = [
+            factory() for factory in (factories or PREDICTOR_FACTORIES)
+        ]
+        self._abs_error = [0.0] * len(self.predictors)
+        self._error_count = [0] * len(self.predictors)
+        self.observations = 0
+
+    def update(self, value: float) -> None:
+        """Feed one measurement; scores every predictor's postcast first."""
+        for i, predictor in enumerate(self.predictors):
+            postcast = predictor.predict()
+            if postcast is not None:
+                self._abs_error[i] += abs(postcast - value)
+                self._error_count[i] += 1
+            predictor.update(value)
+        self.observations += 1
+
+    def mean_errors(self) -> list[Optional[float]]:
+        return [
+            (err / cnt if cnt else None)
+            for err, cnt in zip(self._abs_error, self._error_count)
+        ]
+
+    def best_predictor(self) -> Predictor:
+        """The predictor with the lowest mean absolute error so far."""
+        if self.observations == 0:
+            raise ValueError("no observations yet")
+        best_idx, best_err = 0, float("inf")
+        for i, (err, cnt) in enumerate(zip(self._abs_error, self._error_count)):
+            mean_err = err / cnt if cnt else float("inf")
+            if mean_err < best_err:
+                best_idx, best_err = i, mean_err
+        return self.predictors[best_idx]
+
+    def forecast(self) -> float:
+        """One-step-ahead forecast from the current best predictor."""
+        prediction = self.best_predictor().predict()
+        if prediction is None:
+            raise ValueError("not enough data to forecast")
+        return prediction

@@ -1,0 +1,138 @@
+"""The NWS predictor battery.
+
+Each predictor consumes a time-series incrementally (:meth:`Predictor.update`)
+and produces a one-step-ahead forecast (:meth:`Predictor.predict`).  The set
+follows Wolski et al. 1999: last measurement, running mean/median, sliding
+window mean/median with several widths, and exponential smoothing with
+several gains.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Callable, Optional
+
+from repro._util.stats import median
+
+
+class Predictor:
+    """Base incremental one-step-ahead predictor."""
+
+    name = "base"
+
+    def update(self, value: float) -> None:
+        raise NotImplementedError
+
+    def predict(self) -> Optional[float]:
+        """Forecast of the next value; None until enough data arrived."""
+        raise NotImplementedError
+
+
+class LastValue(Predictor):
+    name = "last"
+
+    def __init__(self) -> None:
+        self._last: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        self._last = value
+
+    def predict(self) -> Optional[float]:
+        return self._last
+
+
+class RunningMean(Predictor):
+    name = "running_mean"
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+    def update(self, value: float) -> None:
+        self._sum += value
+        self._count += 1
+
+    def predict(self) -> Optional[float]:
+        if self._count == 0:
+            return None
+        return self._sum / self._count
+
+
+class RunningMedian(Predictor):
+    name = "running_median"
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+
+    def update(self, value: float) -> None:
+        self._values.append(value)
+
+    def predict(self) -> Optional[float]:
+        if not self._values:
+            return None
+        return median(self._values)
+
+
+class SlidingMean(Predictor):
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.name = f"sliding_mean_{window}"
+        self._window: collections.deque = collections.deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._window.append(value)
+
+    def predict(self) -> Optional[float]:
+        if not self._window:
+            return None
+        return sum(self._window) / len(self._window)
+
+
+class SlidingMedian(Predictor):
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.name = f"sliding_median_{window}"
+        self._window: collections.deque = collections.deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._window.append(value)
+
+    def predict(self) -> Optional[float]:
+        if not self._window:
+            return None
+        return median(list(self._window))
+
+
+class ExponentialSmoothing(Predictor):
+    def __init__(self, gain: float) -> None:
+        if not 0.0 < gain <= 1.0:
+            raise ValueError("gain must be in (0, 1]")
+        self.name = f"exp_smooth_{gain:g}"
+        self.gain = gain
+        self._state: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        if self._state is None:
+            self._state = value
+        else:
+            self._state = self.gain * value + (1.0 - self.gain) * self._state
+
+    def predict(self) -> Optional[float]:
+        return self._state
+
+
+#: The default battery (mirrors NWS's mix of predictor families).
+PREDICTOR_FACTORIES: tuple[Callable[[], Predictor], ...] = (
+    LastValue,
+    RunningMean,
+    RunningMedian,
+    lambda: SlidingMean(5),
+    lambda: SlidingMean(20),
+    lambda: SlidingMedian(5),
+    lambda: SlidingMedian(20),
+    lambda: ExponentialSmoothing(0.1),
+    lambda: ExponentialSmoothing(0.3),
+    lambda: ExponentialSmoothing(0.7),
+)

@@ -1,0 +1,87 @@
+"""NWS sensors: active bandwidth/latency probes over the testbed.
+
+NWS "probes are active, though they strive to perturbate the platform as
+little as possible" (§III-B): bandwidth sensors move a small payload and
+record achieved throughput; latency sensors ping.  Each sensor feeds an
+:class:`~repro.nws.forecaster.AdaptiveForecaster`.
+
+Probes see the network in its *probed* state — idle, or with whatever
+background happens to run — never with the contention a future transfer set
+will create.  That asymmetry versus simulation is the point of the baseline.
+"""
+
+from __future__ import annotations
+
+from repro._util.rng import rng_for
+from repro.nws.forecaster import AdaptiveForecaster
+from repro.testbed.fluid import FluidSimulator, TestbedNetwork
+
+
+class BandwidthSensor:
+    """Periodic small-transfer throughput probe on one (src, dst) pair."""
+
+    #: NWS default probe payload: small, to limit perturbation.
+    PROBE_BYTES = 1_000_000.0
+
+    def __init__(
+        self,
+        network: TestbedNetwork,
+        src: str,
+        dst: str,
+        seed: int = 0,
+        probe_bytes: float = PROBE_BYTES,
+    ) -> None:
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.probe_bytes = probe_bytes
+        self.seed = seed
+        self.forecaster = AdaptiveForecaster()
+        self._probe_index = 0
+
+    def probe_once(self) -> float:
+        """One probe: measured goodput (bytes/s), fed to the forecaster."""
+        sim = FluidSimulator(
+            self.network,
+            seed=rng_for(self.seed, "bw-probe", self.src, self.dst,
+                         self._probe_index).integers(2**31),
+        )
+        flow = sim.submit(self.src, self.dst, self.probe_bytes)
+        sim.run()
+        self._probe_index += 1
+        # NWS measures payload/transfer-time of the probe itself, startup
+        # overhead included — small probes under-estimate the achievable rate
+        throughput = self.probe_bytes / flow.completion_time_raw
+        self.forecaster.update(throughput)
+        return throughput
+
+    def probe(self, count: int) -> list[float]:
+        return [self.probe_once() for _ in range(count)]
+
+    def forecast_bandwidth(self) -> float:
+        return self.forecaster.forecast()
+
+
+class LatencySensor:
+    """Periodic RTT probe on one (src, dst) pair."""
+
+    def __init__(self, network: TestbedNetwork, src: str, dst: str, seed: int = 0,
+                 jitter: float = 0.03) -> None:
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.jitter = jitter
+        self.forecaster = AdaptiveForecaster()
+        self._rng = rng_for(seed, "lat-probe", src, dst)
+
+    def probe_once(self) -> float:
+        rtt = self.network.rtt(self.src, self.dst)
+        measured = rtt * float(1.0 + self._rng.normal(0.0, self.jitter))
+        self.forecaster.update(measured)
+        return measured
+
+    def probe(self, count: int) -> list[float]:
+        return [self.probe_once() for _ in range(count)]
+
+    def forecast_rtt(self) -> float:
+        return self.forecaster.forecast()

@@ -1,0 +1,36 @@
+"""execo-like experiment orchestration.
+
+"The automated execution of all these steps is performed using the Execo
+tool, which allows powerful scripting of the experiments in python" (§V-A).
+This subpackage provides the same vocabulary over the testbed:
+
+- :mod:`repro.orchestration.actions` — composable actions (remote process
+  sets, sequences, parallel groups) with start/wait lifecycle,
+- :mod:`repro.orchestration.sweep` — parameter sweeps (cartesian products
+  with exclusions), execo_engine-style,
+- :mod:`repro.orchestration.engine` — the experiment engine running each
+  combination with retries and result collection.
+"""
+
+from repro.orchestration.actions import (
+    Action,
+    ActionError,
+    FunctionAction,
+    ParallelActions,
+    Remote,
+    SequentialActions,
+)
+from repro.orchestration.engine import ExperimentEngine, combination_id
+from repro.orchestration.sweep import ParamSweep
+
+__all__ = [
+    "Action",
+    "ActionError",
+    "FunctionAction",
+    "ParallelActions",
+    "Remote",
+    "SequentialActions",
+    "ParamSweep",
+    "ExperimentEngine",
+    "combination_id",
+]

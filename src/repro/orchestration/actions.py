@@ -1,0 +1,134 @@
+"""Composable experiment actions (the execo Action model).
+
+An :class:`Action` has the execo lifecycle: ``start()`` (idempotent
+transition to RUNNING), ``wait()`` (block until finished, return the
+action), ``run()`` (= start + wait).  Results accumulate in ``reports``.
+On the simulated testbed "remote execution" is a Python callable per host;
+the value of keeping the shape is that experiment scripts read like the
+paper's execo scripts and the engine can compose them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Sequence
+
+
+class ActionError(Exception):
+    """Action protocol violations or remote failures."""
+
+
+class ActionState(enum.Enum):
+    NEW = "new"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Action:
+    """Base action; subclasses implement :meth:`_execute`."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+        self.state = ActionState.NEW
+        self.reports: list[object] = []
+        self.error: Optional[BaseException] = None
+
+    def start(self) -> "Action":
+        if self.state is not ActionState.NEW:
+            raise ActionError(f"action {self.name!r} already started")
+        self.state = ActionState.RUNNING
+        return self
+
+    def wait(self) -> "Action":
+        if self.state is ActionState.NEW:
+            raise ActionError(f"action {self.name!r} not started")
+        if self.state is ActionState.RUNNING:
+            try:
+                self.reports = list(self._execute())
+                self.state = ActionState.DONE
+            except Exception as exc:  # noqa: BLE001 - recorded, re-raised
+                self.state = ActionState.FAILED
+                self.error = exc
+                raise
+        if self.state is ActionState.FAILED:
+            assert self.error is not None
+            raise self.error
+        return self
+
+    def run(self) -> "Action":
+        return self.start().wait()
+
+    @property
+    def ok(self) -> bool:
+        return self.state is ActionState.DONE
+
+    def _execute(self) -> Sequence[object]:
+        raise NotImplementedError
+
+
+class FunctionAction(Action):
+    """Run one callable; its return value is the single report."""
+
+    def __init__(self, func: Callable[[], object], name: str = "") -> None:
+        super().__init__(name or getattr(func, "__name__", "function"))
+        self._func = func
+
+    def _execute(self) -> Sequence[object]:
+        return [self._func()]
+
+
+class Remote(Action):
+    """A per-host callable set — execo's ``Remote(cmd, hosts)``.
+
+    ``func`` is called once per host with the host name; each return value
+    becomes one report (in host order).
+    """
+
+    def __init__(self, func: Callable[[str], object], hosts: Sequence[str],
+                 name: str = "") -> None:
+        super().__init__(name or "remote")
+        if not hosts:
+            raise ActionError("Remote needs at least one host")
+        self._func = func
+        self.hosts = list(hosts)
+
+    def _execute(self) -> Sequence[object]:
+        return [self._func(host) for host in self.hosts]
+
+
+class SequentialActions(Action):
+    """Run sub-actions one after the other; reports are concatenated."""
+
+    def __init__(self, actions: Sequence[Action], name: str = "") -> None:
+        super().__init__(name or "sequential")
+        self.actions = list(actions)
+
+    def _execute(self) -> Sequence[object]:
+        reports: list[object] = []
+        for action in self.actions:
+            action.run()
+            reports.extend(action.reports)
+        return reports
+
+
+class ParallelActions(Action):
+    """Start all sub-actions, then wait for all (simulated concurrency).
+
+    On the simulated testbed true concurrency lives inside the fluid
+    simulator; this preserves execo's composition semantics so scripts that
+    "simultaneously start iperf clients on all source nodes" read the same.
+    """
+
+    def __init__(self, actions: Sequence[Action], name: str = "") -> None:
+        super().__init__(name or "parallel")
+        self.actions = list(actions)
+
+    def _execute(self) -> Sequence[object]:
+        for action in self.actions:
+            action.start()
+        reports: list[object] = []
+        for action in self.actions:
+            action.wait()
+            reports.extend(action.reports)
+        return reports

@@ -1,0 +1,61 @@
+"""The experiment engine: run every sweep combination, collect results.
+
+Mirrors execo_engine's workflow: iterate a :class:`ParamSweep`, call the
+experiment body per combination, retry failures a bounded number of times,
+and keep (combination, result) pairs.  Deterministic: the per-combination
+seed derives from the engine seed and the combination id.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro._util.rng import derive_seed
+from repro.orchestration.sweep import ParamSweep
+
+
+def combination_id(combination: dict) -> str:
+    """Stable, filesystem-safe identifier of a sweep combination."""
+    parts = [f"{key}={combination[key]}" for key in sorted(combination)]
+    return "__".join(parts).replace(" ", "").replace("/", "-")
+
+
+class ExperimentEngine:
+    """Runs ``body(combination, seed) -> result`` over a sweep."""
+
+    def __init__(
+        self,
+        sweep: ParamSweep,
+        body: Callable[[dict, int], object],
+        seed: int = 0,
+        max_retries: int = 1,
+        progress: Optional[Callable[[dict, object], None]] = None,
+    ) -> None:
+        self.sweep = sweep
+        self.body = body
+        self.seed = seed
+        self.max_retries = max_retries
+        self.progress = progress
+        self.results: list[tuple[dict, object]] = []
+        self.failures: list[tuple[dict, BaseException]] = []
+
+    def run(self) -> list[tuple[dict, object]]:
+        """Execute all combinations; returns (combination, result) pairs."""
+        for combination in self.sweep:
+            comb_seed = derive_seed(self.seed, combination_id(combination))
+            result: object = None
+            last_error: Optional[BaseException] = None
+            for attempt in range(self.max_retries + 1):
+                try:
+                    result = self.body(combination, derive_seed(comb_seed, attempt))
+                    last_error = None
+                    break
+                except Exception as exc:  # noqa: BLE001 - engine boundary
+                    last_error = exc
+            if last_error is not None:
+                self.failures.append((combination, last_error))
+                continue
+            self.results.append((combination, result))
+            if self.progress is not None:
+                self.progress(combination, result)
+        return self.results

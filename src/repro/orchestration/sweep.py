@@ -1,0 +1,42 @@
+"""Parameter sweeps (execo_engine's ``sweep``/``ParamSweeper`` shape).
+
+A :class:`ParamSweep` is the cartesian product of named parameter value
+lists, with optional exclusion predicates (e.g. the paper never runs
+1 source × 1 destination grid experiments)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator, Optional, Sequence
+
+
+class ParamSweep:
+    """Cartesian product of parameter values, as dicts."""
+
+    def __init__(self, parameters: dict[str, Sequence[object]]) -> None:
+        if not parameters:
+            raise ValueError("sweep needs at least one parameter")
+        for key, values in parameters.items():
+            if not values:
+                raise ValueError(f"parameter {key!r} has no values")
+        self.parameters = {key: list(values) for key, values in parameters.items()}
+        self._exclusions: list[Callable[[dict], bool]] = []
+
+    def exclude(self, predicate: Callable[[dict], bool]) -> "ParamSweep":
+        """Skip combinations where ``predicate`` is true (chainable)."""
+        self._exclusions.append(predicate)
+        return self
+
+    def __iter__(self) -> Iterator[dict]:
+        keys = list(self.parameters)
+        for values in itertools.product(*(self.parameters[k] for k in keys)):
+            combination = dict(zip(keys, values))
+            if any(excl(combination) for excl in self._exclusions):
+                continue
+            yield combination
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def combinations(self) -> list[dict]:
+        return list(self)

@@ -1,0 +1,202 @@
+"""The round-robin database: data source + primary data points + archives.
+
+One :class:`RoundRobinDatabase` holds one data source (as Ganglia RRDs do)
+and any number of archives.  Updates are timestamped samples; the database
+normalises them onto its fixed primary step (rrdtool's PDP mechanism):
+
+- **GAUGE** sources record the value as-is,
+- **COUNTER**/**DERIVE** sources record the rate of change per second
+  (COUNTER rejects negative rates — counter wrap is treated as unknown),
+- gaps longer than the heartbeat yield *unknown* (NaN) PDPs.
+
+:meth:`fetch` implements the paper's metrology-service contract (§IV-C1):
+"for given lower and upper bound timestamps, the service will answer with
+all metric values between these bounds, automatically gathering the most
+accurate data from the different round-robin archives available".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.rrd.rra import ConsolidationFunction, RoundRobinArchive, RraSpec
+
+
+class RrdError(Exception):
+    """Invalid RRD construction, update or fetch."""
+
+
+@dataclass(frozen=True)
+class DataSourceSpec:
+    """Definition of the stored metric."""
+
+    name: str
+    kind: str = "GAUGE"  # GAUGE | COUNTER | DERIVE
+    heartbeat: float = 40.0
+    minimum: float = -math.inf
+    maximum: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("GAUGE", "COUNTER", "DERIVE"):
+            raise RrdError(f"unknown data-source kind {self.kind!r}")
+        if self.heartbeat <= 0:
+            raise RrdError("heartbeat must be positive")
+
+
+DEFAULT_RRAS = (
+    RraSpec(ConsolidationFunction.AVERAGE, 1, 360),     # fine: step-resolution
+    RraSpec(ConsolidationFunction.AVERAGE, 12, 360),    # medium
+    RraSpec(ConsolidationFunction.AVERAGE, 144, 360),   # coarse
+    RraSpec(ConsolidationFunction.MAX, 12, 360),
+)
+
+
+class RoundRobinDatabase:
+    """An in-memory RRD with rrdtool-like update/fetch semantics."""
+
+    def __init__(
+        self,
+        ds: DataSourceSpec,
+        step: float = 15.0,
+        rras: tuple[RraSpec, ...] = DEFAULT_RRAS,
+        start_time: float = 0.0,
+    ) -> None:
+        if step <= 0:
+            raise RrdError("step must be positive")
+        if not rras:
+            raise RrdError("at least one RRA is required")
+        self.ds = ds
+        self.step = float(step)
+        self.archives = [RoundRobinArchive(spec, self.step) for spec in rras]
+        #: timestamp of the last processed sample
+        self.last_update: float = float(start_time)
+        #: value (or rate) carried by the last sample, for interpolation
+        self._last_sample_value: float = math.nan
+        self._last_raw: float = math.nan
+        #: end of the last completed PDP interval
+        self._pdp_end: float = math.floor(start_time / self.step) * self.step
+        #: accumulated (seconds, weighted value) inside the current PDP
+        self._acc_seconds: float = 0.0
+        self._acc_value: float = 0.0
+
+    # -- update ----------------------------------------------------------------
+
+    def update(self, timestamp: float, value: float) -> None:
+        """Record one sample.  Timestamps must be strictly increasing."""
+        if timestamp <= self.last_update:
+            raise RrdError(
+                f"illegal update time {timestamp} (last was {self.last_update})"
+            )
+        rate = self._to_rate(timestamp, value)
+        elapsed = timestamp - self.last_update
+        if elapsed > self.ds.heartbeat:
+            rate = math.nan
+        if not math.isnan(rate):
+            if rate < self.ds.minimum or rate > self.ds.maximum:
+                rate = math.nan
+        self._fill(self.last_update, timestamp, rate)
+        self.last_update = timestamp
+        self._last_sample_value = rate
+
+    def _to_rate(self, timestamp: float, value: float) -> float:
+        if self.ds.kind == "GAUGE":
+            return value
+        prev = self._last_raw
+        self._last_raw = value
+        if math.isnan(prev):
+            return math.nan
+        dt = timestamp - self.last_update
+        delta = value - prev
+        if self.ds.kind == "COUNTER" and delta < 0:
+            return math.nan  # counter wrap/reset: unknown
+        return delta / dt
+
+    def _fill(self, begin: float, end: float, rate: float) -> None:
+        """Spread a sample's value across the PDP intervals it spans."""
+        t = begin
+        while t < end:
+            pdp_boundary = self._pdp_end + self.step
+            chunk_end = min(end, pdp_boundary)
+            seconds = chunk_end - t
+            if not math.isnan(rate):
+                self._acc_seconds += seconds
+                self._acc_value += rate * seconds
+            t = chunk_end
+            if t >= pdp_boundary - 1e-9:
+                self._commit_pdp(pdp_boundary)
+
+    def _commit_pdp(self, pdp_end: float) -> None:
+        if self._acc_seconds >= self.step * 0.5:
+            pdp = self._acc_value / self._acc_seconds
+        else:
+            pdp = math.nan
+        for archive in self.archives:
+            archive.push_pdp(pdp_end, pdp)
+        self._acc_seconds = 0.0
+        self._acc_value = 0.0
+        self._pdp_end = pdp_end
+
+    # -- fetch -----------------------------------------------------------------
+
+    def fetch(
+        self,
+        begin: float,
+        end: float,
+        cf: ConsolidationFunction = ConsolidationFunction.AVERAGE,
+        include_unknown: bool = False,
+    ) -> list[tuple[float, float]]:
+        """All metric values in ``(begin, end]``, best resolution first.
+
+        Walks archives from finest to coarsest resolution; each time segment
+        is served by the finest archive that still retains it, so a span
+        reaching into old history returns fine recent points and coarse old
+        ones — the behaviour the paper's service hides behind its API.
+        """
+        if end < begin:
+            raise RrdError(f"fetch with end < begin ({end} < {begin})")
+        candidates = sorted(
+            (a for a in self.archives if a.spec.cf is cf),
+            key=lambda a: a.resolution,
+        )
+        if not candidates:
+            raise RrdError(f"no archive with consolidation {cf.value}")
+        points: dict[float, tuple[float, float]] = {}
+        for archive in candidates:
+            for ts, value in archive.window(begin, end):
+                # keep the finest-resolution value for any timestamp bucket
+                bucket = ts
+                if bucket not in points:
+                    points[bucket] = (archive.resolution, value)
+        out = []
+        for ts in sorted(points):
+            _, value = points[ts]
+            if include_unknown or not math.isnan(value):
+                out.append((ts, value))
+        return out
+
+    # -- introspection ------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-able structural description (used by the REST service)."""
+        return {
+            "ds": {
+                "name": self.ds.name,
+                "kind": self.ds.kind,
+                "heartbeat": self.ds.heartbeat,
+            },
+            "step": self.step,
+            "last_update": self.last_update,
+            "rras": [
+                {
+                    "cf": a.spec.cf.value,
+                    "steps_per_row": a.spec.steps_per_row,
+                    "rows": a.spec.rows,
+                    "xff": a.spec.xff,
+                    "resolution": a.resolution,
+                    "retention": a.spec.retention(self.step),
+                }
+                for a in self.archives
+            ],
+        }

@@ -1,0 +1,106 @@
+"""RRD persistence.
+
+Real RRD files are an opaque binary format — precisely the paper's complaint
+("their data is not easily accessible programmatically", §III-A).  We keep a
+documented JSON representation so tests and users can inspect state, while
+the REST layer continues to play the role of the *only* convenient remote
+access path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.rrd.database import DataSourceSpec, RoundRobinDatabase, RrdError
+from repro.rrd.rra import ConsolidationFunction, RraSpec
+
+FORMAT_VERSION = 1
+
+
+def _encode_value(v: float) -> Any:
+    return None if math.isnan(v) else v
+
+
+def _decode_value(v: Any) -> float:
+    return math.nan if v is None else float(v)
+
+
+def rrd_to_dict(rrd: RoundRobinDatabase) -> dict:
+    return {
+        "format": FORMAT_VERSION,
+        "ds": {
+            "name": rrd.ds.name,
+            "kind": rrd.ds.kind,
+            "heartbeat": rrd.ds.heartbeat,
+            "minimum": None if math.isinf(rrd.ds.minimum) else rrd.ds.minimum,
+            "maximum": None if math.isinf(rrd.ds.maximum) else rrd.ds.maximum,
+        },
+        "step": rrd.step,
+        "last_update": rrd.last_update,
+        "state": {
+            "pdp_end": rrd._pdp_end,
+            "acc_seconds": rrd._acc_seconds,
+            "acc_value": rrd._acc_value,
+            "last_raw": _encode_value(rrd._last_raw),
+        },
+        "archives": [
+            {
+                "cf": a.spec.cf.value,
+                "steps_per_row": a.spec.steps_per_row,
+                "rows": a.spec.rows,
+                "xff": a.spec.xff,
+                "last_cdp_end": a.last_cdp_end,
+                "values": [_encode_value(v) for v in a.values],
+                "pdp_buffer": [_encode_value(v) for v in a._pdp_buffer],
+            }
+            for a in rrd.archives
+        ],
+    }
+
+
+def rrd_from_dict(data: dict) -> RoundRobinDatabase:
+    if data.get("format") != FORMAT_VERSION:
+        raise RrdError(f"unsupported RRD format {data.get('format')!r}")
+    ds_data = data["ds"]
+    ds = DataSourceSpec(
+        name=ds_data["name"],
+        kind=ds_data["kind"],
+        heartbeat=ds_data["heartbeat"],
+        minimum=-math.inf if ds_data["minimum"] is None else ds_data["minimum"],
+        maximum=math.inf if ds_data["maximum"] is None else ds_data["maximum"],
+    )
+    rras = tuple(
+        RraSpec(
+            cf=ConsolidationFunction(a["cf"]),
+            steps_per_row=a["steps_per_row"],
+            rows=a["rows"],
+            xff=a["xff"],
+        )
+        for a in data["archives"]
+    )
+    rrd = RoundRobinDatabase(ds, step=data["step"], rras=rras)
+    rrd.last_update = data["last_update"]
+    state = data["state"]
+    rrd._pdp_end = state["pdp_end"]
+    rrd._acc_seconds = state["acc_seconds"]
+    rrd._acc_value = state["acc_value"]
+    rrd._last_raw = _decode_value(state["last_raw"])
+    for archive, a in zip(rrd.archives, data["archives"]):
+        archive.last_cdp_end = a["last_cdp_end"]
+        archive.values = [_decode_value(v) for v in a["values"]]
+        archive._pdp_buffer = [_decode_value(v) for v in a["pdp_buffer"]]
+    return rrd
+
+
+def save_rrd(rrd: RoundRobinDatabase, path: str) -> None:
+    """Serialise ``rrd`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(rrd_to_dict(rrd), fh)
+
+
+def load_rrd(path: str) -> RoundRobinDatabase:
+    """Load an RRD previously written by :func:`save_rrd`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return rrd_from_dict(json.load(fh))

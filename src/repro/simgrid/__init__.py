@@ -1,0 +1,53 @@
+"""Flow-level network simulator (SimGrid rebuilt from scratch).
+
+This subpackage re-implements, in pure Python, the parts of SimGrid the paper
+relies on:
+
+- a platform description model with hierarchical Autonomous Systems
+  (:mod:`repro.simgrid.platform`, :mod:`repro.simgrid.routing`),
+- the RTT-aware bounded max-min bandwidth-sharing solver
+  (:mod:`repro.simgrid.maxmin`),
+- the CM02 / LV08 flow-level TCP network models with their published
+  correction factors and the ``TCP_gamma`` window cap
+  (:mod:`repro.simgrid.models`),
+- a discrete-event simulation kernel driving communication and computation
+  activities (:mod:`repro.simgrid.engine`, :mod:`repro.simgrid.activities`),
+- an MSG-like process API built on generator coroutines
+  (:mod:`repro.simgrid.msg`),
+- SimGrid-flavoured XML platform input/output (:mod:`repro.simgrid.xml_io`).
+
+The terminology (hosts, links, AS, gateways, ``SHARED``/``FATPIPE`` sharing
+policies, latency/bandwidth factors, ``weight_S``) intentionally follows
+SimGrid's so that the reproduction can be read side by side with the paper and
+with Velho & Legrand (2009) / Bobelin et al. (2011).
+"""
+
+from repro.simgrid.platform import (
+    AutonomousSystem,
+    Direction,
+    Host,
+    Link,
+    LinkUse,
+    Platform,
+    Router,
+    SharingPolicy,
+)
+from repro.simgrid.models import NetworkModel, CM02, LV08
+from repro.simgrid.engine import Simulation
+from repro.simgrid.maxmin import MaxMinSystem
+
+__all__ = [
+    "AutonomousSystem",
+    "Direction",
+    "Host",
+    "Link",
+    "LinkUse",
+    "Platform",
+    "Router",
+    "SharingPolicy",
+    "NetworkModel",
+    "CM02",
+    "LV08",
+    "Simulation",
+    "MaxMinSystem",
+]

@@ -1,0 +1,189 @@
+"""Simulation activities: communications, executions, sleeps.
+
+An *activity* is a unit of simulated work whose progress rate is set by the
+resource-sharing solve (:meth:`repro.simgrid.engine.Simulation._reshare`).
+Communications go through two phases, mirroring the flow-level TCP model:
+
+1. ``LATENCY`` — a serial delay of ``latency_factor × Σ link latency`` during
+   which no bandwidth is consumed (the model's stand-in for connection
+   establishment and slow start),
+2. ``TRANSFER`` — the payload drains at the max-min allocated rate.
+
+Activities are *waitables*: MSG processes ``yield`` them, and completion
+callbacks drive the process scheduler.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable, Optional, Sequence
+
+from repro.simgrid.platform import Host, LinkUse
+
+
+class ActivityState(enum.Enum):
+    PENDING = "pending"
+    LATENCY = "latency"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELED = "canceled"
+
+
+class Waitable:
+    """Anything a process can wait on: completion flag + callbacks + result."""
+
+    __slots__ = ("_done", "_callbacks", "result")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._callbacks: list[Callable[["Waitable"], None]] = []
+        self.result: object = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def add_done_callback(self, callback: Callable[["Waitable"], None]) -> None:
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Activity(Waitable):
+    """Base class for resource-consuming activities."""
+
+    __slots__ = ("name", "state", "start_time", "finish_time", "remaining", "rate")
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+        self.state = ActivityState.PENDING
+        self.start_time = math.nan
+        self.finish_time = math.nan
+        self.remaining = 0.0
+        self.rate = 0.0
+
+    # -- engine protocol ---------------------------------------------------
+
+    def time_to_completion(self) -> float:
+        """Simulated seconds until this activity's next phase boundary."""
+        if self.state in (ActivityState.DONE, ActivityState.CANCELED):
+            return math.inf
+        if self.rate <= 0.0:
+            return math.inf
+        if self.remaining <= 0.0:
+            return 0.0
+        return self.remaining / self.rate
+
+    def advance(self, dt: float) -> None:
+        if self.rate > 0.0 and self.remaining > 0.0:
+            self.remaining = max(0.0, self.remaining - self.rate * dt)
+
+    def phase_complete(self, now: float) -> bool:
+        """Called when ``remaining`` hits zero.  Returns True when the whole
+        activity is finished (as opposed to an internal phase transition)."""
+        self.state = ActivityState.DONE
+        self.finish_time = now
+        return True
+
+    def cancel(self, now: float) -> None:
+        if self.state in (ActivityState.DONE, ActivityState.CANCELED):
+            return
+        self.state = ActivityState.CANCELED
+        self.finish_time = now
+        self._fire()
+
+    @property
+    def duration(self) -> float:
+        """Total simulated duration (finish − start); NaN until finished."""
+        return self.finish_time - self.start_time
+
+
+class CommActivity(Activity):
+    """A point-to-point data transfer across a resolved route."""
+
+    __slots__ = ("src", "dst", "size", "route", "weight", "bound", "payload")
+
+    def __init__(
+        self,
+        name: str,
+        src: Host,
+        dst: Host,
+        size: float,
+        route: Sequence[LinkUse],
+        startup_latency: float,
+        weight: float,
+        bound: float,
+        payload: object = None,
+    ) -> None:
+        super().__init__(name)
+        if size < 0:
+            raise ValueError(f"comm {name!r}: size must be >= 0, got {size}")
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.route = list(route)
+        self.weight = weight
+        self.bound = bound
+        self.payload = payload
+        if startup_latency > 0.0:
+            self.state = ActivityState.LATENCY
+            self.remaining = startup_latency
+            self.rate = 1.0  # latency drains in real time
+        else:
+            self.state = ActivityState.RUNNING
+            self.remaining = self.size
+
+    @property
+    def in_transfer_phase(self) -> bool:
+        return self.state is ActivityState.RUNNING
+
+    def phase_complete(self, now: float) -> bool:
+        if self.state is ActivityState.LATENCY:
+            self.state = ActivityState.RUNNING
+            self.remaining = self.size
+            self.rate = 0.0  # next reshare assigns the bandwidth share
+            if self.size > 0.0:
+                return False
+        self.state = ActivityState.DONE
+        self.finish_time = now
+        return True
+
+
+class ExecActivity(Activity):
+    """A computation of ``flops`` floating-point operations on one host."""
+
+    __slots__ = ("host", "flops")
+
+    def __init__(self, name: str, host: Host, flops: float) -> None:
+        super().__init__(name)
+        if flops < 0:
+            raise ValueError(f"exec {name!r}: flops must be >= 0, got {flops}")
+        self.host = host
+        self.flops = float(flops)
+        self.state = ActivityState.RUNNING
+        self.remaining = self.flops
+
+
+class SleepActivity(Activity):
+    """A pure delay; drains in real time without consuming resources."""
+
+    __slots__ = ()
+
+    def __init__(self, name: str, duration: float) -> None:
+        super().__init__(name)
+        if duration < 0:
+            raise ValueError(f"sleep {name!r}: duration must be >= 0")
+        self.state = ActivityState.RUNNING
+        self.remaining = float(duration)
+        self.rate = 1.0

@@ -1,0 +1,266 @@
+"""Programmatic platform builders for common topologies.
+
+These mirror the helper tags of SimGrid platform files (``<cluster>``, …) and
+are used throughout the tests, the examples and the Grid'5000 converter:
+
+- :func:`build_star_cluster` — N hosts, one private link each, one central
+  router (sagittaire-like flat cluster),
+- :func:`build_grouped_cluster` — hosts split into groups behind aggregation
+  routers with uplinks to a core router (graphene-like),
+- :func:`build_dumbbell` — two host sets around one bottleneck link,
+- :func:`build_two_level_grid` — several cluster ASes joined by backbone
+  links through gateways.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.simgrid.platform import (
+    AutonomousSystem,
+    Direction,
+    Link,
+    LinkUse,
+    Platform,
+    SharingPolicy,
+)
+
+
+def add_star_cluster(
+    parent: AutonomousSystem | Platform,
+    name: str,
+    n_hosts: int,
+    host_bandwidth: float | str = "1Gbps",
+    host_latency: float | str = "100us",
+    host_speed: float = 1e9,
+    host_policy: SharingPolicy = SharingPolicy.FULLDUPLEX,
+    prefix: Optional[str] = None,
+    router_name: Optional[str] = None,
+    routing: str = "Full",
+) -> AutonomousSystem:
+    """Add a flat star cluster as a child AS of ``parent``.
+
+    Creates hosts ``{prefix}-1 … {prefix}-n`` each connected by a private
+    link to the cluster router (which is the AS's default gateway).  With
+    ``routing="Dijkstra"`` only the star adjacency is declared and host↔host
+    routes derive automatically (linear table instead of quadratic).
+    """
+    root = parent.root if isinstance(parent, Platform) else parent
+    prefix = prefix or name
+    cluster = AutonomousSystem(f"AS_{name}", routing=routing)
+    router = f"{router_name or f'{name}-router'}"
+    root.add_child(cluster, gateway=router)
+    cluster.add_router(router)
+    for i in range(1, n_hosts + 1):
+        host = cluster.add_host(f"{prefix}-{i}", speed=host_speed)
+        link = cluster.add_link(
+            f"{prefix}-{i}-link", host_bandwidth, host_latency, policy=host_policy
+        )
+        if routing == "Dijkstra":
+            cluster.add_connection(host.name, router, link)
+        else:
+            cluster.add_route(host.name, router, [link])
+    return cluster
+
+
+def add_grouped_cluster(
+    parent: AutonomousSystem | Platform,
+    name: str,
+    group_sizes: Sequence[int],
+    host_bandwidth: float | str = "1Gbps",
+    host_latency: float | str = "100us",
+    uplink_bandwidth: float | str = "10Gbps",
+    uplink_latency: float | str = "100us",
+    uplink_policy: SharingPolicy = SharingPolicy.SHARED,
+    host_policy: SharingPolicy = SharingPolicy.FULLDUPLEX,
+    host_speed: float = 1e9,
+    prefix: Optional[str] = None,
+) -> AutonomousSystem:
+    """Add a hierarchical cluster: hosts in groups behind aggregation routers.
+
+    Host numbering is contiguous across groups (graphene-style: group 1 holds
+    ``prefix-1..39``, group 2 ``prefix-40..74``, …).  Each group's aggregation
+    router connects to the cluster core router through one uplink whose
+    sharing policy is configurable — the paper's ``g5k_test`` platform models
+    these as single ``SHARED`` links (see DESIGN.md §3).
+    """
+    root = parent.root if isinstance(parent, Platform) else parent
+    prefix = prefix or name
+    cluster = AutonomousSystem(f"AS_{name}", routing="Full")
+    core = f"{name}-router"
+    root.add_child(cluster, gateway=core)
+    cluster.add_router(core)
+    host_index = 1
+    for g, size in enumerate(group_sizes, start=1):
+        agg = cluster.add_router(f"{name}-agg{g}")
+        uplink = cluster.add_link(
+            f"{name}-uplink{g}", uplink_bandwidth, uplink_latency, policy=uplink_policy
+        )
+        cluster.add_route(agg.name, core, [uplink])
+        for _ in range(size):
+            host = cluster.add_host(f"{prefix}-{host_index}", speed=host_speed)
+            link = cluster.add_link(
+                f"{prefix}-{host_index}-link",
+                host_bandwidth,
+                host_latency,
+                policy=host_policy,
+            )
+            cluster.add_route(host.name, agg.name, [link])
+            cluster.add_route(host.name, core, [LinkUse(link, Direction.UP),
+                                                LinkUse(uplink, Direction.UP)])
+            host_index += 1
+    # host <-> host routes across groups go through the core; within a group
+    # through the aggregation router only.
+    hosts_by_group: list[list[str]] = []
+    host_index = 1
+    for size in group_sizes:
+        hosts_by_group.append([f"{prefix}-{i}" for i in range(host_index, host_index + size)])
+        host_index += size
+    for gi, group in enumerate(hosts_by_group):
+        for hi, a in enumerate(group):
+            # intra-group pairs (declare once; symmetrical fills the reverse)
+            for b in group[hi + 1:]:
+                cluster.add_route(a, b, [
+                    LinkUse(cluster.links[f"{a}-link"], Direction.UP),
+                    LinkUse(cluster.links[f"{b}-link"], Direction.DOWN),
+                ])
+            # inter-group pairs
+            for gj in range(gi + 1, len(hosts_by_group)):
+                for b in hosts_by_group[gj]:
+                    cluster.add_route(a, b, [
+                        LinkUse(cluster.links[f"{a}-link"], Direction.UP),
+                        LinkUse(cluster.links[f"{name}-uplink{gi + 1}"], Direction.UP),
+                        LinkUse(cluster.links[f"{name}-uplink{gj + 1}"], Direction.DOWN),
+                        LinkUse(cluster.links[f"{b}-link"], Direction.DOWN),
+                    ])
+    return cluster
+
+
+def intra_cluster_routes(cluster: AutonomousSystem, router: str, hosts: Sequence[str]) -> None:
+    """Declare host↔host routes inside a star cluster through its router.
+
+    For star clusters built by :func:`add_star_cluster` the hierarchical
+    resolver already stitches host→router→host implicitly when the two hosts
+    are in *different* ASes; for two hosts of the *same* AS a direct route is
+    needed — this declares them all (quadratic, only for small clusters or
+    tests)."""
+    for i, a in enumerate(hosts):
+        for b in hosts[i + 1:]:
+            cluster.add_route(a, b, [
+                LinkUse(cluster.links[f"{a}-link"], Direction.UP),
+                LinkUse(cluster.links[f"{b}-link"], Direction.DOWN),
+            ])
+
+
+def build_star_cluster(
+    name: str,
+    n_hosts: int,
+    host_bandwidth: float | str = "1Gbps",
+    host_latency: float | str = "100us",
+    full_mesh: bool = True,
+    **kwargs,
+) -> Platform:
+    """A standalone platform holding a single star cluster.
+
+    With ``full_mesh`` (default) all host↔host routes are declared so the
+    platform is immediately usable for any-to-any transfers.
+    """
+    platform = Platform(f"{name}-platform", routing="Full")
+    cluster = add_star_cluster(
+        platform, name, n_hosts, host_bandwidth, host_latency, **kwargs
+    )
+    if full_mesh:
+        hosts = sorted(cluster.netpoints)
+        prefix = kwargs.get("prefix") or name
+        host_names = [f"{prefix}-{i}" for i in range(1, n_hosts + 1)]
+        intra_cluster_routes(cluster, f"{name}-router", host_names)
+    return platform
+
+
+def build_dumbbell(
+    n_left: int = 2,
+    n_right: int = 2,
+    bottleneck_bandwidth: float | str = "1Gbps",
+    bottleneck_latency: float | str = "1ms",
+    edge_bandwidth: float | str = "10Gbps",
+    edge_latency: float | str = "50us",
+    bottleneck_policy: SharingPolicy = SharingPolicy.SHARED,
+) -> Platform:
+    """Classic dumbbell: ``left-i`` hosts and ``right-j`` hosts around one
+    bottleneck link between two routers."""
+    platform = Platform("dumbbell", routing="Full")
+    root = platform.root
+    rl = root.add_router("router-left")
+    rr = root.add_router("router-right")
+    bottleneck = root.add_link(
+        "bottleneck", bottleneck_bandwidth, bottleneck_latency, policy=bottleneck_policy
+    )
+    root.add_route(rl.name, rr.name, [bottleneck])
+    lefts, rights = [], []
+    for i in range(1, n_left + 1):
+        host = root.add_host(f"left-{i}")
+        link = root.add_link(f"left-{i}-link", edge_bandwidth, edge_latency,
+                             policy=SharingPolicy.FULLDUPLEX)
+        root.add_route(host.name, rl.name, [link])
+        lefts.append((host, link))
+    for j in range(1, n_right + 1):
+        host = root.add_host(f"right-{j}")
+        link = root.add_link(f"right-{j}-link", edge_bandwidth, edge_latency,
+                             policy=SharingPolicy.FULLDUPLEX)
+        root.add_route(host.name, rr.name, [link])
+        rights.append((host, link))
+    for lh, ll in lefts:
+        for rh, rl_link in rights:
+            root.add_route(lh.name, rh.name, [
+                LinkUse(ll, Direction.UP),
+                LinkUse(bottleneck, Direction.UP),
+                LinkUse(rl_link, Direction.DOWN),
+            ])
+    # left-left and right-right pairs through their local router
+    for idx, (lh, ll) in enumerate(lefts):
+        for lh2, ll2 in lefts[idx + 1:]:
+            root.add_route(lh.name, lh2.name, [
+                LinkUse(ll, Direction.UP), LinkUse(ll2, Direction.DOWN)])
+    for idx, (rh, rlk) in enumerate(rights):
+        for rh2, rlk2 in rights[idx + 1:]:
+            root.add_route(rh.name, rh2.name, [
+                LinkUse(rlk, Direction.UP), LinkUse(rlk2, Direction.DOWN)])
+    return platform
+
+
+def build_two_level_grid(
+    site_specs: dict[str, int],
+    backbone_bandwidth: float | str = "10Gbps",
+    backbone_latency: float | str = "2.25ms",
+    host_bandwidth: float | str = "1Gbps",
+    host_latency: float | str = "100us",
+    backbone_policy: SharingPolicy = SharingPolicy.FULLDUPLEX,
+    site_routing: str = "Full",
+) -> Platform:
+    """A grid of star-cluster sites joined pairwise by backbone links.
+
+    ``site_specs`` maps site name → host count.  Produces a hierarchical
+    platform (one AS per site) with full-mesh inter-site ASroutes, the shape
+    the paper's Grid'5000 model uses (one AS per site, §IV-C2).  With
+    ``site_routing="Dijkstra"`` sites declare only their star adjacency —
+    the compact representation AS routing enables.
+    """
+    platform = Platform("grid", routing="Full")
+    root = platform.root
+    sites = list(site_specs)
+    for site, count in site_specs.items():
+        cluster = add_star_cluster(
+            platform, site, count, host_bandwidth, host_latency,
+            routing=site_routing,
+        )
+        if site_routing == "Full":
+            intra_cluster_routes(
+                cluster, f"{site}-router",
+                [f"{site}-{i}" for i in range(1, count + 1)],
+            )
+    for i, a in enumerate(sites):
+        for b in sites[i + 1:]:
+            bb = root.add_link(f"bb-{a}-{b}", backbone_bandwidth, backbone_latency,
+                               policy=backbone_policy)
+            root.add_route(f"AS_{a}", f"AS_{b}", [bb])
+    return platform

@@ -1,0 +1,295 @@
+"""Discrete-event simulation kernel.
+
+The kernel follows the paper's description of SimGrid (§IV-A): it is "based on
+discrete events evaluations, corresponding to resource state changes […]  At
+each event, resource sharing is evaluated, date of the next event is computed,
+and simulated time is fast-forwarded to the next event."
+
+Concretely, each loop iteration:
+
+1. lets every runnable MSG process advance until it blocks (possibly creating
+   new activities),
+2. re-solves resource sharing (one bounded weighted max-min system covering
+   all transferring communications and all executing computations),
+3. finds the earliest phase boundary among activities and timers,
+4. fast-forwards the clock, drains activity progress, completes what finished.
+
+Same-host communications bypass sharing through a configurable loopback
+(SimGrid models these with a dedicated loopback link as well).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Optional
+
+from repro.simgrid.activities import (
+    Activity,
+    ActivityState,
+    CommActivity,
+    ExecActivity,
+    SleepActivity,
+)
+from repro.simgrid.maxmin import MaxMinSystem
+from repro.simgrid.models import LV08, NetworkModel
+from repro.simgrid.platform import Host, Platform, SharingPolicy
+from repro.simgrid.trace import Trace
+
+#: Completion tolerance relative to the activity's total amount of work.
+_REL_EPS = 1e-9
+
+
+class SimulationError(Exception):
+    """Raised on kernel misuse (negative delays, deadlocked run, …)."""
+
+
+class Simulation:
+    """A simulation instance bound to one platform and one network model."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        model: Optional[NetworkModel] = None,
+        loopback_bandwidth: float = 1e10,
+        loopback_latency: float = 1.5e-6,
+        trace: Optional[Trace] = None,
+        capacity_factors: Optional[dict[str, float]] = None,
+    ) -> None:
+        self.platform = platform
+        self.model = model if model is not None else LV08()
+        self.loopback_bandwidth = float(loopback_bandwidth)
+        self.loopback_latency = float(loopback_latency)
+        self.trace = trace
+        #: per-link capacity scaling in [0, 1], keyed by link name — the
+        #: coarse background-traffic model of §VI (bandwidth consumed by
+        #: traffic outside this simulation)
+        self.capacity_factors = dict(capacity_factors or {})
+        for name, factor in self.capacity_factors.items():
+            if not 0.0 < factor <= 1.0:
+                raise SimulationError(
+                    f"capacity factor for {name!r} must be in (0, 1]: {factor}"
+                )
+        self.clock = 0.0
+        self._activities: list[Activity] = []
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._runnable: list[tuple[object, object]] = []  # (process, send_value)
+        self._share_dirty = True
+        self._comm_counter = itertools.count()
+
+    # -- public construction API -------------------------------------------
+
+    def add_comm(
+        self,
+        src: str | Host,
+        dst: str | Host,
+        size: float,
+        name: Optional[str] = None,
+        payload: object = None,
+    ) -> CommActivity:
+        """Start a communication of ``size`` bytes from ``src`` to ``dst`` now."""
+        src_host = src if isinstance(src, Host) else self.platform.host(src)
+        dst_host = dst if isinstance(dst, Host) else self.platform.host(dst)
+        if name is None:
+            name = f"comm-{next(self._comm_counter)}"
+        if src_host is dst_host:
+            # loopback: serial latency, then drain at loopback bandwidth,
+            # un-shared (each local transfer gets the full loopback rate)
+            comm = CommActivity(
+                name, src_host, dst_host, size, route=[],
+                startup_latency=self.loopback_latency,
+                weight=1.0, bound=self.loopback_bandwidth, payload=payload,
+            )
+        else:
+            route = self.platform.route(src_host, dst_host)
+            comm = CommActivity(
+                name, src_host, dst_host, size, route=route,
+                startup_latency=self.model.startup_latency(route),
+                weight=self.model.flow_weight(route),
+                bound=self.model.rate_bound(route),
+                payload=payload,
+            )
+        comm.start_time = self.clock
+        self._activities.append(comm)
+        self._share_dirty = True
+        if self.trace is not None:
+            self.trace.record(self.clock, "comm_start", name=name,
+                              src=src_host.name, dst=dst_host.name, size=size)
+        return comm
+
+    def add_exec(self, host: str | Host, flops: float, name: Optional[str] = None) -> ExecActivity:
+        """Start a computation of ``flops`` on ``host`` now."""
+        host_obj = host if isinstance(host, Host) else self.platform.host(host)
+        if name is None:
+            name = f"exec-{next(self._comm_counter)}"
+        activity = ExecActivity(name, host_obj, flops)
+        activity.start_time = self.clock
+        self._activities.append(activity)
+        self._share_dirty = True
+        if self.trace is not None:
+            self.trace.record(self.clock, "exec_start", name=name,
+                              host=host_obj.name, flops=flops)
+        return activity
+
+    def add_sleep(self, duration: float, name: Optional[str] = None) -> SleepActivity:
+        """Start a pure delay of ``duration`` simulated seconds."""
+        activity = SleepActivity(name or f"sleep-{next(self._comm_counter)}", duration)
+        activity.start_time = self.clock
+        self._activities.append(activity)
+        return activity
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(self._timers, (self.clock + delay, next(self._seq), callback))
+
+    # -- process integration (used by repro.simgrid.msg) --------------------
+
+    def _make_runnable(self, process: object, value: object = None) -> None:
+        self._runnable.append((process, value))
+
+    def _drain_runnable(self) -> None:
+        while self._runnable:
+            process, value = self._runnable.pop(0)
+            process._step(value)  # type: ignore[attr-defined]
+
+    # -- resource sharing ----------------------------------------------------
+
+    def _reshare(self) -> None:
+        """Recompute progress rates for all running activities."""
+        system = MaxMinSystem()
+        constraints: dict[object, object] = {}
+        pairs: list[tuple[Activity, object]] = []
+
+        for activity in self._activities:
+            if isinstance(activity, CommActivity) and activity.state is ActivityState.RUNNING:
+                bound = activity.bound if math.isfinite(activity.bound) else None
+                var = system.new_variable(weight=activity.weight, bound=bound, payload=activity)
+                for use in activity.route:
+                    link = use.link
+                    if link.policy is SharingPolicy.FATPIPE:
+                        continue  # folded into the bound by the model
+                    key = link.constraint_key(use.direction)
+                    cons = constraints.get(key)
+                    if cons is None:
+                        capacity = self.model.effective_bandwidth(link.bandwidth)
+                        capacity *= self.capacity_factors.get(link.name, 1.0)
+                        cons = system.new_constraint(capacity, payload=key)
+                        constraints[key] = cons
+                    system.expand(cons, var)
+                pairs.append((activity, var))
+            elif isinstance(activity, ExecActivity) and activity.state is ActivityState.RUNNING:
+                host = activity.host
+                key = ("host", host.name)
+                cons = constraints.get(key)
+                if cons is None:
+                    cons = system.new_constraint(host.speed * host.cores, payload=key)
+                    constraints[key] = cons
+                var = system.new_variable(weight=1.0, bound=host.speed, payload=activity)
+                system.expand(cons, var)
+                pairs.append((activity, var))
+
+        system.solve()
+        for activity, var in pairs:
+            rate = var.value
+            if isinstance(activity, CommActivity) and not math.isfinite(rate):
+                # no constraint and no bound anywhere on the route: treat as
+                # the loopback rate to keep time finite
+                rate = self.loopback_bandwidth
+            activity.rate = rate
+        self._share_dirty = False
+
+    # -- main loop -----------------------------------------------------------
+
+    def _next_event_time(self) -> float:
+        t = math.inf
+        for activity in self._activities:
+            t = min(t, self.clock + activity.time_to_completion())
+        if self._timers:
+            t = min(t, self._timers[0][0])
+        return t
+
+    def run(self, until: float = math.inf, max_iterations: int = 50_000_000) -> float:
+        """Advance the simulation until no work remains (or ``until``).
+
+        Returns the final simulated clock.
+        """
+        # external mutations (cancel, link edits) between runs are untracked
+        self._share_dirty = True
+        for _ in range(max_iterations):
+            self._drain_runnable()
+            if self._share_dirty:
+                self._reshare()
+            t_next = self._next_event_time()
+            if t_next is math.inf or t_next > until:
+                if math.isfinite(until) and until > self.clock:
+                    # drain partial progress up to the stop point
+                    dt = until - self.clock
+                    for activity in self._activities:
+                        activity.advance(dt)
+                    self.clock = until
+                return self.clock
+            dt = t_next - self.clock
+            if dt > 0:
+                for activity in self._activities:
+                    activity.advance(dt)
+            self.clock = t_next
+            self._fire_due_timers()
+            self._complete_finished()
+            if not self._activities and not self._timers and not self._runnable:
+                return self.clock
+        raise SimulationError("max_iterations exceeded; livelocked simulation?")
+
+    def _fire_due_timers(self) -> None:
+        while self._timers and self._timers[0][0] <= self.clock + 1e-15:
+            _, _, callback = heapq.heappop(self._timers)
+            callback()
+
+    def _complete_finished(self) -> None:
+        still_active: list[Activity] = []
+        finished: list[Activity] = []
+        for activity in self._activities:
+            total = getattr(activity, "size", None)
+            if isinstance(activity, ExecActivity):
+                total = activity.flops
+            scale = max(total or 1.0, 1.0)
+            if (
+                activity.state not in (ActivityState.DONE, ActivityState.CANCELED)
+                and activity.rate > 0.0
+                and activity.remaining <= _REL_EPS * scale
+            ):
+                activity.remaining = 0.0
+                if activity.phase_complete(self.clock):
+                    finished.append(activity)
+                else:
+                    still_active.append(activity)  # phase transition (latency -> transfer)
+                self._share_dirty = True
+            elif activity.state in (ActivityState.DONE, ActivityState.CANCELED):
+                self._share_dirty = True
+            else:
+                still_active.append(activity)
+        self._activities = still_active
+        for activity in finished:
+            if self.trace is not None:
+                self.trace.record(self.clock, "activity_end", name=activity.name,
+                                  duration=activity.duration)
+            activity._fire()
+
+    # -- convenience ---------------------------------------------------------
+
+    def simulate_transfers(
+        self, transfers: list[tuple[str, str, float]]
+    ) -> list[CommActivity]:
+        """Start all ``(src, dst, size)`` transfers at t=0 and run to completion.
+
+        This is exactly what the paper's forecast service does: "a SimGrid
+        simulation is instantiated, containing one send and one receive
+        process for each requested transfer" (§IV-C2).  Returns the completed
+        communication activities (with ``start_time``/``finish_time`` set).
+        """
+        comms = [self.add_comm(src, dst, size) for src, dst, size in transfers]
+        self.run()
+        return comms

@@ -1,0 +1,210 @@
+"""Bounded, weighted max-min fairness solver (SimGrid's ``lmm`` rebuilt).
+
+The flow-level TCP model of Casanova & Marchal (2002) allocates bandwidth by
+*weighted max-min fairness*: all flows raise a common level ``phi`` together,
+flow ``i`` receiving rate ``phi / w_i`` (``w_i`` grows with the flow's RTT, so
+the share on a shared bottleneck is inversely proportional to RTT — §IV-A of
+the paper).  The level rises until either
+
+- a constraint (link capacity) saturates, freezing every flow crossing it, or
+- a flow hits its individual rate bound (the ``TCP_gamma`` window cap),
+
+and the process repeats on the remaining flows — the classic *progressive
+filling* algorithm, extended with per-variable bounds and per-(variable,
+constraint) consumption coefficients (a route may traverse one SHARED link in
+both directions).
+
+Solved instances hold:
+
+- ``Variable.value`` — the allocated rate,
+- ``Constraint.usage`` — the total consumption on the constraint.
+
+The solver is numpy-vectorised over constraints and variables; each iteration
+freezes at least one variable or constraint, so at most ``n + m`` passes run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+class MaxMinError(Exception):
+    """Raised on invalid solver usage (non-positive capacity/weight, …)."""
+
+
+class Variable:
+    """One allocation variable (a flow's rate)."""
+
+    __slots__ = ("index", "weight", "bound", "value", "payload")
+
+    def __init__(self, index: int, weight: float, bound: Optional[float], payload: object) -> None:
+        self.index = index
+        self.weight = weight
+        self.bound = bound
+        self.value = 0.0
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable(#{self.index}, w={self.weight:.4g}, bound={self.bound}, value={self.value:.4g})"
+
+
+class Constraint:
+    """One capacity constraint (a link direction's available bandwidth)."""
+
+    __slots__ = ("index", "capacity", "usage", "payload")
+
+    def __init__(self, index: int, capacity: float, payload: object) -> None:
+        self.index = index
+        self.capacity = capacity
+        self.usage = 0.0
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constraint(#{self.index}, cap={self.capacity:.4g}, usage={self.usage:.4g})"
+
+
+class MaxMinSystem:
+    """A linear max-min system: build variables/constraints, then solve."""
+
+    def __init__(self) -> None:
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        # (constraint index, variable index) -> coefficient
+        self._coeffs: dict[tuple[int, int], float] = {}
+
+    def new_variable(
+        self,
+        weight: float,
+        bound: Optional[float] = None,
+        payload: object = None,
+    ) -> Variable:
+        """Add a variable with fairness weight ``weight`` (> 0) and optional
+        rate ``bound`` (> 0 or None for unbounded)."""
+        if not (weight > 0.0) or not math.isfinite(weight):
+            raise MaxMinError(f"variable weight must be positive and finite: {weight}")
+        if bound is not None:
+            if bound <= 0 or not math.isfinite(bound):
+                if bound is not None and math.isinf(bound) and bound > 0:
+                    bound = None
+                else:
+                    raise MaxMinError(f"variable bound must be positive: {bound}")
+        var = Variable(len(self.variables), float(weight), bound, payload)
+        self.variables.append(var)
+        return var
+
+    def new_constraint(self, capacity: float, payload: object = None) -> Constraint:
+        """Add a capacity constraint (> 0)."""
+        if not (capacity > 0.0) or not math.isfinite(capacity):
+            raise MaxMinError(f"constraint capacity must be positive and finite: {capacity}")
+        cons = Constraint(len(self.constraints), float(capacity), payload)
+        self.constraints.append(cons)
+        return cons
+
+    def expand(self, constraint: Constraint, variable: Variable, coefficient: float = 1.0) -> None:
+        """Make ``variable`` consume ``coefficient`` times its rate on
+        ``constraint``.  Repeated expansion accumulates (a route crossing a
+        SHARED link twice consumes twice)."""
+        if coefficient <= 0:
+            raise MaxMinError(f"coefficient must be positive: {coefficient}")
+        key = (constraint.index, variable.index)
+        self._coeffs[key] = self._coeffs.get(key, 0.0) + float(coefficient)
+
+    def solve(self) -> None:
+        """Run progressive filling; fills ``Variable.value``/``Constraint.usage``."""
+        n = len(self.variables)
+        m = len(self.constraints)
+        for cons in self.constraints:
+            cons.usage = 0.0
+        if n == 0:
+            return
+
+        weights = np.array([v.weight for v in self.variables], dtype=float)
+        bounds = np.array(
+            [v.bound if v.bound is not None else np.inf for v in self.variables],
+            dtype=float,
+        )
+        inv_w = 1.0 / weights
+
+        if m:
+            rows = np.empty(len(self._coeffs), dtype=np.intp)
+            cols = np.empty(len(self._coeffs), dtype=np.intp)
+            vals = np.empty(len(self._coeffs), dtype=float)
+            for k, ((ci, vi), coeff) in enumerate(self._coeffs.items()):
+                rows[k], cols[k], vals[k] = ci, vi, coeff
+            # dense incidence is fine at our scale (hundreds x hundreds)
+            incidence = np.zeros((m, n), dtype=float)
+            incidence[rows, cols] = vals
+            remaining = np.array([c.capacity for c in self.constraints], dtype=float)
+        else:
+            incidence = np.zeros((0, n), dtype=float)
+            remaining = np.zeros(0, dtype=float)
+
+        active = np.ones(n, dtype=bool)
+        cons_active = np.ones(m, dtype=bool)
+        values = np.zeros(n, dtype=float)
+        phi = 0.0
+
+        for _ in range(n + m + 1):
+            if not active.any():
+                break
+            active_inv_w = np.where(active, inv_w, 0.0)
+            # consumption per unit of additional level, per constraint
+            drain = incidence @ active_inv_w if m else np.zeros(0)
+            relevant = cons_active & (drain > _EPS)
+            # level increase that saturates each relevant constraint
+            with np.errstate(divide="ignore", invalid="ignore"):
+                dphi_cons = np.where(relevant, remaining / np.where(drain > 0, drain, 1.0), np.inf)
+            # level at which each active bounded variable tops out
+            dphi_vars = np.where(active, bounds * weights - phi, np.inf)
+            dphi_vars = np.where(dphi_vars < 0, 0.0, dphi_vars)
+
+            best_cons = dphi_cons.min() if m else np.inf
+            best_var = dphi_vars.min()
+            dphi = min(best_cons, best_var)
+            if not np.isfinite(dphi):
+                # no constraint and no bound applies: unbounded variables —
+                # treat as "infinitely fast" (no capacity anywhere on route)
+                values[active] = np.inf
+                active[:] = False
+                break
+
+            phi += dphi
+            if m:
+                remaining = remaining - dphi * drain
+            # freeze variables at their bound
+            hit_bound = active & (bounds * weights - phi <= _EPS * max(phi, 1.0))
+            # freeze constraints that saturated (and their variables)
+            if m:
+                saturated = relevant & (remaining <= _EPS * np.array([c.capacity for c in self.constraints]))
+                if saturated.any():
+                    # any active variable with positive coefficient on a
+                    # saturated constraint freezes at the current level
+                    involved = (incidence[saturated] > 0).any(axis=0)
+                    hit_bound = hit_bound | (active & involved)
+                    cons_active &= ~saturated
+            if not hit_bound.any():
+                # numerical safety: force-freeze the variable closest to its
+                # bound or the constraint-minimising one to guarantee progress
+                hit_bound = active.copy()
+            values[hit_bound] = np.minimum(phi * inv_w[hit_bound], bounds[hit_bound])
+            active &= ~hit_bound
+
+        for var, value in zip(self.variables, values):
+            var.value = float(value)
+        if m:
+            usage = incidence @ np.where(np.isfinite(values), values, 0.0)
+            for cons, used in zip(self.constraints, usage):
+                cons.usage = float(used)
+
+    # -- diagnostics --------------------------------------------------------
+
+    def is_feasible(self, tolerance: float = 1e-6) -> bool:
+        """True when no constraint is over-consumed (relative tolerance)."""
+        return all(
+            cons.usage <= cons.capacity * (1.0 + tolerance) for cons in self.constraints
+        )

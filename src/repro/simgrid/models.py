@@ -1,0 +1,112 @@
+"""Flow-level TCP network models: CM02 and LV08.
+
+These are the models the paper's predictions rely on (§IV-A):
+
+- **CM02** (Casanova & Marchal 2002): RTT-aware max-min sharing, no empirical
+  corrections.
+- **LV08** (Velho & Legrand 2009, SimGrid's default at the time of the
+  paper): CM02 plus three calibrated corrections —
+
+  * achievable bandwidth is 97 % of nominal (``bandwidth_factor`` 0.97),
+  * effective startup latency is 13.01× the physical latency
+    (``latency_factor``; accounts for slow-start on short transfers),
+  * the fairness weight per link is ``latency + weight_S / bandwidth`` with
+    ``weight_S`` = 20537 (protocol overhead term),
+  * every flow's rate is capped by the maximum TCP window:
+    ``TCP_gamma / (2 · RTT)`` — the paper configures ``TCP_gamma`` = 4194304
+    to match the senders' 4 MiB maximum congestion windows.
+
+All three constants are the published SimGrid values; they can be overridden,
+e.g. ``LV08(tcp_gamma=8388608)`` for hosts tuned with larger windows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.simgrid.platform import LinkUse, SharingPolicy
+
+#: Minimum fairness weight, used when a route has zero latency and the model
+#: has no weight_S term (all-equal weights => plain max-min fairness).
+MIN_WEIGHT = 1e-12
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A parameterised flow-level network model."""
+
+    name: str = "CM02"
+    bandwidth_factor: float = 1.0
+    latency_factor: float = 1.0
+    weight_S: float = 0.0
+    #: TCP maximum-window rate cap parameter (bytes); 0 disables the cap.
+    tcp_gamma: float = 0.0
+
+    def with_gamma(self, tcp_gamma: float) -> "NetworkModel":
+        """Copy of this model with a different ``TCP_gamma``."""
+        return replace(self, tcp_gamma=tcp_gamma)
+
+    # -- per-route quantities ------------------------------------------------
+
+    def route_raw_latency(self, route: Sequence[LinkUse]) -> float:
+        """Physical one-way latency: sum of link latencies."""
+        return sum(use.link.latency for use in route)
+
+    def startup_latency(self, route: Sequence[LinkUse]) -> float:
+        """Serial delay before bytes flow: ``latency_factor × Σ latency``."""
+        return self.latency_factor * self.route_raw_latency(route)
+
+    def flow_weight(self, route: Sequence[LinkUse]) -> float:
+        """Max-min fairness weight: ``Σ (latency + weight_S / bandwidth)``.
+
+        Larger weight ⇒ smaller share on a saturated constraint, which is how
+        the RTT-proportional unfairness of TCP is reproduced.
+        """
+        weight = 0.0
+        for use in route:
+            weight += use.link.latency + (self.weight_S / use.link.bandwidth if self.weight_S else 0.0)
+        return max(weight, MIN_WEIGHT)
+
+    def rate_bound(self, route: Sequence[LinkUse]) -> float:
+        """Per-flow rate cap from the TCP window: ``gamma / (2·Σ latency)``,
+        further limited by every FATPIPE link's effective bandwidth."""
+        bound = math.inf
+        if self.tcp_gamma > 0:
+            lat = self.route_raw_latency(route)
+            if lat > 0:
+                bound = self.tcp_gamma / (2.0 * lat)
+        for use in route:
+            if use.link.policy is SharingPolicy.FATPIPE:
+                bound = min(bound, self.effective_bandwidth(use.link.bandwidth))
+        return bound
+
+    def effective_bandwidth(self, nominal: float) -> float:
+        """Usable capacity of a link: ``bandwidth_factor × nominal``."""
+        return self.bandwidth_factor * nominal
+
+
+def CM02(tcp_gamma: float = 0.0) -> NetworkModel:
+    """The uncorrected Casanova-Marchal 2002 model."""
+    return NetworkModel(name="CM02", bandwidth_factor=1.0, latency_factor=1.0,
+                        weight_S=0.0, tcp_gamma=tcp_gamma)
+
+
+def LV08(tcp_gamma: float = 4194304.0) -> NetworkModel:
+    """The Velho-Legrand 2009 calibrated model (SimGrid default, used by the
+    paper with ``network/TCP_gamma = 4194304``)."""
+    return NetworkModel(name="LV08", bandwidth_factor=0.97, latency_factor=13.01,
+                        weight_S=20537.0, tcp_gamma=tcp_gamma)
+
+
+_REGISTRY = {"CM02": CM02, "LV08": LV08}
+
+
+def model_by_name(name: str, **kwargs) -> NetworkModel:
+    """Look up a model factory by name (``"CM02"`` / ``"LV08"``)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown network model {name!r} (have {sorted(_REGISTRY)})") from None
+    return factory(**kwargs)

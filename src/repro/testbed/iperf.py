@@ -1,0 +1,89 @@
+"""iperf-like measurement application for the testbed.
+
+The paper's protocol (§V-A): "TCP iperf servers (receivers) are started on
+all destination nodes.  TCP iperf clients (senders) are simultaneously
+started on all source nodes, each transferring the same amount of data to
+its destination."  This module models that application layer: servers that
+listen, clients that transfer a byte count, and an iperf-style plain-text
+report, so the orchestration layer can drive experiments the way execo
+drives real iperf.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.testbed.fluid import Flow, FluidSimulator, TestbedNetwork
+
+_port_counter = itertools.count(5001)
+
+
+class IperfError(Exception):
+    """Raised on protocol misuse (client without a started server, …)."""
+
+
+@dataclass
+class IperfServer:
+    """A listening receiver on one node."""
+
+    node: str
+    port: int = field(default_factory=lambda: next(_port_counter))
+    started: bool = False
+
+    def start(self) -> "IperfServer":
+        self.started = True
+        return self
+
+    def stop(self) -> None:
+        self.started = False
+
+
+@dataclass
+class IperfClient:
+    """A sender: transfers ``size`` bytes to ``server``."""
+
+    node: str
+    server: IperfServer
+    size: float
+    flow: Optional[Flow] = None
+
+    def transfer_tuple(self) -> tuple[str, str, float]:
+        if not self.server.started:
+            raise IperfError(
+                f"iperf client on {self.node!r}: server on {self.server.node!r} not started"
+            )
+        return (self.node, self.server.node, self.size)
+
+
+def run_iperf_session(
+    network: TestbedNetwork,
+    clients: list[IperfClient],
+    seed: int = 0,
+) -> list[Flow]:
+    """Start every client simultaneously (t=0) and run to completion.
+
+    Mirrors the experimental step list of §V-A.  Each client's ``flow`` field
+    is filled with the finished :class:`~repro.testbed.fluid.Flow`.
+    """
+    sim = FluidSimulator(network, seed=seed)
+    for client in clients:
+        src, dst, size = client.transfer_tuple()
+        client.flow = sim.submit(src, dst, size, t=0.0)
+    sim.run()
+    return [client.flow for client in clients]
+
+
+def format_report(flow: Flow) -> str:
+    """One iperf-style report line for a finished flow."""
+    if math.isnan(flow.finish_time):
+        raise IperfError(f"flow {flow.src}->{flow.dst} has not finished")
+    duration = flow.completion_time_raw
+    mbytes = flow.size / 1e6
+    mbits = flow.size * 8.0 / duration / 1e6 if duration > 0 else float("inf")
+    return (
+        f"[{flow.index:3d}]  0.0-{duration:.1f} sec  "
+        f"{mbytes:.1f} MBytes  {mbits:.1f} Mbits/sec"
+    )

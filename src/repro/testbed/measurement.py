@@ -1,0 +1,73 @@
+"""Running transfer sets on the testbed and recording completion times.
+
+This is the testbed-side half of the paper's §V protocol: start all
+transfers simultaneously, wait for the last byte, record per-transfer
+completion times.  A small multiplicative lognormal noise models measurement
+jitter (clock granularity, iperf reporting) on top of the structural
+behaviour simulated by :mod:`repro.testbed.fluid`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._util.rng import rng_for
+from repro.testbed.crosstraffic import CrossTrafficSpec, inject_background
+from repro.testbed.fluid import FluidSimulator, TestbedNetwork
+
+
+@dataclass(frozen=True)
+class MeasuredTransfer:
+    """One measured transfer: what the paper's scripts record per iperf run."""
+
+    src: str
+    dst: str
+    size: float
+    #: Measured wall-clock completion time (with measurement noise), seconds.
+    duration: float
+    #: Noise-free completion time (submission → last byte), seconds.
+    raw_duration: float
+    #: Sampled application startup overhead included in the duration.
+    startup_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0 or math.isnan(self.duration):
+            raise ValueError(f"invalid measured duration: {self.duration}")
+
+
+def run_transfers(
+    network: TestbedNetwork,
+    transfers: list[tuple[str, str, float]],
+    seed: int = 0,
+    measurement_noise_sigma: float = 0.06,
+    background: Optional[CrossTrafficSpec] = None,
+) -> list[MeasuredTransfer]:
+    """Measure ``(src, dst, size)`` transfers started simultaneously at t=0.
+
+    Returns one :class:`MeasuredTransfer` per input, in input order.  The
+    ``seed`` controls every stochastic element (startup overheads, noise,
+    background traffic) so repetitions are reproducible.
+    """
+    sim = FluidSimulator(network, seed=seed)
+    flows = [sim.submit(src, dst, size, t=0.0) for src, dst, size in transfers]
+    if background is not None:
+        inject_background(sim, background, seed=seed)
+    sim.run()
+    noise_rng = rng_for(seed, "measurement-noise")
+    results = []
+    for flow in flows:
+        raw = flow.completion_time_raw
+        noise = math.exp(noise_rng.normal(0.0, measurement_noise_sigma))
+        results.append(
+            MeasuredTransfer(
+                src=flow.src,
+                dst=flow.dst,
+                size=flow.size,
+                duration=raw * noise,
+                raw_duration=raw,
+                startup_overhead=flow.startup_overhead,
+            )
+        )
+    return results

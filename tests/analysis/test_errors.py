@@ -1,0 +1,88 @@
+"""Error metrics and per-size aggregation."""
+
+import math
+
+import pytest
+
+from repro.analysis.errors import ErrorSeries, SizePoint, log2_error
+
+
+class TestLog2Error:
+    def test_paper_metric_definition(self):
+        assert log2_error(2.0, 1.0) == pytest.approx(1.0)
+        assert log2_error(1.0, 2.0) == pytest.approx(-1.0)
+        assert log2_error(3.0, 3.0) == 0.0
+
+    def test_positive_means_overprediction(self):
+        # prediction slower than measure => positive (graphene's signature)
+        assert log2_error(1.25, 1.0) == pytest.approx(math.log2(1.25))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log2_error(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log2_error(1.0, -1.0)
+
+
+class TestSizePoint:
+    def test_add_accumulates(self):
+        point = SizePoint(size=1e6)
+        point.add(prediction=2.0, measure=1.0)
+        point.add(prediction=1.0, measure=1.0)
+        assert point.count == 2
+        assert point.median_error == pytest.approx(0.5)
+        assert point.median_duration == pytest.approx(1.0)
+
+    def test_error_stats_box(self):
+        point = SizePoint(size=1e6)
+        for pred in (1.0, 2.0, 4.0, 8.0, 16.0):
+            point.add(prediction=pred, measure=1.0)
+        stats = point.error_stats
+        assert stats.minimum == 0.0
+        assert stats.maximum == 4.0
+        assert stats.median == 2.0
+
+
+class TestErrorSeries:
+    def build(self):
+        series = ErrorSeries("test")
+        for size, ratio in ((1e5, 0.125), (1e7, 0.5), (1e8, 1.25), (1e9, 1.25)):
+            point = series.point(size)
+            for _ in range(4):
+                point.add(prediction=ratio, measure=1.0)
+        return series
+
+    def test_points_sorted_by_size(self):
+        series = ErrorSeries("s")
+        series.point(1e9)
+        series.point(1e5)
+        assert series.sizes() == [1e5, 1e9]
+
+    def test_point_reuses_existing(self):
+        series = ErrorSeries("s")
+        p1 = series.point(1e6)
+        p2 = series.point(1e6)
+        assert p1 is p2
+
+    def test_errors_above_threshold_strict(self):
+        series = self.build()
+        errors = series.errors_above(1e7)
+        assert len(errors) == 8  # only 1e8 and 1e9 points
+
+    def test_plateau_error(self):
+        series = self.build()
+        assert series.plateau_error(1e7) == pytest.approx(math.log2(1.25))
+
+    def test_plateau_requires_data(self):
+        series = self.build()
+        with pytest.raises(ValueError):
+            series.plateau_error(1e10)
+
+    def test_rows_shape(self):
+        series = self.build()
+        rows = series.rows()
+        assert len(rows) == 4
+        size, med, q1, q3, duration, count = rows[0]
+        assert size == 1e5
+        assert med == pytest.approx(-3.0)
+        assert count == 4

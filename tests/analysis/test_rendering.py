@@ -1,0 +1,58 @@
+"""Text rendering: figures and tables."""
+
+from repro.analysis.asciiplot import render_error_plot
+from repro.analysis.errors import ErrorSeries
+from repro.analysis.tables import render_table
+
+
+def sample_series():
+    series = ErrorSeries("sagittaire-1x10")
+    for size, ratio in ((1e5, 0.1), (1e7, 0.6), (1e9, 1.05)):
+        point = series.point(size)
+        for noise in (0.9, 1.0, 1.1, 1.2):
+            point.add(prediction=ratio * noise, measure=1.0)
+    return series
+
+
+class TestAsciiPlot:
+    def test_renders_one_row_per_size(self):
+        text = render_error_plot(sample_series())
+        size_rows = [line for line in text.splitlines()
+                     if line.lstrip().startswith("1.00e")]
+        assert len(size_rows) == 3
+        assert "1.00e+05" in text
+        assert "1.00e+09" in text
+
+    def test_median_marker_and_axis_present(self):
+        text = render_error_plot(sample_series())
+        assert "M" in text
+        assert "|" in text
+
+    def test_duration_column(self):
+        text = render_error_plot(sample_series())
+        assert text.count("s") >= 3  # per-row duration suffix
+
+    def test_empty_series(self):
+        assert "(no data)" in render_error_plot(ErrorSeries("empty"))
+
+    def test_title_contains_metric_definition(self):
+        text = render_error_plot(sample_series())
+        assert "log2(prediction) - log2(measure)" in text
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["metric", "paper", "measured"],
+            [["median |error|", 0.149, 0.152], ["fraction < 0.575", 0.74, 0.7]],
+            title="Summary",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Summary"
+        assert "metric" in lines[1]
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) <= 2  # header/sep/rows aligned
+
+    def test_number_formatting(self):
+        text = render_table(["v"], [[1234567.0], [0.000123], [1.5]])
+        assert "1.23e+06" in text or "1235000" in text or "1.235e+06" in text

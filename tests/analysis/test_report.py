@@ -1,0 +1,79 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.analysis.errors import ErrorSeries
+from repro.analysis.report import build_report, figure_section
+
+
+def series_for(name, plateau=0.05):
+    series = ErrorSeries(name)
+    for size, err in ((1e5, -4.0), (5.99e7, plateau), (1e10, plateau)):
+        point = series.point(size)
+        for _ in range(3):
+            point.add(prediction=2.0**err, measure=1.0)
+    return series
+
+
+class TestFigureSection:
+    def test_contains_plot_table_and_verdict(self):
+        text = figure_section("fig3", series_for("fig3"), [])
+        assert "## fig3" in text
+        assert "log2(prediction) - log2(measure)" in text
+        assert "median err" in text
+        assert "PASS" in text
+
+    def test_failures_listed(self):
+        text = figure_section("fig3", series_for("fig3"),
+                              ["fig3/check: broken"])
+        assert "FAILED" in text
+        assert "fig3/check: broken" in text
+
+
+class TestBuildReport:
+    def test_summary_and_sections(self):
+        results = {
+            f"fig{i}": (series_for(f"fig{i}"), [])
+            for i in range(3, 12)
+        }
+        report = build_report(results, repetitions=3, seed=1)
+        assert "# Pilgrim validation campaign" in report
+        assert "## Summary" in report
+        assert "0.149" in report  # the paper column
+        for i in range(3, 12):
+            assert f"## fig{i}" in report
+
+    def test_asym_figures_excluded_from_summary_pool(self):
+        results = {
+            "fig3": (series_for("fig3"), []),
+            "fig9-asym-30x50": (series_for("fig9-asym-30x50", plateau=3.0), []),
+        }
+        report = build_report(results, repetitions=1, seed=0)
+        # the asym experiment's wild plateau must not fail the summary
+        assert "summary checks: **PASS**" in report
+
+
+class TestCliReport:
+    def test_report_command(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        path = tmp_path / "report.md"
+        code = main([
+            "report", "--figures", "fig7", "--reps", "1",
+            "--sizes", "1e5,2.15e8,1e10", "--output", str(path),
+        ], out=out)
+        assert code == 0
+        text = path.read_text()
+        assert "## fig7" in text
+        assert "PASS" in text
+
+    def test_report_unknown_figure(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        assert main(["report", "--figures", "fig99"], out=out) == 2

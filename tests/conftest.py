@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+Heavy objects (the g5k platforms, the testbed) are built once per session via
+the cached accessors in :mod:`repro.experiments.environment`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import environment
+from repro.simgrid.builder import build_dumbbell, build_star_cluster
+from repro.simgrid.models import CM02, LV08
+
+
+@pytest.fixture(scope="session")
+def g5k_test_platform():
+    return environment.g5k_test_platform()
+
+
+@pytest.fixture(scope="session")
+def g5k_cabinets_platform():
+    return environment.g5k_cabinets_platform()
+
+
+@pytest.fixture(scope="session")
+def g5k_testbed():
+    return environment.testbed()
+
+
+@pytest.fixture(scope="session")
+def forecast_service():
+    return environment.forecast_service()
+
+
+@pytest.fixture()
+def star4():
+    """A fresh 4-host star cluster platform (full mesh)."""
+    return build_star_cluster("star", 4)
+
+
+@pytest.fixture()
+def dumbbell():
+    """A fresh 2x2 dumbbell with a shared 1Gbps bottleneck."""
+    return build_dumbbell(2, 2, bottleneck_bandwidth="1Gbps")
+
+
+@pytest.fixture()
+def lv08():
+    return LV08()
+
+
+@pytest.fixture()
+def cm02():
+    return CM02()

@@ -1,0 +1,163 @@
+"""Background-traffic modeling: ongoing transfers + metrology-driven factors."""
+
+import pytest
+
+from repro.core.background import (
+    MIN_CAPACITY_FACTOR,
+    BackgroundTrafficModel,
+    HostLoad,
+    record_nic_counters,
+)
+from repro.core.forecast import NetworkForecastService, TransferSpec
+from repro.metrology.collectors import MetricRegistry
+from repro.simgrid.builder import build_star_cluster
+from repro.simgrid.models import CM02
+
+
+@pytest.fixture()
+def service():
+    svc = NetworkForecastService(model=CM02())
+    svc.register_platform("star", build_star_cluster("star", 4))
+    return svc
+
+
+class TestOngoingTransfers:
+    def test_ongoing_slows_foreground(self, service):
+        alone = service.predict_transfers(
+            "star", [("star-1", "star-3", 1e9)]
+        )[0].duration
+        contended = service.predict_transfers(
+            "star", [("star-1", "star-3", 1e9)],
+            ongoing=[("star-2", "star-3", 2e9)],
+        )[0].duration
+        assert contended > 1.4 * alone
+
+    def test_ongoing_not_reported(self, service):
+        forecasts = service.predict_transfers(
+            "star", [("star-1", "star-3", 1e9)],
+            ongoing=[("star-2", "star-3", 1e9)],
+        )
+        assert len(forecasts) == 1
+        assert forecasts[0].src == "star-1"
+
+    def test_ongoing_remaining_bytes_matter(self, service):
+        small_rest = service.predict_transfers(
+            "star", [("star-1", "star-3", 1e9)],
+            ongoing=[("star-2", "star-3", 1e8)],
+        )[0].duration
+        big_rest = service.predict_transfers(
+            "star", [("star-1", "star-3", 1e9)],
+            ongoing=[("star-2", "star-3", 1e9)],
+        )[0].duration
+        assert small_rest < big_rest
+
+    def test_unknown_ongoing_host_rejected(self, service):
+        from repro.core.rest.errors import NotFound
+
+        with pytest.raises(NotFound):
+            service.predict_transfers(
+                "star", [("star-1", "star-2", 1e6)],
+                ongoing=[("ghost", "star-2", 1e6)],
+            )
+
+    def test_ongoing_over_http(self, service):
+        from repro.core.framework import Pilgrim
+        from repro.core.rest.client import RestClient
+
+        pilgrim = Pilgrim(model=CM02())
+        pilgrim.register_platform("star", service.platform("star"))
+        with pilgrim.serve() as server:
+            client = RestClient(server.url)
+            alone = client.predict_transfers(
+                "star", [("star-1", "star-3", 1e9)]
+            )[0]["duration"]
+            contended = client.get(
+                "/pilgrim/predict_transfers/star",
+                [("transfer", "star-1,star-3,1e9"),
+                 ("ongoing", "star-2,star-3,1e9")],
+            )[0]["duration"]
+        assert contended > 1.4 * alone
+
+
+class TestCapacityFactors:
+    def test_factor_slows_prediction(self, service):
+        full = service.predict_transfers(
+            "star", [("star-1", "star-2", 1e9)]
+        )[0].duration
+        derated = service.predict_transfers(
+            "star", [("star-1", "star-2", 1e9)],
+            capacity_factors={"star-1-link": 0.5},
+        )[0].duration
+        assert derated == pytest.approx(2 * full, rel=0.01)
+
+    def test_invalid_factor_rejected(self, service):
+        from repro.simgrid.engine import SimulationError
+
+        with pytest.raises(SimulationError):
+            service.predict_transfers(
+                "star", [("star-1", "star-2", 1e9)],
+                capacity_factors={"star-1-link": 0.0},
+            )
+
+
+class TestHostLoad:
+    def test_utilization_worst_direction(self):
+        load = HostLoad("h", tx_rate=1e7, rx_rate=5e7, nic_capacity=1.25e8)
+        assert load.utilization == pytest.approx(0.4)
+
+    def test_utilization_clipped(self):
+        load = HostLoad("h", tx_rate=2e8, rx_rate=0.0, nic_capacity=1.25e8)
+        assert load.utilization == 1.0
+
+
+class TestEstimator:
+    def counters_for(self, host, rate, duration=600.0, step=15.0):
+        series = []
+        total = 0.0
+        t = 0.0
+        while t < duration:
+            t += step
+            total += rate * step
+            series.append((t, total))
+        return series
+
+    def build(self, loads):
+        registry = MetricRegistry()
+        platform = build_star_cluster("star", 4)
+        for host, rate in loads.items():
+            record_nic_counters(registry, host,
+                                tx_bytes_series=self.counters_for(host, rate))
+        model = BackgroundTrafficModel(registry, platform)
+        return model
+
+    def test_loaded_host_derated(self):
+        model = self.build({"star-1": 6.25e7})  # 50% of 1 Gbps NIC
+        factors = model.capacity_factors(100.0, 600.0)
+        assert factors == {"star-1-link": pytest.approx(0.5, abs=0.05)}
+
+    def test_idle_hosts_untouched(self):
+        model = self.build({"star-1": 1e5})  # negligible
+        assert model.capacity_factors(100.0, 600.0) == {}
+
+    def test_uninstrumented_hosts_skipped(self):
+        model = self.build({})
+        assert model.capacity_factors(0.0, 600.0) == {}
+
+    def test_saturated_host_floored(self):
+        model = self.build({"star-2": 1.3e8})  # above nominal
+        factors = model.capacity_factors(100.0, 600.0)
+        assert factors["star-2-link"] == MIN_CAPACITY_FACTOR
+
+    def test_end_to_end_prediction_with_estimated_background(self):
+        model = self.build({"star-3": 6.25e7})
+        service = NetworkForecastService(
+            {"star": model.platform}, model=CM02()
+        )
+        factors = model.capacity_factors(100.0, 600.0)
+        clean = service.predict_transfers(
+            "star", [("star-2", "star-3", 1e9)]
+        )[0].duration
+        loaded = service.predict_transfers(
+            "star", [("star-2", "star-3", 1e9)], capacity_factors=factors
+        )[0].duration
+        assert loaded == pytest.approx(2 * clean, rel=0.1)

@@ -1,0 +1,117 @@
+"""PNFS service logic."""
+
+import pytest
+
+from repro.core.forecast import (
+    NetworkForecastService,
+    TransferForecast,
+    TransferSpec,
+)
+from repro.core.rest.errors import BadRequest, NotFound
+from repro.simgrid.builder import build_star_cluster
+from repro.simgrid.models import CM02
+
+
+class TestTransferSpec:
+    def test_size_parses_units(self):
+        assert TransferSpec("a", "b", "500MB").size == pytest.approx(5e8)
+        assert TransferSpec("a", "b", "5e8").size == pytest.approx(5e8)
+        assert TransferSpec("a", "b", 5e8).size == pytest.approx(5e8)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            TransferSpec("a", "b", 0)
+
+    def test_rejects_empty_endpoints(self):
+        with pytest.raises(ValueError):
+            TransferSpec("", "b", 1)
+
+    def test_parse_query_form(self):
+        spec = TransferSpec.parse(
+            "capricorne-36.lyon.grid5000.fr,griffon-50.nancy.grid5000.fr,5e8"
+        )
+        assert spec.src == "capricorne-36.lyon.grid5000.fr"
+        assert spec.size == 5e8
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(BadRequest):
+            TransferSpec.parse("a,b")
+        with pytest.raises(BadRequest):
+            TransferSpec.parse("a,b,1,extra")
+
+    def test_parse_rejects_bad_size(self):
+        with pytest.raises(BadRequest):
+            TransferSpec.parse("a,b,-5")
+
+
+class TestService:
+    def make(self):
+        service = NetworkForecastService(model=CM02())
+        service.register_platform("star", build_star_cluster("star", 4))
+        return service
+
+    def test_predicts_answer_4uples(self):
+        service = self.make()
+        forecasts = service.predict_transfers(
+            "star", [TransferSpec("star-1", "star-2", 1e9)]
+        )
+        fc = forecasts[0]
+        assert isinstance(fc, TransferForecast)
+        assert fc.duration == pytest.approx(2e-4 + 8.0, rel=1e-3)
+        assert fc.to_json() == {
+            "src": "star-1", "dst": "star-2", "size": 1e9,
+            "duration": pytest.approx(fc.duration),
+        }
+
+    def test_accepts_plain_tuples(self):
+        service = self.make()
+        forecasts = service.predict_transfers("star", [("star-1", "star-2", 1e6)])
+        assert forecasts[0].size == 1e6
+
+    def test_concurrent_transfers_interact(self):
+        service = self.make()
+        alone = service.predict_transfers(
+            "star", [("star-1", "star-3", 1e9)]
+        )[0].duration
+        shared = service.predict_transfers(
+            "star", [("star-1", "star-3", 1e9), ("star-2", "star-3", 1e9)]
+        )
+        for fc in shared:
+            assert fc.duration > 1.8 * alone
+
+    def test_fresh_simulation_per_request(self):
+        # two identical requests give identical answers (no state leak)
+        service = self.make()
+        transfers = [("star-1", "star-3", 1e9), ("star-2", "star-3", 1e9)]
+        first = [f.duration for f in service.predict_transfers("star", transfers)]
+        second = [f.duration for f in service.predict_transfers("star", transfers)]
+        assert first == second
+
+    def test_unknown_platform_404(self):
+        service = self.make()
+        with pytest.raises(NotFound):
+            service.predict_transfers("mars", [("a", "b", 1)])
+
+    def test_unknown_host_404(self):
+        service = self.make()
+        with pytest.raises(NotFound, match="ghost"):
+            service.predict_transfers("star", [("ghost", "star-1", 1e6)])
+
+    def test_empty_request_rejected(self):
+        service = self.make()
+        with pytest.raises(BadRequest):
+            service.predict_transfers("star", [])
+
+    def test_per_request_model_override(self):
+        from repro.simgrid.models import LV08
+
+        service = self.make()
+        cm02 = service.predict_transfers("star", [("star-1", "star-2", 1e9)])
+        lv08 = service.predict_transfers("star", [("star-1", "star-2", 1e9)],
+                                         model=LV08())
+        assert lv08[0].duration > cm02[0].duration  # 0.97 bandwidth factor
+
+    def test_platform_names_sorted(self):
+        service = self.make()
+        service.register_platform("alpha", build_star_cluster("a", 2))
+        assert service.platform_names() == ["alpha", "star"]

@@ -1,0 +1,77 @@
+"""Latency-feed calibration (§VI extension)."""
+
+import pytest
+
+from repro.core.latency_feed import LatencyFeed, MIN_BACKBONE_LATENCY
+from repro.g5k.converter import to_simgrid_platform
+from repro.g5k.sites import BACKBONE_LATENCY, grid5000_dev_reference
+from repro.metrology.collectors import MetricRegistry
+from repro.metrology.ping import LatencyProber
+
+LYON_REP = "sagittaire-1.lyon.grid5000.fr"
+NANCY_REP = "griffon-1.nancy.grid5000.fr"
+LILLE_REP = "chti-1.lille.grid5000.fr"
+
+
+@pytest.fixture()
+def fresh_platform():
+    # fresh build: calibration mutates link latencies in place
+    return to_simgrid_platform(grid5000_dev_reference(), "g5k_test")
+
+
+class TestCalibration:
+    def test_backbone_latency_moves_toward_measured(self, fresh_platform,
+                                                    g5k_testbed):
+        prober = LatencyProber(g5k_testbed, MetricRegistry(), seed=4)
+        feed = LatencyFeed(fresh_platform, prober)
+        entries = feed.calibrate_backbone({
+            "lyon": LYON_REP, "nancy": NANCY_REP, "lille": LILLE_REP,
+        })
+        assert len(entries) == 3
+        by_link = {e.link: e for e in entries}
+        entry = by_link["renater-lyon-nancy"]
+        true_one_way = BACKBONE_LATENCY[frozenset(("lyon", "nancy"))]
+        assert entry.old_latency == pytest.approx(2.25e-3)
+        assert entry.new_latency == pytest.approx(true_one_way, rel=0.15)
+        # and the platform link was actually updated
+        assert fresh_platform.link("renater-lyon-nancy").latency == pytest.approx(
+            entry.new_latency
+        )
+
+    def test_calibration_improves_small_transfer_prediction(self, fresh_platform,
+                                                            g5k_testbed):
+        from repro.analysis.errors import log2_error
+        from repro.simgrid.engine import Simulation
+        from repro.simgrid.models import LV08
+        from repro.testbed.measurement import run_transfers
+
+        transfer = (LYON_REP, NANCY_REP, 1e5)
+
+        def predict():
+            sim = Simulation(fresh_platform, LV08())
+            return sim.simulate_transfers([transfer])[0].duration
+
+        measured = run_transfers(g5k_testbed, [transfer], seed=11)[0].duration
+        before = abs(log2_error(predict(), measured))
+        prober = LatencyProber(g5k_testbed, MetricRegistry(), seed=4)
+        LatencyFeed(fresh_platform, prober).calibrate_backbone({
+            "lyon": LYON_REP, "nancy": NANCY_REP, "lille": LILLE_REP,
+        })
+        after = abs(log2_error(predict(), measured))
+        assert after < before
+
+    def test_floor_applied(self, fresh_platform, g5k_testbed):
+        # probing two hosts of the same site pair but with tiny measured RTT
+        # cannot push a backbone latency to zero
+        prober = LatencyProber(g5k_testbed, MetricRegistry(), seed=4, jitter=0.0)
+        feed = LatencyFeed(fresh_platform, prober)
+        # calibrate with representatives whose modeled intra-site latencies
+        # exceed half the measured RTT by construction: force via fake pair
+        entries = feed.calibrate_backbone({"lyon": LYON_REP, "nancy": NANCY_REP})
+        assert all(e.new_latency >= MIN_BACKBONE_LATENCY for e in entries)
+
+    def test_backbone_link_identification(self, fresh_platform, g5k_testbed):
+        prober = LatencyProber(g5k_testbed, MetricRegistry(), seed=4)
+        feed = LatencyFeed(fresh_platform, prober)
+        link = feed._backbone_link(LYON_REP, LILLE_REP)
+        assert link.name == "renater-lille-lyon"

@@ -1,0 +1,66 @@
+"""Metrology service: timestamp parsing, fetch contract."""
+
+import pytest
+
+from repro.core.metrology import MetrologyService, parse_timestamp
+from repro.core.rest.errors import BadRequest, NotFound
+from repro.metrology.collectors import GangliaCollector, MetricKey, MetricRegistry
+
+
+class TestTimestampParsing:
+    def test_epoch_float(self):
+        assert parse_timestamp("1336111215") == 1336111215.0
+        assert parse_timestamp(1336111215) == 1336111215.0
+
+    def test_paper_date_format(self):
+        # the §IV-C1 example uses "2012-05-04 08:00:00"
+        t0 = parse_timestamp("2012-05-04 08:00:00")
+        t1 = parse_timestamp("2012-05-04 08:01:00")
+        assert t1 - t0 == 60.0
+
+    def test_garbage_rejected(self):
+        with pytest.raises(BadRequest):
+            parse_timestamp("May the 4th")
+
+
+class TestService:
+    def build(self):
+        registry = MetricRegistry()
+        collector = GangliaCollector(registry, period=15.0)
+        key = MetricKey("ganglia", "Lyon", "sagittaire-1.lyon.grid5000.fr", "pdu")
+        collector.register(key, lambda t: 168.88)
+        collector.collect_until(120.0)
+        return MetrologyService(registry)
+
+    def test_fetch_answer_shape_matches_paper(self):
+        # "[[1336111215, 168.92...], [1336111230, 168.88], ...]"
+        service = self.build()
+        result = service.fetch("ganglia", "Lyon",
+                               "sagittaire-1.lyon.grid5000.fr", "pdu", 0, 120)
+        assert isinstance(result, list)
+        assert all(isinstance(row, list) and len(row) == 2 for row in result)
+        assert all(v == pytest.approx(168.88) for _, v in result)
+
+    def test_unknown_metric_404(self):
+        service = self.build()
+        with pytest.raises(NotFound):
+            service.fetch("ganglia", "Lyon", "ghost", "pdu", 0, 10)
+
+    def test_end_before_begin_rejected(self):
+        service = self.build()
+        with pytest.raises(BadRequest):
+            service.fetch("ganglia", "Lyon",
+                          "sagittaire-1.lyon.grid5000.fr", "pdu", 100, 10)
+
+    def test_describe(self):
+        service = self.build()
+        info = service.describe("ganglia", "Lyon",
+                                "sagittaire-1.lyon.grid5000.fr", "pdu")
+        assert info["ds"]["name"] == "pdu"
+        assert info["rras"]
+
+    def test_list_metrics(self):
+        service = self.build()
+        assert service.list_metrics() == [
+            "ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd"
+        ]

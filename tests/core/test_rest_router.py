@@ -1,0 +1,114 @@
+"""REST router: pattern matching, query parsing, error mapping."""
+
+import pytest
+
+from repro.core.rest.errors import ApiError, BadRequest, NotFound
+from repro.core.rest.json_codec import dumps, loads
+from repro.core.rest.router import Request, Router
+
+
+class TestRequestParsing:
+    def test_multi_valued_query(self):
+        request = Request.from_target("GET", "/p?transfer=a,b,1&transfer=c,d,2")
+        assert request.params("transfer") == ["a,b,1", "c,d,2"]
+
+    def test_url_decoding(self):
+        request = Request.from_target(
+            "GET", "/p/x?begin=2012-05-04%2008:00:00"
+        )
+        assert request.param("begin") == "2012-05-04 08:00:00"
+
+    def test_param_default_and_missing(self):
+        request = Request.from_target("GET", "/p")
+        assert request.param("x", default="7") == "7"
+        with pytest.raises(BadRequest):
+            request.param("x")
+
+    def test_float_param(self):
+        request = Request.from_target("GET", "/p?v=2.5&bad=x")
+        assert request.float_param("v") == 2.5
+        with pytest.raises(BadRequest):
+            request.float_param("bad")
+
+
+class TestRouting:
+    def build(self):
+        router = Router()
+
+        @router.get("/pilgrim/rrd/{tool}/{site}/{host}/{metric}.rrd")
+        def fetch(request, tool, site, host, metric):
+            return {"tool": tool, "site": site, "host": host, "metric": metric}
+
+        @router.get("/pilgrim/platforms")
+        def platforms(request):
+            return {"items": []}
+
+        return router
+
+    def test_paper_example_path_binds_metric(self):
+        router = self.build()
+        status, payload = router.dispatch(Request.from_target(
+            "GET",
+            "/pilgrim/rrd/ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd/",
+        ))
+        assert status == 200
+        assert payload == {"tool": "ganglia", "site": "Lyon",
+                           "host": "sagittaire-1.lyon.grid5000.fr",
+                           "metric": "pdu"}
+
+    def test_trailing_slash_optional(self):
+        router = self.build()
+        for path in ("/pilgrim/platforms", "/pilgrim/platforms/"):
+            status, _ = router.dispatch(Request.from_target("GET", path))
+            assert status == 200
+
+    def test_unknown_path_404(self):
+        router = self.build()
+        status, payload = router.dispatch(Request.from_target("GET", "/nope"))
+        assert status == 404
+        assert payload["error"] == "NotFound"
+
+    def test_wrong_method_405(self):
+        router = self.build()
+        status, payload = router.dispatch(
+            Request.from_target("POST", "/pilgrim/platforms")
+        )
+        assert status == 405
+
+    def test_handler_api_error_mapped(self):
+        router = Router()
+
+        @router.get("/boom")
+        def boom(request):
+            raise NotFound("no such thing")
+
+        status, payload = router.dispatch(Request.from_target("GET", "/boom"))
+        assert status == 404
+        assert "no such thing" in payload["message"]
+
+    def test_handler_crash_becomes_500(self):
+        router = Router()
+
+        @router.get("/crash")
+        def crash(request):
+            raise RuntimeError("oops")
+
+        status, payload = router.dispatch(Request.from_target("GET", "/crash"))
+        assert status == 500
+        assert "oops" in payload["message"]
+
+    def test_placeholder_requires_nonempty_segment(self):
+        router = self.build()
+        status, _ = router.dispatch(Request.from_target(
+            "GET", "/pilgrim/rrd/ganglia/Lyon/h/.rrd"))
+        assert status == 404
+
+
+class TestJsonCodec:
+    def test_nan_and_inf_become_null(self):
+        text = dumps({"a": float("nan"), "b": [float("inf"), 1.0]})
+        assert loads(text) == {"a": None, "b": [None, 1.0]}
+
+    def test_nested_roundtrip(self):
+        payload = {"x": [1, 2, {"y": "z"}], "w": 3.5}
+        assert loads(dumps(payload)) == payload

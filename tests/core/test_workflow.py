@@ -1,0 +1,120 @@
+"""Workflow forecasting (§VI extension)."""
+
+import pytest
+
+from repro.core.forecast import NetworkForecastService
+from repro.core.rest.errors import BadRequest, NotFound
+from repro.core.workflow import WorkflowForecastService
+from repro.simgrid.builder import build_star_cluster
+from repro.simgrid.models import CM02
+from repro.simgrid.tasks import Task, TaskGraph
+
+
+def make_service():
+    platform = build_star_cluster("star", 4)  # hosts: 1 Gf, links 1 Gbps
+    forecast = NetworkForecastService({"star": platform}, model=CM02())
+    return WorkflowForecastService(forecast)
+
+
+class TestLinearChain:
+    def test_compute_then_transfer_then_compute(self):
+        service = make_service()
+        g = TaskGraph()
+        g.add_task(Task("produce", flops=2e9, output_bytes=1.25e8), "star-1")
+        g.add_task(Task("consume", flops=1e9), "star-2")
+        g.add_edge("produce", "consume")
+        forecast = service.predict_workflow("star", g)
+        # 2s compute + 1s transfer (125MB at 1Gbps) + 1s compute (+latency)
+        assert forecast.makespan == pytest.approx(4.0, rel=0.01)
+        start, finish = forecast.task_times["consume"]
+        assert start == pytest.approx(3.0, rel=0.01)
+        assert finish == pytest.approx(4.0, rel=0.01)
+
+    def test_transfer_times_recorded(self):
+        service = make_service()
+        g = TaskGraph()
+        g.add_task(Task("a", flops=0.0, output_bytes=1.25e8), "star-1")
+        g.add_task(Task("b", flops=0.0), "star-2")
+        g.add_edge("a", "b")
+        forecast = service.predict_workflow("star", g)
+        assert ("a", "b") in forecast.transfer_times
+        assert forecast.transfer_times[("a", "b")] == pytest.approx(1.0, rel=0.01)
+
+
+class TestDiamond:
+    def build(self):
+        g = TaskGraph()
+        g.add_task(Task("root", flops=1e9, output_bytes=1e6), "star-1")
+        g.add_task(Task("left", flops=2e9, output_bytes=1e6), "star-2")
+        g.add_task(Task("right", flops=1e9, output_bytes=1e6), "star-3")
+        g.add_task(Task("join", flops=1e9), "star-4")
+        for edge in (("root", "left"), ("root", "right"),
+                     ("left", "join"), ("right", "join")):
+            g.add_edge(*edge)
+        return g
+
+    def test_join_waits_for_slowest_branch(self):
+        service = make_service()
+        forecast = service.predict_workflow("star", self.build())
+        left_finish = forecast.task_times["left"][1]
+        right_finish = forecast.task_times["right"][1]
+        join_start = forecast.task_times["join"][0]
+        assert left_finish > right_finish  # left computes twice as long
+        assert join_start >= left_finish
+
+    def test_branches_run_in_parallel(self):
+        service = make_service()
+        forecast = service.predict_workflow("star", self.build())
+        # left: 1s root + transfer + 2s; serialized it would be >= 4s
+        assert forecast.makespan < 4.6
+
+    def test_json_shape(self):
+        service = make_service()
+        data = service.predict_workflow("star", self.build()).to_json()
+        assert set(data) == {"makespan", "tasks", "transfers"}
+        assert "root->left" in data["transfers"]
+
+
+class TestColocation:
+    def test_same_host_transfer_is_loopback_fast(self):
+        service = make_service()
+        g = TaskGraph()
+        g.add_task(Task("a", flops=0.0, output_bytes=1.25e8), "star-1")
+        g.add_task(Task("b", flops=0.0), "star-1")
+        g.add_edge("a", "b")
+        forecast = service.predict_workflow("star", g)
+        assert forecast.makespan < 0.1  # loopback, not 1s over the NIC
+
+    def test_colocated_computes_share_the_host(self):
+        service = make_service()
+        g = TaskGraph()
+        g.add_task(Task("a", flops=1e9), "star-1")
+        g.add_task(Task("b", flops=1e9), "star-1")
+        forecast = service.predict_workflow("star", g)
+        assert forecast.makespan == pytest.approx(2.0, rel=0.01)
+
+
+class TestValidationErrors:
+    def test_cycle_rejected(self):
+        service = make_service()
+        g = TaskGraph()
+        g.add_task(Task("a"), "star-1")
+        g.add_task(Task("b"), "star-2")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(BadRequest, match="cycle"):
+            service.predict_workflow("star", g)
+
+    def test_unknown_host_rejected(self):
+        service = make_service()
+        g = TaskGraph()
+        g.add_task(Task("a"), "mars-1")
+        with pytest.raises(NotFound):
+            service.predict_workflow("star", g)
+
+    def test_unknown_platform(self):
+        service = make_service()
+        g = TaskGraph()
+        g.add_task(Task("a"), "star-1")
+        with pytest.raises(NotFound):
+            service.predict_workflow("grid", g)

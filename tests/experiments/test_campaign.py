@@ -1,0 +1,103 @@
+"""Full-campaign sweep and engine wiring."""
+
+import pytest
+
+from repro.experiments.campaign import (
+    campaign_summary,
+    campaign_sweep,
+    run_campaign,
+    spec_for,
+)
+from repro.experiments.protocol import Topology
+from repro.orchestration.sweep import ParamSweep
+
+
+class TestSweep:
+    def test_infeasible_sagittaire_combinations_excluded(self):
+        combos = campaign_sweep().combinations()
+        for c in combos:
+            if c["topology"] is Topology.CLUSTER and c["cluster"] == "sagittaire":
+                assert c["n_src"] + c["n_dst"] <= 79
+
+    def test_cluster_capacity_rules(self):
+        combos = campaign_sweep().combinations()
+
+        def pairs(cluster):
+            return [
+                (c["n_src"], c["n_dst"]) for c in combos
+                if c["topology"] is Topology.CLUSTER and c["cluster"] == cluster
+            ]
+
+        graphene = pairs("graphene")
+        assert (50, 50) in graphene        # fig9
+        assert (60, 60) in graphene        # 120 endpoints fit in 144 nodes
+        sagittaire = pairs("sagittaire")
+        assert (30, 30) in sagittaire      # fig5
+        assert (50, 50) not in sagittaire  # 100 endpoints > 79 nodes
+        assert (30, 50) not in sagittaire
+
+    def test_grid_combinations_not_duplicated_per_cluster(self):
+        combos = campaign_sweep().combinations()
+        grid = [c for c in combos if c["topology"] is Topology.GRID_MULTI]
+        pairs = [(c["n_src"], c["n_dst"]) for c in grid]
+        assert len(pairs) == len(set(pairs))
+
+    def test_published_figures_are_in_the_campaign(self):
+        combos = campaign_sweep().combinations()
+        keys = {
+            (c["topology"], c.get("cluster"), c["n_src"], c["n_dst"])
+            for c in combos
+        }
+        assert (Topology.CLUSTER, "sagittaire", 1, 10) in keys      # fig3
+        assert (Topology.CLUSTER, "graphene", 50, 50) in keys       # fig9
+        assert (Topology.GRID_MULTI, "sagittaire", 60, 60) in keys  # fig11
+
+    def test_spec_for_names_and_fields(self):
+        spec = spec_for({"topology": Topology.CLUSTER, "cluster": "graphene",
+                         "n_src": 30, "n_dst": 50})
+        assert spec.name == "CLUSTER-graphene-30x50"
+        assert spec.n_transfers == 50
+        grid = spec_for({"topology": Topology.GRID_MULTI, "cluster": "x",
+                         "n_src": 10, "n_dst": 10})
+        assert grid.cluster is None
+
+
+class TestRunCampaign:
+    def small_sweep(self):
+        sweep = ParamSweep({
+            "topology": [Topology.CLUSTER],
+            "cluster": ["graphene"],
+            "n_src": [1, 2],
+            "n_dst": [2],
+        })
+        return sweep
+
+    def test_slice_runs_and_summarizes(self, forecast_service, g5k_testbed):
+        results = run_campaign(
+            forecast_service, g5k_testbed, sweep=self.small_sweep(),
+            seed=3, repetitions=1, sizes=(5.99e7, 1e9),
+        )
+        assert len(results) == 2
+        for series in results.values():
+            assert series.sizes() == [5.99e7, 1e9]
+        stats = campaign_summary(results)
+        assert stats.n_observations == (2 + 2) * 2  # transfers x sizes...
+
+    def test_progress_reported(self, forecast_service, g5k_testbed):
+        seen = []
+        run_campaign(
+            forecast_service, g5k_testbed, sweep=self.small_sweep(),
+            seed=3, repetitions=1, sizes=(1e9,),
+            progress=lambda comb, res: seen.append(comb["n_src"]),
+        )
+        assert sorted(seen) == [1, 2]
+
+    def test_deterministic_per_combination(self, forecast_service, g5k_testbed):
+        r1 = run_campaign(forecast_service, g5k_testbed,
+                          sweep=self.small_sweep(), seed=9,
+                          repetitions=1, sizes=(1e9,))
+        r2 = run_campaign(forecast_service, g5k_testbed,
+                          sweep=self.small_sweep(), seed=9,
+                          repetitions=1, sizes=(1e9,))
+        for key in r1:
+            assert r1[key].points[0].errors == r2[key].points[0].errors

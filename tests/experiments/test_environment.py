@@ -1,0 +1,40 @@
+"""Cached experiment environment and its env-var knobs."""
+
+import pytest
+
+from repro.experiments import environment
+
+
+class TestCaches:
+    def test_platforms_cached(self):
+        assert environment.g5k_test_platform() is environment.g5k_test_platform()
+        assert environment.testbed() is environment.testbed()
+
+    def test_forecast_service_has_both_platforms(self):
+        service = environment.forecast_service()
+        assert service.platform_names() == ["g5k_cabinets", "g5k_test"]
+
+    def test_equipment_limits_platform_distinct(self):
+        limited = environment.g5k_test_with_equipment_limits()
+        assert limited is not environment.g5k_test_platform()
+        assert limited.link("sgraphene1-backplane")
+
+
+class TestEnvKnobs:
+    def test_default_repetitions(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPS", raising=False)
+        assert environment.default_repetitions() == 5
+        monkeypatch.setenv("REPRO_REPS", "10")
+        assert environment.default_repetitions() == 10
+        monkeypatch.setenv("REPRO_REPS", "0")
+        assert environment.default_repetitions() == 1  # clamped
+        monkeypatch.setenv("REPRO_REPS", "many")
+        assert environment.default_repetitions() == 5  # fallback
+
+    def test_root_seed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SEED", raising=False)
+        assert environment.root_seed() == 20120917
+        monkeypatch.setenv("REPRO_SEED", "7")
+        assert environment.root_seed() == 7
+        monkeypatch.setenv("REPRO_SEED", "xyz")
+        assert environment.root_seed() == 20120917

@@ -1,0 +1,136 @@
+"""Experiment protocol: sizes, endpoint drawing rules."""
+
+import math
+
+import pytest
+
+from repro.experiments.protocol import (
+    ENDPOINT_COUNTS,
+    LARGE_SIZE_THRESHOLD,
+    TRANSFER_SIZES,
+    ExperimentSpec,
+    Topology,
+    draw_transfer_pairs,
+)
+from repro.g5k.sites import CLUSTERS, cluster_spec
+
+
+class TestSizes:
+    def test_ten_sizes_geometric(self):
+        assert len(TRANSFER_SIZES) == 10
+        ratios = {TRANSFER_SIZES[i + 1] / TRANSFER_SIZES[i] for i in range(9)}
+        assert all(math.isclose(r, 10 ** (5 / 9), rel_tol=1e-9) for r in ratios)
+
+    def test_paper_tick_labels(self):
+        # the figures label: 1.00e5, 3.59e5, 1.29e6, 4.64e6, 1.67e7, 5.99e7,
+        # 2.15e8, 7.74e8, 2.78e9, 1.00e10
+        labels = [f"{s:.2e}" for s in TRANSFER_SIZES]
+        assert labels == ["1.00e+05", "3.59e+05", "1.29e+06", "4.64e+06",
+                          "1.67e+07", "5.99e+07", "2.15e+08", "7.74e+08",
+                          "2.78e+09", "1.00e+10"]
+
+    def test_large_threshold_is_fifth_size(self):
+        assert LARGE_SIZE_THRESHOLD == TRANSFER_SIZES[4]
+        assert f"{LARGE_SIZE_THRESHOLD:.2e}" == "1.67e+07"
+
+    def test_endpoint_counts(self):
+        assert ENDPOINT_COUNTS == (1, 10, 30, 50, 60)
+
+
+class TestSpecValidation:
+    def test_cluster_topology_requires_cluster(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec("x", Topology.CLUSTER, 10, 10)
+
+    def test_cluster_capacity_checked(self):
+        # sagittaire has 79 nodes: 50+50 disjoint endpoints are impossible
+        with pytest.raises(ValueError):
+            ExperimentSpec("x", Topology.CLUSTER, 50, 50, cluster="sagittaire")
+
+    def test_n_transfers_is_max(self):
+        spec = ExperimentSpec("x", Topology.CLUSTER, 10, 30, cluster="graphene")
+        assert spec.n_transfers == 30
+
+    def test_positive_counts(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec("x", Topology.GRID_MULTI, 0, 10)
+
+
+class TestClusterDraw:
+    def spec(self, n_src, n_dst):
+        return ExperimentSpec("t", Topology.CLUSTER, n_src, n_dst,
+                              cluster="graphene")
+
+    def test_transfer_count_rule(self):
+        assert len(draw_transfer_pairs(self.spec(10, 30), seed=1)) == 30
+        assert len(draw_transfer_pairs(self.spec(30, 10), seed=1)) == 30
+        assert len(draw_transfer_pairs(self.spec(10, 10), seed=1)) == 10
+
+    def test_endpoints_within_cluster(self):
+        pairs = draw_transfer_pairs(self.spec(10, 10), seed=2)
+        nodes = set(cluster_spec("graphene").node_uids())
+        for src, dst in pairs:
+            assert src in nodes and dst in nodes
+
+    def test_sources_and_destinations_disjoint(self):
+        pairs = draw_transfer_pairs(self.spec(30, 30), seed=3)
+        sources = {s for s, _ in pairs}
+        destinations = {d for _, d in pairs}
+        assert not sources & destinations
+
+    def test_fewer_sources_cycle(self):
+        # "when nsources < ndestinations, some will be source of more than
+        # one TCP transfer"
+        pairs = draw_transfer_pairs(self.spec(10, 30), seed=4)
+        sources = [s for s, _ in pairs]
+        assert len(set(sources)) == 10
+        counts = {s: sources.count(s) for s in set(sources)}
+        assert all(c == 3 for c in counts.values())
+        destinations = [d for _, d in pairs]
+        assert len(set(destinations)) == 30
+
+    def test_fewer_destinations_cycle(self):
+        pairs = draw_transfer_pairs(self.spec(30, 10), seed=5)
+        destinations = [d for _, d in pairs]
+        assert len(set(destinations)) == 10
+        assert len({s for s, _ in pairs}) == 30
+
+    def test_deterministic_given_seed(self):
+        assert draw_transfer_pairs(self.spec(10, 10), seed=6) == \
+            draw_transfer_pairs(self.spec(10, 10), seed=6)
+
+    def test_different_seeds_differ(self):
+        assert draw_transfer_pairs(self.spec(10, 10), seed=7) != \
+            draw_transfer_pairs(self.spec(10, 10), seed=8)
+
+
+class TestGridDraw:
+    def spec(self, n_src, n_dst):
+        return ExperimentSpec("g", Topology.GRID_MULTI, n_src, n_dst)
+
+    def site_of(self, uid):
+        return uid.split(".")[1]
+
+    def test_all_transfers_cross_sites(self):
+        # §V-A: "all transfers are across Grid'5000 site boundaries"
+        for seed in range(5):
+            pairs = draw_transfer_pairs(self.spec(30, 30), seed=seed)
+            for src, dst in pairs:
+                assert self.site_of(src) != self.site_of(dst)
+
+    def test_cross_site_constraint_with_cycled_destinations(self):
+        pairs = draw_transfer_pairs(self.spec(60, 30), seed=9)
+        assert len(pairs) == 60
+        for src, dst in pairs:
+            assert self.site_of(src) != self.site_of(dst)
+
+    def test_endpoints_span_multiple_sites(self):
+        pairs = draw_transfer_pairs(self.spec(30, 30), seed=10)
+        sites = {self.site_of(s) for s, _ in pairs} | \
+                {self.site_of(d) for _, d in pairs}
+        assert len(sites) >= 2
+
+    def test_destinations_unique(self):
+        pairs = draw_transfer_pairs(self.spec(10, 30), seed=11)
+        destinations = [d for _, d in pairs]
+        assert len(set(destinations)) == 30

@@ -1,0 +1,70 @@
+"""§V-B summary statistics."""
+
+import pytest
+
+from repro.analysis.errors import ErrorSeries
+from repro.experiments.summary import (
+    PAPER_FRACTION_THRESHOLD,
+    PAPER_MEDIAN_ABS_ERROR,
+    SummaryStats,
+    summarize,
+    verify_summary,
+)
+
+
+def series_with_errors(name, size, errors):
+    series = ErrorSeries(name)
+    point = series.point(size)
+    for err in errors:
+        point.add(prediction=2.0**err, measure=1.0)
+    return series
+
+
+class TestSummarize:
+    def test_pools_across_series(self):
+        s1 = series_with_errors("a", 1e9, [0.1, 0.2])
+        s2 = series_with_errors("b", 1e8, [-0.1, -0.3])
+        stats = summarize([s1, s2], size_threshold=1.67e7)
+        assert stats.n_observations == 4
+        assert stats.median_abs_error == pytest.approx(0.15, abs=0.01)
+
+    def test_small_sizes_excluded(self):
+        s1 = series_with_errors("a", 1e9, [0.1])
+        s2 = series_with_errors("b", 1e5, [-8.0])  # must not pollute
+        stats = summarize([s1, s2], size_threshold=1.67e7)
+        assert stats.n_observations == 1
+
+    def test_fraction_below_paper_threshold(self):
+        errors = [0.1] * 7 + [1.0] * 3
+        stats = summarize([series_with_errors("a", 1e9, errors)])
+        assert stats.fraction_below_0575 == pytest.approx(0.7)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([series_with_errors("a", 1e5, [0.1])])
+
+    def test_rows_report_paper_values(self):
+        stats = summarize([series_with_errors("a", 1e9, [0.1, 0.2, 0.3])])
+        rows = stats.rows()
+        assert rows[0][1] == PAPER_MEDIAN_ABS_ERROR
+        assert len(rows) == 3
+
+
+class TestVerify:
+    def test_paper_like_stats_pass(self):
+        stats = SummaryStats(n_observations=1000, median_abs_error=0.149,
+                             error_stddev=0.532, fraction_below_0575=0.74)
+        assert verify_summary(stats) == []
+
+    def test_bad_median_fails(self):
+        stats = SummaryStats(1000, median_abs_error=0.9, error_stddev=0.5,
+                             fraction_below_0575=0.74)
+        failures = verify_summary(stats)
+        assert any("median" in f for f in failures)
+
+    def test_bad_fraction_fails(self):
+        stats = SummaryStats(1000, 0.15, 0.5, fraction_below_0575=0.3)
+        assert any("0.575" in f for f in verify_summary(stats))
+
+    def test_threshold_constant(self):
+        assert PAPER_FRACTION_THRESHOLD == 0.575

@@ -1,0 +1,63 @@
+"""Reference API over HTTP: serving and converter-grade fetching."""
+
+import pytest
+
+from repro.core.rest.client import RestClient
+from repro.core.rest.errors import NotFound
+from repro.g5k.api_server import build_refapi_router, fetch_reference, serve_refapi
+from repro.g5k.converter import to_simgrid_platform
+from repro.g5k.sites import grid5000_dev_reference
+from repro.core.rest.router import Request
+
+
+@pytest.fixture(scope="module")
+def served():
+    server = serve_refapi(grid5000_dev_reference()).start()
+    yield server
+    server.stop()
+
+
+class TestRouter:
+    def test_top_document(self):
+        router = build_refapi_router(grid5000_dev_reference())
+        status, payload = router.dispatch(Request.from_target("GET", "/g5k"))
+        assert status == 200
+        assert payload["version"] == "dev"
+        assert sorted(payload["sites"]) == ["lille", "lyon", "nancy"]
+
+    def test_unknown_site_404(self):
+        router = build_refapi_router(grid5000_dev_reference())
+        status, payload = router.dispatch(
+            Request.from_target("GET", "/g5k/sites/sophia")
+        )
+        assert status == 404
+
+    def test_cluster_listing(self):
+        router = build_refapi_router(grid5000_dev_reference())
+        status, payload = router.dispatch(
+            Request.from_target("GET", "/g5k/sites/nancy/clusters")
+        )
+        assert status == 200
+        assert sorted(payload["items"]) == ["graphene", "griffon"]
+
+
+class TestOverHttp:
+    def test_site_document_fetchable(self, served):
+        client = RestClient(served.url)
+        doc = client.get("/g5k/sites/lyon")
+        assert doc["uid"] == "lyon"
+        assert doc["gateway"] == "gw-lyon"
+
+    def test_unknown_cluster_raises_notfound(self, served):
+        client = RestClient(served.url)
+        with pytest.raises(NotFound):
+            client.get("/g5k/sites/lyon/clusters/ghost")
+
+    def test_fetch_reference_round_trip(self, served):
+        fetched = fetch_reference(served.url)
+        assert fetched == grid5000_dev_reference()
+
+    def test_fetched_reference_converts(self, served):
+        fetched = fetch_reference(served.url)
+        platform = to_simgrid_platform(fetched, "g5k_test", sites=("lille",))
+        assert platform.has_host("chti-1.lille.grid5000.fr")

@@ -1,0 +1,91 @@
+"""Reference API document model: validation and JSON round-trips."""
+
+import pytest
+
+from repro.g5k.refapi import (
+    AdapterDoc,
+    BackboneLinkDoc,
+    ClusterDoc,
+    EquipmentDoc,
+    Grid5000Reference,
+    NodeDoc,
+    RefApiError,
+    SiteDoc,
+)
+from repro.g5k.sites import grid5000_dev_reference, grid5000_stable_reference
+
+
+class TestValidation:
+    def test_adapter_rejects_zero_rate(self):
+        with pytest.raises(RefApiError):
+            AdapterDoc(interface="eth0", rate=0.0, switch="sw").validate()
+
+    def test_node_requires_adapter(self):
+        node = NodeDoc(uid="n", cluster="c", site="s")
+        with pytest.raises(RefApiError):
+            node.validate()
+
+    def test_cluster_requires_nodes(self):
+        with pytest.raises(RefApiError):
+            ClusterDoc(uid="c", site="s").validate()
+
+    def test_equipment_kind_checked(self):
+        with pytest.raises(RefApiError):
+            EquipmentDoc(uid="e", site="s", kind="hub").validate()
+
+    def test_site_gateway_must_exist(self):
+        site = SiteDoc(uid="s", gateway="ghost")
+        with pytest.raises(RefApiError):
+            site.validate()
+
+    def test_reference_version_checked(self):
+        with pytest.raises(RefApiError):
+            Grid5000Reference(version="beta").validate()
+
+    def test_backbone_endpoints_checked(self):
+        ref = Grid5000Reference(
+            version="dev",
+            sites=(),
+            backbone=(BackboneLinkDoc(uid="bb", endpoints=("x", "y"), rate=1e10),),
+        )
+        with pytest.raises(RefApiError):
+            ref.validate()
+
+
+class TestAccessors:
+    def test_site_lookup(self):
+        ref = grid5000_dev_reference()
+        assert ref.site("lyon").uid == "lyon"
+        with pytest.raises(RefApiError):
+            ref.site("sophia")
+
+    def test_equipment_lookup(self):
+        site = grid5000_dev_reference().site("nancy")
+        eq = site.equipment("sgraphene1")
+        assert eq.kind == "switch"
+        with pytest.raises(RefApiError):
+            site.equipment("ghost")
+
+    def test_all_nodes_count(self):
+        ref = grid5000_dev_reference()
+        # 79 + 56 + 144 + 92 + 20 + 26 + 46
+        assert len(ref.all_nodes()) == 463
+
+    def test_primary_adapter(self):
+        node = grid5000_dev_reference().site("lyon").nodes()[0]
+        assert node.primary_adapter.interface == "eth0"
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("builder", [grid5000_dev_reference,
+                                         grid5000_stable_reference])
+    def test_roundtrip_identity(self, builder):
+        ref = builder()
+        clone = Grid5000Reference.from_json(ref.to_json())
+        assert clone == ref
+
+    def test_from_json_validates(self):
+        data = grid5000_dev_reference().to_json()
+        data["version"] = "nope"
+        with pytest.raises(RefApiError):
+            Grid5000Reference.from_json(data)

@@ -1,0 +1,121 @@
+"""End-to-end integration: the paper's workflow over real components.
+
+These tests exercise the full pipeline the paper describes: reference API →
+converter → platform → PNFS over HTTP, and prediction vs. testbed
+measurement on reduced workloads.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.errors import log2_error
+from repro.core.framework import Pilgrim
+from repro.core.rest.client import RestClient
+from repro.experiments.figures import run_figure
+from repro.experiments.protocol import ExperimentSpec, Topology
+from repro.experiments.runner import run_experiment
+from repro.testbed.measurement import run_transfers
+
+
+@pytest.fixture(scope="module")
+def pilgrim(forecast_service):
+    instance = Pilgrim()
+    # reuse the session-cached platforms instead of rebuilding
+    for name in forecast_service.platform_names():
+        instance.register_platform(name, forecast_service.platform(name))
+    return instance
+
+
+@pytest.fixture(scope="module")
+def http(pilgrim):
+    server = pilgrim.serve().start()
+    yield RestClient(server.url)
+    server.stop()
+
+
+class TestPaperExamples:
+    def test_pnfs_example_request(self, http):
+        """§IV-C2's example: two concurrent 500 MB transfers."""
+        answers = http.predict_transfers("g5k_test", [
+            ("capricorne-36.lyon.grid5000.fr",
+             "griffon-50.nancy.grid5000.fr", 5e8),
+            ("capricorne-36.lyon.grid5000.fr",
+             "capricorne-1.lyon.grid5000.fr", 5e8),
+        ])
+        assert [a["src"] for a in answers] == [
+            "capricorne-36.lyon.grid5000.fr"] * 2
+        wan, lan = answers
+        assert lan["duration"] < wan["duration"]
+        assert lan["size"] == 5e8
+
+    def test_unknown_host_maps_to_404(self, http):
+        from repro.core.rest.errors import NotFound
+
+        with pytest.raises(NotFound):
+            http.predict_transfers(
+                "g5k_test", [("ghost.lyon.grid5000.fr",
+                              "capricorne-1.lyon.grid5000.fr", 1e6)]
+            )
+
+
+class TestPredictionVsMeasurement:
+    def test_sagittaire_large_transfer_accurate(self, forecast_service,
+                                                g5k_testbed):
+        src = "sagittaire-3.lyon.grid5000.fr"
+        dst = "sagittaire-7.lyon.grid5000.fr"
+        predicted = forecast_service.predict_transfers(
+            "g5k_test", [(src, dst, 1e9)]
+        )[0].duration
+        measured = run_transfers(g5k_testbed, [(src, dst, 1e9)], seed=1)
+        err = log2_error(predicted, measured[0].duration)
+        assert abs(err) < 0.4
+
+    def test_sagittaire_small_transfer_underpredicted(self, forecast_service,
+                                                      g5k_testbed):
+        src = "sagittaire-3.lyon.grid5000.fr"
+        dst = "sagittaire-7.lyon.grid5000.fr"
+        predicted = forecast_service.predict_transfers(
+            "g5k_test", [(src, dst, 1e5)]
+        )[0].duration
+        measured = run_transfers(g5k_testbed, [(src, dst, 1e5)], seed=1)
+        err = log2_error(predicted, measured[0].duration)
+        assert err < -2.0  # the flow model misses startup + slow start
+
+    def test_graphene_contention_overpredicted(self, forecast_service,
+                                               g5k_testbed):
+        # inter-group flows on the SHARED-modeled uplinks with many peers
+        spec = ExperimentSpec("mini-30x30", Topology.CLUSTER, 30, 30,
+                              cluster="graphene")
+        series = run_experiment(spec, forecast_service, g5k_testbed,
+                                seed=3, repetitions=2, sizes=(1e9,))
+        assert series.points[0].median_error > 0.0
+
+    def test_figure_pipeline_smoke(self, forecast_service, g5k_testbed):
+        series, failures = run_figure(
+            "fig3", forecast_service, g5k_testbed, seed=4,
+            repetitions=2, sizes=(1e5, 5.99e7, 1e10),
+        )
+        assert failures == []
+        assert series.points[0].median_error < -2.0
+
+
+class TestFailureInjection:
+    def test_concurrent_platform_registration(self, pilgrim):
+        from repro.simgrid.builder import build_star_cluster
+
+        pilgrim.register_platform("tmp", build_star_cluster("tmp", 2))
+        forecasts = pilgrim.predict_transfers("tmp", [("tmp-1", "tmp-2", 1e6)])
+        assert forecasts[0].duration > 0
+
+    def test_service_survives_bad_then_good_requests(self, http):
+        from repro.core.rest.errors import BadRequest
+
+        with pytest.raises(BadRequest):
+            http.get("/pilgrim/predict_transfers/g5k_test",
+                     [("transfer", "broken")])
+        answers = http.predict_transfers(
+            "g5k_test", [("sagittaire-1.lyon.grid5000.fr",
+                          "sagittaire-2.lyon.grid5000.fr", 1e6)]
+        )
+        assert answers[0]["duration"] > 0

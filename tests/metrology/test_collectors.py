@@ -1,0 +1,90 @@
+"""Metric registry and Ganglia-like collector."""
+
+import math
+
+import pytest
+
+from repro.metrology.collectors import (
+    GangliaCollector,
+    MetricKey,
+    MetricRegistry,
+    MetrologyError,
+)
+
+
+class TestRegistry:
+    def test_create_and_lookup(self):
+        registry = MetricRegistry()
+        key = MetricKey("ganglia", "Lyon", "sagittaire-1.lyon.grid5000.fr", "pdu")
+        registry.create(key)
+        assert registry.lookup("ganglia", "Lyon",
+                               "sagittaire-1.lyon.grid5000.fr", "pdu")
+        assert key in registry
+        assert len(registry) == 1
+
+    def test_key_path_matches_service_uri_layout(self):
+        key = MetricKey("ganglia", "Lyon", "sagittaire-1.lyon.grid5000.fr", "pdu")
+        assert key.path() == "ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd"
+
+    def test_duplicate_create_rejected(self):
+        registry = MetricRegistry()
+        key = MetricKey("t", "s", "h", "m")
+        registry.create(key)
+        with pytest.raises(MetrologyError):
+            registry.create(key)
+
+    def test_unknown_lookup_raises(self):
+        registry = MetricRegistry()
+        with pytest.raises(MetrologyError):
+            registry.lookup("t", "s", "h", "ghost")
+
+    def test_keys_sorted(self):
+        registry = MetricRegistry()
+        registry.create(MetricKey("b", "s", "h", "m"))
+        registry.create(MetricKey("a", "s", "h", "m"))
+        assert [k.tool for k in registry.keys()] == ["a", "b"]
+
+
+class TestCollector:
+    def test_polls_sources_on_period(self):
+        registry = MetricRegistry()
+        collector = GangliaCollector(registry, period=15.0)
+        key = MetricKey("ganglia", "Lyon", "node-1", "pdu")
+        collector.register(key, lambda t: 168.0 + (t % 30) / 30.0)
+        cycles = collector.collect_until(150.0)
+        assert cycles == 10
+        rrd = registry.get(key)
+        series = rrd.fetch(0.0, 150.0)
+        assert len(series) >= 8
+        assert all(168.0 <= v <= 169.1 for _, v in series)
+
+    def test_register_creates_rrd_lazily(self):
+        registry = MetricRegistry()
+        collector = GangliaCollector(registry, period=10.0)
+        key = MetricKey("munin", "s", "h", "load")
+        collector.register(key, lambda t: 1.0)
+        assert key in registry
+
+    def test_counter_kind_records_rates(self):
+        registry = MetricRegistry()
+        collector = GangliaCollector(registry, period=10.0)
+        key = MetricKey("ganglia", "s", "h", "bytes_out")
+        state = {"counter": 0.0}
+
+        def source(t):
+            state["counter"] += 500.0  # 50 bytes/s
+            return state["counter"]
+
+        collector.register(key, source, kind="COUNTER")
+        collector.collect_until(200.0)
+        series = registry.get(key).fetch(20.0, 200.0)
+        assert series and all(v == pytest.approx(50.0) for _, v in series)
+
+    def test_period_validation(self):
+        with pytest.raises(MetrologyError):
+            GangliaCollector(MetricRegistry(), period=0.0)
+
+    def test_collect_once_returns_timestamp(self):
+        collector = GangliaCollector(MetricRegistry(), period=5.0)
+        assert collector.collect_once() == 5.0
+        assert collector.collect_once() == 10.0

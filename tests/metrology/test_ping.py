@@ -1,0 +1,45 @@
+"""Smokeping-like latency prober."""
+
+import pytest
+
+from repro.metrology.collectors import MetricRegistry
+from repro.metrology.ping import LatencyProber
+
+
+class TestProber:
+    def test_probes_record_rtt_series(self, g5k_testbed):
+        registry = MetricRegistry()
+        prober = LatencyProber(g5k_testbed, registry, period=30.0, seed=1)
+        src = "sagittaire-1.lyon.grid5000.fr"
+        dst = "graphene-1.nancy.grid5000.fr"
+        prober.add_pair(src, dst)
+        cycles = prober.probe_for(300.0)
+        assert cycles == 10
+        measured = prober.measured_rtt(src, dst)
+        true_rtt = g5k_testbed.rtt(src, dst)
+        assert measured == pytest.approx(true_rtt, rel=0.10)
+
+    def test_unknown_pair_rejected_at_registration(self, g5k_testbed):
+        prober = LatencyProber(g5k_testbed, MetricRegistry())
+        with pytest.raises(Exception):
+            prober.add_pair("ghost", "sagittaire-1.lyon.grid5000.fr")
+
+    def test_measured_rtt_requires_probes(self, g5k_testbed):
+        prober = LatencyProber(g5k_testbed, MetricRegistry(), seed=2)
+        src = "sagittaire-1.lyon.grid5000.fr"
+        dst = "sagittaire-2.lyon.grid5000.fr"
+        prober.add_pair(src, dst)
+        with pytest.raises(ValueError):
+            prober.measured_rtt(src, dst)
+
+    def test_jitter_produces_dispersion(self, g5k_testbed):
+        registry = MetricRegistry()
+        prober = LatencyProber(g5k_testbed, registry, period=30.0,
+                               jitter=0.05, seed=3)
+        src = "chti-1.lille.grid5000.fr"
+        dst = "graphene-1.nancy.grid5000.fr"
+        key = prober.add_pair(src, dst)
+        prober.probe_for(600.0)
+        series = registry.get(key).fetch(0.0, 600.0)
+        values = [v for _, v in series]
+        assert max(values) > min(values)

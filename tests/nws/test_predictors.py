@@ -1,0 +1,78 @@
+"""NWS predictor battery."""
+
+import pytest
+
+from repro.nws.predictors import (
+    PREDICTOR_FACTORIES,
+    ExponentialSmoothing,
+    LastValue,
+    RunningMean,
+    RunningMedian,
+    SlidingMean,
+    SlidingMedian,
+)
+
+
+class TestIndividualPredictors:
+    def test_last_value(self):
+        p = LastValue()
+        assert p.predict() is None
+        p.update(3.0)
+        p.update(7.0)
+        assert p.predict() == 7.0
+
+    def test_running_mean(self):
+        p = RunningMean()
+        for v in (2.0, 4.0, 6.0):
+            p.update(v)
+        assert p.predict() == pytest.approx(4.0)
+
+    def test_running_median_robust_to_outlier(self):
+        p = RunningMedian()
+        for v in (10.0, 10.0, 10.0, 1000.0):
+            p.update(v)
+        assert p.predict() == pytest.approx(10.0)
+
+    def test_sliding_mean_window(self):
+        p = SlidingMean(window=2)
+        for v in (100.0, 1.0, 3.0):
+            p.update(v)
+        assert p.predict() == pytest.approx(2.0)
+
+    def test_sliding_median(self):
+        p = SlidingMedian(window=3)
+        for v in (5.0, 100.0, 1.0, 3.0):
+            p.update(v)
+        assert p.predict() == pytest.approx(3.0)
+
+    def test_sliding_window_validation(self):
+        with pytest.raises(ValueError):
+            SlidingMean(0)
+        with pytest.raises(ValueError):
+            SlidingMedian(-1)
+
+    def test_exponential_smoothing(self):
+        p = ExponentialSmoothing(gain=0.5)
+        p.update(10.0)
+        p.update(20.0)
+        assert p.predict() == pytest.approx(15.0)
+
+    def test_exponential_gain_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(0.0)
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(1.5)
+
+    def test_battery_has_distinct_names(self):
+        names = [factory().name for factory in PREDICTOR_FACTORIES]
+        assert len(names) == len(set(names))
+        assert len(names) >= 8
+
+
+class TestConstantSeries:
+    @pytest.mark.parametrize("factory", PREDICTOR_FACTORIES)
+    def test_constant_series_predicted_exactly(self, factory):
+        p = factory()
+        for _ in range(20):
+            p.update(42.0)
+        assert p.predict() == pytest.approx(42.0)

@@ -1,0 +1,94 @@
+"""Orchestration actions: lifecycle and composition."""
+
+import pytest
+
+from repro.orchestration.actions import (
+    ActionError,
+    ActionState,
+    FunctionAction,
+    ParallelActions,
+    Remote,
+    SequentialActions,
+)
+
+
+class TestLifecycle:
+    def test_run_collects_reports(self):
+        action = FunctionAction(lambda: 42)
+        action.run()
+        assert action.ok
+        assert action.reports == [42]
+
+    def test_wait_without_start_rejected(self):
+        action = FunctionAction(lambda: 1)
+        with pytest.raises(ActionError):
+            action.wait()
+
+    def test_double_start_rejected(self):
+        action = FunctionAction(lambda: 1)
+        action.start()
+        with pytest.raises(ActionError):
+            action.start()
+
+    def test_failure_recorded_and_reraised(self):
+        def boom():
+            raise ValueError("broken")
+
+        action = FunctionAction(boom)
+        action.start()
+        with pytest.raises(ValueError):
+            action.wait()
+        assert action.state is ActionState.FAILED
+        # waiting again re-raises the same error
+        with pytest.raises(ValueError):
+            action.wait()
+
+
+class TestRemote:
+    def test_one_report_per_host_in_order(self):
+        action = Remote(lambda host: f"ran on {host}", ["h1", "h2", "h3"])
+        action.run()
+        assert action.reports == ["ran on h1", "ran on h2", "ran on h3"]
+
+    def test_requires_hosts(self):
+        with pytest.raises(ActionError):
+            Remote(lambda host: None, [])
+
+
+class TestComposition:
+    def test_sequential_order(self):
+        log = []
+        seq = SequentialActions([
+            FunctionAction(lambda: log.append("a") or "a"),
+            FunctionAction(lambda: log.append("b") or "b"),
+        ])
+        seq.run()
+        assert log == ["a", "b"]
+        assert seq.reports == ["a", "b"]
+
+    def test_sequential_stops_on_failure(self):
+        log = []
+
+        def boom():
+            raise RuntimeError("fail")
+
+        seq = SequentialActions([
+            FunctionAction(boom),
+            FunctionAction(lambda: log.append("never")),
+        ])
+        with pytest.raises(RuntimeError):
+            seq.run()
+        assert log == []
+
+    def test_parallel_collects_all(self):
+        par = ParallelActions([
+            FunctionAction(lambda: 1), FunctionAction(lambda: 2),
+        ])
+        par.run()
+        assert sorted(par.reports) == [1, 2]
+
+    def test_nested_composition(self):
+        inner = ParallelActions([FunctionAction(lambda: "x")])
+        outer = SequentialActions([inner, FunctionAction(lambda: "y")])
+        outer.run()
+        assert outer.reports == ["x", "y"]

@@ -1,0 +1,98 @@
+"""Parameter sweeps and the experiment engine."""
+
+import pytest
+
+from repro.orchestration.engine import ExperimentEngine, combination_id
+from repro.orchestration.sweep import ParamSweep
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        sweep = ParamSweep({"a": [1, 2], "b": ["x", "y", "z"]})
+        assert len(sweep) == 6
+        combos = sweep.combinations()
+        assert {"a": 2, "b": "y"} in combos
+
+    def test_exclusions(self):
+        sweep = ParamSweep({"n_src": [1, 10], "n_dst": [1, 10]})
+        sweep.exclude(lambda c: c["n_src"] == 1 and c["n_dst"] == 1)
+        assert len(sweep) == 3
+
+    def test_chained_exclusions(self):
+        sweep = ParamSweep({"x": [1, 2, 3, 4]})
+        sweep.exclude(lambda c: c["x"] == 1).exclude(lambda c: c["x"] == 4)
+        assert [c["x"] for c in sweep] == [2, 3]
+
+    def test_empty_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSweep({"a": []})
+        with pytest.raises(ValueError):
+            ParamSweep({})
+
+
+class TestCombinationId:
+    def test_stable_and_sorted(self):
+        cid = combination_id({"b": 2, "a": 1})
+        assert cid == "a=1__b=2"
+
+    def test_filesystem_safe(self):
+        cid = combination_id({"topo": "GRID/MULTI", "size": "1e5 B"})
+        assert "/" not in cid and " " not in cid
+
+
+class TestEngine:
+    def test_runs_every_combination(self):
+        sweep = ParamSweep({"x": [1, 2, 3]})
+        engine = ExperimentEngine(sweep, lambda c, s: c["x"] * 10)
+        results = engine.run()
+        assert [(c["x"], r) for c, r in results] == [(1, 10), (2, 20), (3, 30)]
+
+    def test_seeds_deterministic_per_combination(self):
+        seeds = {}
+
+        def body(combination, seed):
+            seeds.setdefault(combination["x"], []).append(seed)
+            return seed
+
+        sweep = ParamSweep({"x": [1, 2]})
+        ExperimentEngine(sweep, body, seed=7).run()
+        ExperimentEngine(sweep, body, seed=7).run()
+        assert seeds[1][0] == seeds[1][1]
+        assert seeds[1][0] != seeds[2][0]
+
+    def test_retries_then_records_failure(self):
+        attempts = {"n": 0}
+
+        def flaky(combination, seed):
+            attempts["n"] += 1
+            raise RuntimeError("still broken")
+
+        engine = ExperimentEngine(ParamSweep({"x": [1]}), flaky, max_retries=2)
+        results = engine.run()
+        assert results == []
+        assert attempts["n"] == 3
+        assert len(engine.failures) == 1
+
+    def test_retry_succeeds_second_attempt(self):
+        attempts = {"n": 0}
+
+        def flaky(combination, seed):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise RuntimeError("transient")
+            return "ok"
+
+        engine = ExperimentEngine(ParamSweep({"x": [1]}), flaky, max_retries=1)
+        results = engine.run()
+        assert [r for _, r in results] == ["ok"]
+        assert engine.failures == []
+
+    def test_progress_callback(self):
+        seen = []
+        engine = ExperimentEngine(
+            ParamSweep({"x": [1, 2]}),
+            lambda c, s: c["x"],
+            progress=lambda c, r: seen.append(r),
+        )
+        engine.run()
+        assert seen == [1, 2]

@@ -1,0 +1,180 @@
+"""RRD database: update semantics, data-source kinds, fetch."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rrd.database import (
+    DEFAULT_RRAS,
+    DataSourceSpec,
+    RoundRobinDatabase,
+    RrdError,
+)
+from repro.rrd.rra import ConsolidationFunction, RraSpec
+
+
+def gauge_rrd(step=10.0, heartbeat=25.0):
+    return RoundRobinDatabase(
+        DataSourceSpec(name="metric", kind="GAUGE", heartbeat=heartbeat),
+        step=step,
+        rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 100),
+              RraSpec(ConsolidationFunction.AVERAGE, 10, 100),
+              RraSpec(ConsolidationFunction.MAX, 10, 100)),
+    )
+
+
+class TestValidation:
+    def test_ds_kind_checked(self):
+        with pytest.raises(RrdError):
+            DataSourceSpec(name="x", kind="ABSOLUTE")
+
+    def test_heartbeat_positive(self):
+        with pytest.raises(RrdError):
+            DataSourceSpec(name="x", heartbeat=0.0)
+
+    def test_step_positive(self):
+        with pytest.raises(RrdError):
+            RoundRobinDatabase(DataSourceSpec(name="x"), step=0.0)
+
+    def test_needs_an_archive(self):
+        with pytest.raises(RrdError):
+            RoundRobinDatabase(DataSourceSpec(name="x"), rras=())
+
+    def test_update_times_strictly_increasing(self):
+        rrd = gauge_rrd()
+        rrd.update(10.0, 1.0)
+        with pytest.raises(RrdError):
+            rrd.update(10.0, 2.0)
+
+    def test_fetch_end_before_begin(self):
+        rrd = gauge_rrd()
+        with pytest.raises(RrdError):
+            rrd.fetch(100.0, 50.0)
+
+    def test_fetch_unknown_cf(self):
+        rrd = gauge_rrd()
+        with pytest.raises(RrdError):
+            rrd.fetch(0.0, 10.0, cf=ConsolidationFunction.LAST)
+
+
+class TestGauge:
+    def test_constant_series(self):
+        rrd = gauge_rrd()
+        for i in range(1, 11):
+            rrd.update(i * 10.0, 42.0)
+        values = [v for _, v in rrd.fetch(0.0, 100.0)]
+        assert values and all(v == pytest.approx(42.0) for v in values)
+
+    def test_step_interpolation_weights_by_time(self):
+        rrd = gauge_rrd(step=10.0)
+        rrd.update(5.0, 10.0)   # covers (0,5]
+        rrd.update(15.0, 20.0)  # covers (5,15] — pdp(0,10] = (10*5+20*5)/10
+        series = rrd.fetch(0.0, 10.0)
+        assert series[0][1] == pytest.approx(15.0)
+
+    def test_heartbeat_gap_is_unknown(self):
+        rrd = gauge_rrd(step=10.0, heartbeat=25.0)
+        rrd.update(10.0, 1.0)
+        rrd.update(100.0, 1.0)  # 90s gap > heartbeat
+        series = rrd.fetch(0.0, 100.0, include_unknown=True)
+        gap_values = [v for ts, v in series if 20.0 < ts < 100.0]
+        assert gap_values and all(math.isnan(v) for v in gap_values)
+
+    def test_out_of_range_value_is_unknown(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="pct", minimum=0.0, maximum=100.0, heartbeat=30.0),
+            step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 50),),
+        )
+        for i in range(1, 4):
+            rrd.update(i * 10.0, 50.0)
+        rrd.update(40.0, 1000.0)  # above maximum
+        series = rrd.fetch(0.0, 40.0, include_unknown=True)
+        assert math.isnan(series[-1][1])
+
+
+class TestCounter:
+    def test_counter_returns_rate(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="bytes", kind="COUNTER", heartbeat=30.0),
+            step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 50),),
+        )
+        counter = 0.0
+        for i in range(1, 6):
+            counter += 1000.0  # +1000 per 10s => 100/s
+            rrd.update(i * 10.0, counter)
+        values = [v for _, v in rrd.fetch(10.0, 50.0)]
+        assert values and all(v == pytest.approx(100.0) for v in values)
+
+    def test_counter_wrap_is_unknown(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="bytes", kind="COUNTER", heartbeat=30.0),
+            step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 50),),
+        )
+        rrd.update(10.0, 1000.0)
+        rrd.update(20.0, 2000.0)
+        rrd.update(30.0, 50.0)  # wrapped
+        series = rrd.fetch(20.0, 30.0, include_unknown=True)
+        assert math.isnan(series[-1][1])
+
+    def test_derive_allows_negative_rate(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="temp", kind="DERIVE", heartbeat=30.0),
+            step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 50),),
+        )
+        rrd.update(10.0, 100.0)
+        rrd.update(20.0, 50.0)
+        series = rrd.fetch(10.0, 20.0)
+        assert series[-1][1] == pytest.approx(-5.0)
+
+
+class TestFetch:
+    def test_best_resolution_first(self):
+        rrd = gauge_rrd(step=10.0)
+        for i in range(1, 201):
+            rrd.update(i * 10.0, float(i))
+        # recent window covered by the fine archive: 10s spacing
+        series = rrd.fetch(1900.0, 2000.0)
+        spacings = {round(b - a, 6) for (a, _), (b, _) in zip(series, series[1:])}
+        assert spacings == {10.0}
+
+    def test_old_history_served_by_coarse_archive(self):
+        rrd = gauge_rrd(step=10.0)
+        for i in range(1, 201):
+            rrd.update(i * 10.0, float(i))
+        # the fine archive holds 100 rows = 1000s; ask for older data
+        series = rrd.fetch(0.0, 500.0)
+        assert series, "coarse archive must cover old history"
+        spacings = {round(b - a, 6) for (a, _), (b, _) in zip(series, series[1:])}
+        assert spacings == {100.0}
+
+    def test_mixed_window_stitches_resolutions(self):
+        rrd = gauge_rrd(step=10.0)
+        for i in range(1, 201):
+            rrd.update(i * 10.0, float(i))
+        series = rrd.fetch(500.0, 2000.0)
+        spacings = sorted({round(b - a, 6) for (a, _), (b, _) in
+                           zip(series, series[1:])})
+        assert 10.0 in spacings and 100.0 in spacings
+
+    def test_describe_structure(self):
+        rrd = gauge_rrd()
+        info = rrd.describe()
+        assert info["ds"]["name"] == "metric"
+        assert len(info["rras"]) == 3
+        assert info["rras"][0]["resolution"] == 10.0
+
+    @given(st.lists(st.floats(0.1, 1000.0), min_size=5, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_fetch_values_within_input_range(self, values):
+        rrd = gauge_rrd(step=10.0, heartbeat=25.0)
+        for i, value in enumerate(values, start=1):
+            rrd.update(i * 10.0, value)
+        series = rrd.fetch(0.0, (len(values) + 1) * 10.0)
+        lo, hi = min(values), max(values)
+        for _, v in series:
+            assert lo - 1e-9 <= v <= hi + 1e-9

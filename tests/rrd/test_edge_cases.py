@@ -1,0 +1,91 @@
+"""RRD edge cases: consolidation selection, windows, boundaries."""
+
+import math
+
+import pytest
+
+from repro.rrd.database import DataSourceSpec, RoundRobinDatabase
+from repro.rrd.rra import ConsolidationFunction, RraSpec
+
+
+def multi_cf_rrd():
+    return RoundRobinDatabase(
+        DataSourceSpec(name="m", heartbeat=30.0),
+        step=10.0,
+        rras=(
+            RraSpec(ConsolidationFunction.AVERAGE, 2, 50),
+            RraSpec(ConsolidationFunction.MIN, 2, 50),
+            RraSpec(ConsolidationFunction.MAX, 2, 50),
+            RraSpec(ConsolidationFunction.LAST, 2, 50),
+        ),
+    )
+
+
+class TestConsolidationSelection:
+    def fill(self, rrd):
+        values = [5.0, 1.0, 9.0, 3.0]
+        for i, v in enumerate(values, start=1):
+            rrd.update(i * 10.0, v)
+        return values
+
+    def test_min_max_last_fetchable(self):
+        rrd = multi_cf_rrd()
+        self.fill(rrd)
+        avg = rrd.fetch(0.0, 40.0, cf=ConsolidationFunction.AVERAGE)
+        mn = rrd.fetch(0.0, 40.0, cf=ConsolidationFunction.MIN)
+        mx = rrd.fetch(0.0, 40.0, cf=ConsolidationFunction.MAX)
+        last = rrd.fetch(0.0, 40.0, cf=ConsolidationFunction.LAST)
+        assert [v for _, v in avg] == [pytest.approx(3.0), pytest.approx(6.0)]
+        assert [v for _, v in mn] == [1.0, 3.0]
+        assert [v for _, v in mx] == [5.0, 9.0]
+        assert [v for _, v in last] == [1.0, 3.0]
+
+    def test_cf_ordering_invariant(self):
+        rrd = multi_cf_rrd()
+        self.fill(rrd)
+        for (t1, lo), (t2, hi), (t3, avg) in zip(
+            rrd.fetch(0, 40, cf=ConsolidationFunction.MIN),
+            rrd.fetch(0, 40, cf=ConsolidationFunction.MAX),
+            rrd.fetch(0, 40, cf=ConsolidationFunction.AVERAGE),
+        ):
+            assert t1 == t2 == t3
+            assert lo <= avg <= hi
+
+
+class TestBoundaries:
+    def test_update_exactly_on_step_boundary(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="m", heartbeat=30.0), step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 20),),
+        )
+        rrd.update(10.0, 4.0)
+        rrd.update(20.0, 8.0)
+        series = rrd.fetch(0.0, 20.0)
+        assert series == [(10.0, pytest.approx(4.0)), (20.0, pytest.approx(8.0))]
+
+    def test_sub_step_updates_average_within_pdp(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="m", heartbeat=30.0), step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 20),),
+        )
+        rrd.update(2.0, 10.0)
+        rrd.update(4.0, 20.0)
+        rrd.update(10.0, 40.0)
+        series = rrd.fetch(0.0, 10.0)
+        # time-weighted: 10*2 + 20*2 + 40*6 over 10 s
+        assert series[0][1] == pytest.approx((20 + 40 + 240) / 10.0)
+
+    def test_fetch_window_larger_than_retention(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="m", heartbeat=30.0), step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 5),),
+        )
+        for i in range(1, 21):
+            rrd.update(i * 10.0, float(i))
+        series = rrd.fetch(0.0, 1e9)
+        assert len(series) == 5  # only the retained rows
+        assert [v for _, v in series] == [16.0, 17.0, 18.0, 19.0, 20.0]
+
+    def test_empty_fetch_before_any_update(self):
+        rrd = multi_cf_rrd()
+        assert rrd.fetch(0.0, 100.0) == []

@@ -1,0 +1,75 @@
+"""RRD persistence round-trips."""
+
+import math
+
+import pytest
+
+from repro.rrd.database import DataSourceSpec, RoundRobinDatabase, RrdError
+from repro.rrd.fileio import load_rrd, rrd_from_dict, rrd_to_dict, save_rrd
+from repro.rrd.rra import ConsolidationFunction, RraSpec
+
+
+def sample_rrd():
+    rrd = RoundRobinDatabase(
+        DataSourceSpec(name="pdu", kind="GAUGE", heartbeat=40.0),
+        step=15.0,
+        rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 60),
+              RraSpec(ConsolidationFunction.MAX, 4, 60)),
+    )
+    for i in range(1, 41):
+        rrd.update(i * 15.0, 168.0 + (i % 5))
+    return rrd
+
+
+class TestRoundTrip:
+    def test_fetch_identical_after_roundtrip(self):
+        rrd = sample_rrd()
+        clone = rrd_from_dict(rrd_to_dict(rrd))
+        assert clone.fetch(0.0, 600.0) == rrd.fetch(0.0, 600.0)
+
+    def test_updates_continue_after_reload(self):
+        rrd = sample_rrd()
+        clone = rrd_from_dict(rrd_to_dict(rrd))
+        rrd.update(615.0, 170.0)
+        clone.update(615.0, 170.0)
+        assert clone.fetch(500.0, 620.0) == rrd.fetch(500.0, 620.0)
+
+    def test_nan_encoded_as_null(self):
+        rrd = sample_rrd()
+        rrd.update(700.0, 170.0)  # gap > heartbeat -> unknown PDPs
+        data = rrd_to_dict(rrd)
+        import json
+
+        text = json.dumps(data)  # must not raise on NaN
+        clone = rrd_from_dict(json.loads(text))
+        original = rrd.fetch(0.0, 700.0, include_unknown=True)
+        restored = clone.fetch(0.0, 700.0, include_unknown=True)
+        assert len(original) == len(restored)
+        for (t1, v1), (t2, v2) in zip(original, restored):
+            assert t1 == t2
+            assert (math.isnan(v1) and math.isnan(v2)) or v1 == v2
+
+    def test_save_load_file(self, tmp_path):
+        rrd = sample_rrd()
+        path = tmp_path / "pdu.rrd.json"
+        save_rrd(rrd, str(path))
+        clone = load_rrd(str(path))
+        assert clone.fetch(0.0, 600.0) == rrd.fetch(0.0, 600.0)
+
+    def test_unsupported_format_rejected(self):
+        data = rrd_to_dict(sample_rrd())
+        data["format"] = 99
+        with pytest.raises(RrdError):
+            rrd_from_dict(data)
+
+    def test_counter_state_preserved(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="ctr", kind="COUNTER", heartbeat=30.0),
+            step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 30),),
+        )
+        rrd.update(10.0, 1000.0)
+        clone = rrd_from_dict(rrd_to_dict(rrd))
+        rrd.update(20.0, 2000.0)
+        clone.update(20.0, 2000.0)
+        assert clone.fetch(10.0, 20.0) == rrd.fetch(10.0, 20.0)

@@ -1,0 +1,136 @@
+"""Activity objects: states, phases, waitable protocol."""
+
+import math
+
+import pytest
+
+from repro.simgrid.activities import (
+    ActivityState,
+    CommActivity,
+    ExecActivity,
+    SleepActivity,
+    Waitable,
+)
+from repro.simgrid.platform import Host
+
+
+def make_comm(size=1e6, latency=1e-3):
+    src, dst = Host("src"), Host("dst")
+    return CommActivity("c", src, dst, size, route=[],
+                        startup_latency=latency, weight=1.0, bound=math.inf)
+
+
+class TestWaitable:
+    def test_callback_after_fire(self):
+        w = Waitable()
+        seen = []
+        w.add_done_callback(lambda x: seen.append("first"))
+        w._fire()
+        assert seen == ["first"]
+        # registering after completion fires immediately
+        w.add_done_callback(lambda x: seen.append("late"))
+        assert seen == ["first", "late"]
+
+    def test_fire_idempotent(self):
+        w = Waitable()
+        seen = []
+        w.add_done_callback(lambda x: seen.append(1))
+        w._fire()
+        w._fire()
+        assert seen == [1]
+
+
+class TestCommPhases:
+    def test_starts_in_latency_phase(self):
+        comm = make_comm()
+        assert comm.state is ActivityState.LATENCY
+        assert comm.remaining == pytest.approx(1e-3)
+        assert comm.rate == 1.0
+
+    def test_latency_phase_transitions_to_transfer(self):
+        comm = make_comm()
+        comm.advance(1e-3)
+        assert comm.remaining == 0.0
+        finished = comm.phase_complete(now=1e-3)
+        assert not finished
+        assert comm.state is ActivityState.RUNNING
+        assert comm.remaining == pytest.approx(1e6)
+        assert comm.rate == 0.0  # waits for the next share
+
+    def test_transfer_completion(self):
+        comm = make_comm()
+        comm.phase_complete(now=1e-3)
+        comm.rate = 1e6
+        comm.advance(1.0)
+        assert comm.remaining == 0.0
+        assert comm.phase_complete(now=1.001)
+        assert comm.state is ActivityState.DONE
+        assert comm.finish_time == 1.001
+
+    def test_zero_latency_skips_phase(self):
+        comm = make_comm(latency=0.0)
+        assert comm.state is ActivityState.RUNNING
+        assert comm.remaining == pytest.approx(1e6)
+
+    def test_zero_size_completes_after_latency(self):
+        comm = make_comm(size=0.0)
+        comm.advance(1e-3)
+        assert comm.phase_complete(now=1e-3)
+        assert comm.state is ActivityState.DONE
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_comm(size=-1.0)
+
+    def test_cancel_fires_once(self):
+        comm = make_comm()
+        seen = []
+        comm.add_done_callback(lambda w: seen.append("done"))
+        comm.cancel(now=0.5)
+        comm.cancel(now=0.7)
+        assert comm.state is ActivityState.CANCELED
+        assert comm.finish_time == 0.5
+        assert seen == ["done"]
+
+
+class TestTimeToCompletion:
+    def test_infinite_when_rate_zero(self):
+        comm = make_comm()
+        comm.phase_complete(now=0.0)
+        assert comm.time_to_completion() == math.inf
+
+    def test_finite_with_rate(self):
+        comm = make_comm(latency=0.0)
+        comm.rate = 2e6
+        assert comm.time_to_completion() == pytest.approx(0.5)
+
+    def test_done_activity_never_schedules(self):
+        comm = make_comm(size=0.0, latency=0.0)
+        comm.phase_complete(now=0.0)
+        assert comm.time_to_completion() == math.inf
+
+
+class TestExecAndSleep:
+    def test_exec_validation(self):
+        with pytest.raises(ValueError):
+            ExecActivity("e", Host("h"), -1.0)
+
+    def test_exec_progress(self):
+        activity = ExecActivity("e", Host("h"), 1e9)
+        activity.rate = 5e8
+        activity.advance(1.0)
+        assert activity.remaining == pytest.approx(5e8)
+
+    def test_sleep_drains_in_real_time(self):
+        sleep = SleepActivity("s", 2.0)
+        assert sleep.rate == 1.0
+        sleep.advance(1.5)
+        assert sleep.remaining == pytest.approx(0.5)
+
+    def test_sleep_validation(self):
+        with pytest.raises(ValueError):
+            SleepActivity("s", -0.1)
+
+    def test_duration_nan_until_finished(self):
+        activity = ExecActivity("e", Host("h"), 1e9)
+        assert math.isnan(activity.duration)

@@ -1,0 +1,94 @@
+"""Topology builders."""
+
+import pytest
+
+from repro.simgrid.builder import (
+    add_grouped_cluster,
+    build_dumbbell,
+    build_star_cluster,
+    build_two_level_grid,
+)
+from repro.simgrid.engine import Simulation
+from repro.simgrid.models import CM02
+from repro.simgrid.platform import Platform, SharingPolicy
+
+
+class TestStarCluster:
+    def test_host_count_and_names(self):
+        p = build_star_cluster("c", 5)
+        names = sorted(h.name for h in p.hosts())
+        assert names == [f"c-{i}" for i in range(1, 6)]
+
+    def test_full_mesh_routes(self):
+        p = build_star_cluster("c", 4)
+        for i in range(1, 5):
+            for j in range(1, 5):
+                if i != j:
+                    route = p.route(f"c-{i}", f"c-{j}")
+                    assert len(route) == 2
+
+    def test_private_link_per_host(self):
+        p = build_star_cluster("c", 3)
+        assert sorted(l.name for l in p.links()) == [
+            "c-1-link", "c-2-link", "c-3-link"]
+
+
+class TestGroupedCluster:
+    def test_graphene_like_numbering(self):
+        p = Platform("p")
+        add_grouped_cluster(p, "g", (3, 2))
+        names = sorted(h.name for h in p.hosts())
+        assert names == ["g-1", "g-2", "g-3", "g-4", "g-5"]
+
+    def test_intra_group_route_skips_uplink(self):
+        p = Platform("p")
+        add_grouped_cluster(p, "g", (3, 2))
+        route = p.route("g-1", "g-2")
+        assert [u.link.name for u in route] == ["g-1-link", "g-2-link"]
+
+    def test_inter_group_route_crosses_both_uplinks(self):
+        p = Platform("p")
+        add_grouped_cluster(p, "g", (3, 2))
+        route = p.route("g-1", "g-4")
+        assert [u.link.name for u in route] == [
+            "g-1-link", "g-uplink1", "g-uplink2", "g-4-link"]
+
+    def test_uplink_policy_configurable(self):
+        p = Platform("p")
+        cluster = add_grouped_cluster(
+            p, "g", (2, 2), uplink_policy=SharingPolicy.FULLDUPLEX
+        )
+        assert cluster.links["g-uplink1"].policy is SharingPolicy.FULLDUPLEX
+
+
+class TestDumbbell:
+    def test_cross_traffic_shares_bottleneck(self):
+        p = build_dumbbell(2, 2, bottleneck_bandwidth="1Gbps")
+        sim = Simulation(p, CM02())
+        comms = sim.simulate_transfers(
+            [("left-1", "right-1", 1e9), ("left-2", "right-2", 1e9)]
+        )
+        for comm in comms:
+            assert comm.duration == pytest.approx(16.0, rel=1e-2)
+
+    def test_same_side_pairs_bypass_bottleneck(self):
+        p = build_dumbbell(2, 2)
+        route = p.route("left-1", "left-2")
+        assert all("bottleneck" not in u.link.name for u in route)
+
+
+class TestTwoLevelGrid:
+    def test_sites_and_backbone(self):
+        p = build_two_level_grid({"a": 2, "b": 2, "c": 2})
+        bb_links = [l for l in p.links() if l.name.startswith("bb-")]
+        assert len(bb_links) == 3  # full mesh of 3 sites
+
+    def test_cross_site_route_uses_backbone(self):
+        p = build_two_level_grid({"a": 2, "b": 2})
+        route = p.route("a-1", "b-2")
+        assert [u.link.name for u in route] == ["a-1-link", "bb-a-b", "b-2-link"]
+
+    def test_intra_site_route_stays_local(self):
+        p = build_two_level_grid({"a": 3, "b": 2})
+        route = p.route("a-1", "a-3")
+        assert all(not u.link.name.startswith("bb-") for u in route)

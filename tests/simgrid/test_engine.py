@@ -1,0 +1,220 @@
+"""DES kernel: timings, sharing, phases, events."""
+
+import math
+
+import pytest
+
+from repro.simgrid.builder import build_dumbbell, build_star_cluster
+from repro.simgrid.engine import Simulation, SimulationError
+from repro.simgrid.models import CM02, LV08
+from repro.simgrid.trace import Trace
+
+
+class TestSingleTransfer:
+    def test_duration_matches_analytic_lv08(self, star4):
+        sim = Simulation(star4, LV08())
+        comm = sim.simulate_transfers([("star-1", "star-2", 1e9)])[0]
+        expected = 13.01 * 2e-4 + 1e9 / (0.97 * 1.25e8)
+        assert comm.duration == pytest.approx(expected, rel=1e-6)
+
+    def test_duration_matches_analytic_cm02(self, star4):
+        sim = Simulation(star4, CM02())
+        comm = sim.simulate_transfers([("star-1", "star-2", 1e9)])[0]
+        expected = 2e-4 + 1e9 / 1.25e8
+        assert comm.duration == pytest.approx(expected, rel=1e-6)
+
+    def test_zero_size_transfer_costs_latency_only(self, star4):
+        sim = Simulation(star4, LV08())
+        comm = sim.simulate_transfers([("star-1", "star-2", 0.0)])[0]
+        assert comm.duration == pytest.approx(13.01 * 2e-4, rel=1e-6)
+
+    def test_finish_times_set(self, star4):
+        sim = Simulation(star4)
+        comm = sim.simulate_transfers([("star-1", "star-2", 1e6)])[0]
+        assert comm.start_time == 0.0
+        assert comm.finish_time == pytest.approx(comm.duration)
+        assert sim.clock == pytest.approx(comm.finish_time)
+
+
+class TestSharing:
+    def test_two_flows_same_destination_halve(self, star4):
+        sim = Simulation(star4, CM02())
+        comms = sim.simulate_transfers(
+            [("star-1", "star-3", 1e9), ("star-2", "star-3", 1e9)]
+        )
+        lone = 1e9 / 1.25e8
+        for comm in comms:
+            assert comm.duration == pytest.approx(2 * lone, rel=1e-3)
+
+    def test_disjoint_flows_do_not_interact(self, star4):
+        sim = Simulation(star4, CM02())
+        comms = sim.simulate_transfers(
+            [("star-1", "star-2", 1e9), ("star-3", "star-4", 1e9)]
+        )
+        lone = 2e-4 + 1e9 / 1.25e8
+        for comm in comms:
+            assert comm.duration == pytest.approx(lone, rel=1e-6)
+
+    def test_shared_bottleneck_counts_both_directions(self, dumbbell):
+        sim = Simulation(dumbbell, CM02())
+        comms = sim.simulate_transfers(
+            [("left-1", "right-1", 1e9), ("right-2", "left-2", 1e9)]
+        )
+        # SHARED policy: opposite directions compete on one constraint
+        for comm in comms:
+            assert comm.duration == pytest.approx(2 * 1e9 / 1.25e8, rel=1e-2)
+
+    def test_fullduplex_directions_are_independent(self):
+        from repro.simgrid.platform import SharingPolicy
+
+        p = build_dumbbell(2, 2, bottleneck_bandwidth="1Gbps",
+                           bottleneck_policy=SharingPolicy.FULLDUPLEX)
+        sim = Simulation(p, CM02())
+        comms = sim.simulate_transfers(
+            [("left-1", "right-1", 1e9), ("right-2", "left-2", 1e9)]
+        )
+        for comm in comms:
+            assert comm.duration == pytest.approx(1e9 / 1.25e8, rel=1e-2)
+
+    def test_early_completion_releases_bandwidth(self, star4):
+        # a short flow and a long flow to the same NIC: after the short one
+        # finishes, the long one speeds up — total < twice-the-lone-time
+        sim = Simulation(star4, CM02())
+        comms = sim.simulate_transfers(
+            [("star-1", "star-3", 2e9), ("star-2", "star-3", 2e8)]
+        )
+        long, short = comms
+        lone_long = 2e9 / 1.25e8
+        assert short.duration == pytest.approx(2 * 2e8 / 1.25e8, rel=1e-2)
+        # long flow: shares for ~3.2s, then full rate
+        assert lone_long < long.duration < lone_long + short.duration + 0.1
+
+    def test_gamma_caps_long_fat_paths(self):
+        p = build_dumbbell(1, 1, bottleneck_bandwidth="10Gbps",
+                           bottleneck_latency="20ms")
+        sim = Simulation(p, LV08())
+        comm = sim.simulate_transfers([("left-1", "right-1", 1e9)])[0]
+        lat = 2 * 5e-5 + 2e-2
+        cap = 4194304.0 / (2 * lat)
+        expected_transfer = 1e9 / cap
+        assert comm.duration == pytest.approx(
+            13.01 * lat + expected_transfer, rel=1e-3
+        )
+
+
+class TestLoopback:
+    def test_same_host_transfer_uses_loopback(self, star4):
+        sim = Simulation(star4, LV08(), loopback_bandwidth=1e10,
+                         loopback_latency=1e-6)
+        comm = sim.simulate_transfers([("star-1", "star-1", 1e8)])[0]
+        assert comm.duration == pytest.approx(1e-6 + 1e-2, rel=1e-6)
+
+    def test_loopback_not_shared(self, star4):
+        sim = Simulation(star4, LV08(), loopback_bandwidth=1e10)
+        comms = sim.simulate_transfers(
+            [("star-1", "star-1", 1e8), ("star-1", "star-1", 1e8)]
+        )
+        assert comms[0].duration == pytest.approx(comms[1].duration)
+        assert comms[0].duration < 2 * 1e-2
+
+
+class TestExec:
+    def test_exec_duration(self, star4):
+        sim = Simulation(star4)
+        activity = sim.add_exec("star-1", 2e9)
+        sim.run()
+        assert activity.duration == pytest.approx(2.0)  # 1 Gf host
+
+    def test_execs_share_host(self, star4):
+        sim = Simulation(star4)
+        a1 = sim.add_exec("star-1", 1e9)
+        a2 = sim.add_exec("star-1", 1e9)
+        sim.run()
+        assert a1.duration == pytest.approx(2.0, rel=1e-6)
+        assert a2.duration == pytest.approx(2.0, rel=1e-6)
+
+    def test_multicore_host_runs_parallel_execs_at_full_speed(self):
+        from repro.simgrid.platform import Platform
+
+        p = Platform("p")
+        p.root.add_host("h", speed=1e9, cores=4)
+        sim = Simulation(p)
+        activities = [sim.add_exec("h", 1e9) for _ in range(4)]
+        sim.run()
+        for a in activities:
+            assert a.duration == pytest.approx(1.0, rel=1e-6)
+
+    def test_single_exec_capped_at_one_core(self):
+        from repro.simgrid.platform import Platform
+
+        p = Platform("p")
+        p.root.add_host("h", speed=1e9, cores=4)
+        sim = Simulation(p)
+        a = sim.add_exec("h", 1e9)
+        sim.run()
+        assert a.duration == pytest.approx(1.0, rel=1e-6)
+
+
+class TestKernel:
+    def test_run_until_stops_clock(self, star4):
+        sim = Simulation(star4, CM02())
+        sim.add_comm("star-1", "star-2", 1e9)  # ~8s
+        sim.run(until=1.0)
+        assert sim.clock == pytest.approx(1.0)
+
+    def test_run_until_preserves_progress(self, star4):
+        sim = Simulation(star4, CM02())
+        comm = sim.add_comm("star-1", "star-2", 1e9)
+        sim.run(until=4.0)
+        remaining_before = comm.remaining
+        assert 0 < remaining_before < 1e9
+        sim.run()
+        assert comm.state.value == "done"
+        assert comm.finish_time == pytest.approx(2e-4 + 8.0, rel=1e-3)
+
+    def test_timers_fire_in_order(self, star4):
+        sim = Simulation(star4)
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.clock == pytest.approx(3.0)
+
+    def test_negative_delay_rejected(self, star4):
+        sim = Simulation(star4)
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_unknown_host_rejected(self, star4):
+        from repro.simgrid.platform import UnknownElementError
+
+        sim = Simulation(star4)
+        with pytest.raises(UnknownElementError):
+            sim.add_comm("ghost", "star-1", 1e6)
+
+    def test_trace_records_start_and_end(self, star4):
+        trace = Trace()
+        sim = Simulation(star4, trace=trace)
+        sim.simulate_transfers([("star-1", "star-2", 1e6)])
+        assert len(trace.of_kind("comm_start")) == 1
+        assert len(trace.of_kind("activity_end")) == 1
+
+    def test_cancel_releases_bandwidth(self, star4):
+        sim = Simulation(star4, CM02())
+        c1 = sim.add_comm("star-1", "star-3", 1e9)
+        c2 = sim.add_comm("star-2", "star-3", 1e9)
+        sim.run(until=1.0)
+        c2.cancel(sim.clock)
+        sim.run()
+        # c1 shared only briefly; duration well below the full-sharing 16s
+        assert c1.finish_time < 10.0
+
+    def test_clock_monotonic_across_many_events(self, star4):
+        sim = Simulation(star4, CM02())
+        times = []
+        for i in range(20):
+            sim.schedule(i * 0.1, lambda: times.append(sim.clock))
+        sim.simulate_transfers([("star-1", "star-2", 1e8)])
+        assert times == sorted(times)

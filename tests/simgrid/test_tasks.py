@@ -1,0 +1,69 @@
+"""Task graph model."""
+
+import pytest
+
+from repro.simgrid.tasks import Task, TaskGraph
+
+
+class TestTask:
+    def test_valid(self):
+        t = Task("t", flops=1e9, output_bytes=1e6)
+        assert t.flops == 1e9
+
+    def test_rejects_negative_flops(self):
+        with pytest.raises(ValueError):
+            Task("t", flops=-1)
+
+    def test_rejects_negative_output(self):
+        with pytest.raises(ValueError):
+            Task("t", output_bytes=-1)
+
+
+class TestTaskGraph:
+    def build_diamond(self):
+        g = TaskGraph()
+        for name in ("a", "b", "c", "d"):
+            g.add_task(Task(name, flops=1e9, output_bytes=1e6), host=f"h-{name}")
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        return g
+
+    def test_relations(self):
+        g = self.build_diamond()
+        assert sorted(g.successors("a")) == ["b", "c"]
+        assert sorted(g.predecessors("d")) == ["b", "c"]
+        assert g.roots() == ["a"]
+
+    def test_validate_accepts_dag(self):
+        self.build_diamond().validate()
+
+    def test_cycle_detected(self):
+        g = TaskGraph()
+        g.add_task(Task("a"), "h1")
+        g.add_task(Task("b"), "h2")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(ValueError, match="cycle"):
+            g.validate()
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        g.add_task(Task("a"), "h1")
+        with pytest.raises(ValueError):
+            g.add_task(Task("a"), "h2")
+
+    def test_duplicate_edge_rejected(self):
+        g = TaskGraph()
+        g.add_task(Task("a"), "h1")
+        g.add_task(Task("b"), "h2")
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b")
+
+    def test_edge_to_unknown_task_rejected(self):
+        g = TaskGraph()
+        g.add_task(Task("a"), "h1")
+        with pytest.raises(ValueError):
+            g.add_edge("a", "ghost")

@@ -1,0 +1,91 @@
+"""Command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestInformational:
+    def test_version(self):
+        code, text = run_cli("version")
+        assert code == 0
+        assert "repro 1" in text
+
+    def test_figures_listing(self):
+        code, text = run_cli("figures")
+        assert code == 0
+        for fig in ("fig3", "fig9", "fig11"):
+            assert fig in text
+
+    def test_platforms(self):
+        code, text = run_cli("platforms")
+        assert code == 0
+        assert "g5k_test: 463 hosts" in text
+        assert "g5k_cabinets" in text
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("teleport")
+
+
+class TestPredict:
+    def test_paper_example(self):
+        code, text = run_cli(
+            "predict", "--platform", "g5k_test",
+            "--transfer",
+            "capricorne-36.lyon.grid5000.fr,griffon-50.nancy.grid5000.fr,5e8",
+            "--transfer",
+            "capricorne-36.lyon.grid5000.fr,capricorne-1.lyon.grid5000.fr,5e8",
+        )
+        assert code == 0
+        answers = json.loads(text)
+        assert len(answers) == 2
+        assert {"src", "dst", "size", "duration"} == set(answers[0])
+
+    def test_model_selection_changes_result(self):
+        transfer = ("sagittaire-1.lyon.grid5000.fr,"
+                    "sagittaire-2.lyon.grid5000.fr,1e9")
+        _, lv08 = run_cli("predict", "--transfer", transfer)
+        _, cm02 = run_cli("predict", "--transfer", transfer, "--model", "CM02")
+        assert (json.loads(lv08)[0]["duration"]
+                > json.loads(cm02)[0]["duration"])
+
+    def test_ongoing_option(self):
+        transfer = ("graphene-1.nancy.grid5000.fr,"
+                    "graphene-2.nancy.grid5000.fr,1e9")
+        ongoing = ("graphene-3.nancy.grid5000.fr,"
+                   "graphene-2.nancy.grid5000.fr,1e9")
+        _, alone = run_cli("predict", "--transfer", transfer)
+        _, busy = run_cli("predict", "--transfer", transfer,
+                          "--ongoing", ongoing)
+        assert (json.loads(busy)[0]["duration"]
+                > 1.4 * json.loads(alone)[0]["duration"])
+
+    def test_transfer_required(self):
+        with pytest.raises(SystemExit):
+            run_cli("predict")
+
+
+class TestExperiment:
+    def test_runs_reduced_figure(self):
+        code, text = run_cli(
+            "experiment", "--figure", "fig7", "--reps", "1",
+            "--sizes", "1e5,2.15e8,1e10",
+        )
+        assert code == 0
+        assert "shape checks: PASS" in text
+        assert "graphene" in text
+
+    def test_unknown_figure(self):
+        code, text = run_cli("experiment", "--figure", "fig99")
+        assert code == 2
+        assert "unknown figure" in text

@@ -1,0 +1,72 @@
+"""Shared utilities: seeded RNG derivation and stats."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.rng import derive_seed, rng_for
+from repro._util.stats import BoxStats, box_stats, median, quantile, stddev
+
+
+class TestRng:
+    def test_derive_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_labels_decorrelate(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_non_negative_63bit(self):
+        seed = derive_seed(123456789, "x", (1, 2), 3.5)
+        assert 0 <= seed < 2**63
+
+    def test_rng_for_reproducible_streams(self):
+        a = rng_for(7, "stream").normal(size=5)
+        b = rng_for(7, "stream").normal(size=5)
+        assert (a == b).all()
+
+    def test_rng_for_independent_streams(self):
+        a = rng_for(7, "s1").normal(size=5)
+        b = rng_for(7, "s2").normal(size=5)
+        assert not (a == b).all()
+
+
+class TestStats:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_quantile_interpolation(self):
+        data = [0.0, 10.0]
+        assert quantile(data, 0.5) == 5.0
+        assert quantile(data, 0.25) == 2.5
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_quantile_matches_numpy(self):
+        import numpy as np
+
+        data = [3.0, 7.0, 1.0, 9.0, 4.0, 4.0]
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert quantile(data, q) == pytest.approx(np.quantile(data, q))
+
+    def test_stddev(self):
+        assert stddev([2.0, 4.0]) == pytest.approx(1.0)
+        assert stddev([5.0]) == 0.0
+
+    def test_box_stats(self):
+        stats = box_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats == BoxStats(1.0, 2.0, 3.0, 4.0, 5.0, 5)
+        assert stats.iqr == 2.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_box_stats_ordering_invariant(self, values):
+        stats = box_stats(values)
+        assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum

@@ -1,0 +1,47 @@
+"""Profiling harness for the prediction hot path.
+
+Per the optimization workflow (make it work → test → profile), this script
+cProfiles a whole-grid 60-transfer prediction — the heaviest online request
+the paper's campaign issues — and prints the top cumulative entries, so
+regressions in the solver or the kernel are easy to spot.
+
+Run:  python tools/profile_prediction.py [n_transfers]
+"""
+
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.experiments.environment import forecast_service, root_seed
+from repro.experiments.protocol import ExperimentSpec, Topology, draw_transfer_pairs
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    service = forecast_service()
+    spec = ExperimentSpec("profile", Topology.GRID_MULTI, n, n)
+    pairs = draw_transfer_pairs(spec, root_seed())
+    transfers = [(src, dst, 5e8) for src, dst in pairs]
+
+    # warm the route cache the way a long-lived Pilgrim instance would be
+    service.predict_transfers("g5k_test", transfers)
+
+    start = time.perf_counter()
+    repeats = 20
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(repeats):
+        service.predict_transfers("g5k_test", transfers)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    print(f"{repeats} predictions of {n} concurrent transfers: "
+          f"{elapsed / repeats * 1e3:.2f} ms each "
+          f"(paper bound for 30 transfers: 100 ms)\n")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(15)
+
+
+if __name__ == "__main__":
+    main()
