@@ -1,0 +1,140 @@
+"""Incremental vs. full re-solve: the event-loop speedup that motivates the
+persistent :class:`~repro.simgrid.maxmin.SharingSystem` arena.
+
+Workload: the 30x30 (fig5, sagittaire) and 50x50 (fig9, graphene) campaign
+shapes with the full 10-point size sweep running concurrently — completions
+arrive in waves, so the event loop re-shares bandwidth many times per run,
+which is exactly the regime the paper's large campaigns (and the ROADMAP
+30x30/50x50/60x60 figure benches) spend their time in.
+
+Asserted: ≥3x speedup on the 30x30 shape, plus bitwise-stable summary
+statistics (both modes' per-transfer durations agree to 12 significant
+digits; on the disjoint 30x30 shape they are bit-identical).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis.tables import render_table
+from repro.experiments import environment
+from repro.experiments.figures import FIGURES
+from repro.experiments.protocol import TRANSFER_SIZES, draw_transfer_pairs
+from repro.simgrid.engine import Simulation
+from repro.simgrid.models import LV08
+
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+REPEATS = 10 if SMOKE else 40
+ROUNDS = 3 if SMOKE else 6
+MODEL = LV08()
+
+
+def campaign_workload(fig_id: str) -> list[tuple[str, str, float]]:
+    pairs = draw_transfer_pairs(FIGURES[fig_id].spec, environment.root_seed())
+    return [
+        (src, dst, TRANSFER_SIZES[i % len(TRANSFER_SIZES)])
+        for i, (src, dst) in enumerate(pairs)
+    ]
+
+
+def run_once(platform, workload, full_resolve: bool) -> Simulation:
+    sim = Simulation(platform, MODEL, full_resolve=full_resolve)
+    sim.simulate_transfers(workload)
+    return sim
+
+
+def durations(platform, workload, full_resolve: bool) -> list[float]:
+    sim = Simulation(platform, MODEL, full_resolve=full_resolve)
+    return [c.duration for c in sim.simulate_transfers(workload)]
+
+
+def best_of(platform, workload, full_resolve: bool) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        for _ in range(REPEATS):
+            run_once(platform, workload, full_resolve)
+        best = min(best, (time.perf_counter() - t0) / REPEATS)
+    return best
+
+
+def summary_statistics(values: list[float]) -> dict[str, str]:
+    """Summary stats at the 12-significant-digit precision the report tables
+    use; identical dicts == bitwise-stable summaries."""
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    median = ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+    return {
+        "n": str(n),
+        "min": f"{ordered[0]:.12g}",
+        "median": f"{median:.12g}",
+        "max": f"{ordered[-1]:.12g}",
+        "mean": f"{sum(ordered) / n:.12g}",
+    }
+
+
+def compare_modes(fig_id: str, console, min_speedup: float) -> float:
+    platform = environment.g5k_test_platform()
+    workload = campaign_workload(fig_id)
+    # warm route/spec caches so neither mode pays one-time setup
+    run_once(platform, workload, True)
+    run_once(platform, workload, False)
+
+    full_durations = durations(platform, workload, True)
+    inc_durations = durations(platform, workload, False)
+    worst_rel = max(
+        abs(a - b) / max(a, b) for a, b in zip(full_durations, inc_durations)
+    )
+    assert worst_rel <= 1e-9, (
+        f"{fig_id}: allocations drifted between modes (max rel diff {worst_rel:.2e})"
+    )
+    full_stats = summary_statistics(full_durations)
+    inc_stats = summary_statistics(inc_durations)
+    assert full_stats == inc_stats, (
+        f"{fig_id}: summary statistics not stable: {full_stats} vs {inc_stats}"
+    )
+
+    full_dt = best_of(platform, workload, True)
+    inc_dt = best_of(platform, workload, False)
+    speedup = full_dt / inc_dt
+    sim = run_once(platform, workload, False)
+    console(render_table(
+        ["metric", "full_resolve", "incremental"],
+        [
+            ("event-loop time (ms)", full_dt * 1e3, inc_dt * 1e3),
+            ("speedup", 1.0, speedup),
+            ("max rel duration diff", 0.0, worst_rel),
+        ],
+        title=f"{fig_id} ({len(workload)} transfers, 10-size sweep): "
+              f"{speedup:.2f}x — sharing {sim.sharing_stats}",
+    ))
+    if SMOKE:
+        # smoke mode exists to prove the bench still runs; wall-clock ratios
+        # on a loaded CI machine are not a correctness signal there
+        console(f"{fig_id}: smoke mode — speedup {speedup:.2f}x reported, "
+                f"≥{min_speedup}x not asserted")
+    else:
+        assert speedup >= min_speedup, (
+            f"{fig_id}: incremental solver only {speedup:.2f}x faster than "
+            f"full_resolve (required ≥{min_speedup}x)"
+        )
+    return speedup
+
+
+def test_incremental_speedup_30x30(console, benchmark):
+    compare_modes("fig5", console, min_speedup=3.0)
+    platform = environment.g5k_test_platform()
+    workload = campaign_workload("fig5")
+    benchmark(lambda: run_once(platform, workload, False))
+
+
+def test_incremental_speedup_50x50(console, benchmark):
+    # graphene's shared uplinks form one large component, so the incremental
+    # win is structurally smaller than on the disjoint sagittaire shape —
+    # assert it still clearly beats rebuilding from scratch
+    compare_modes("fig9", console, min_speedup=1.2)
+    platform = environment.g5k_test_platform()
+    workload = campaign_workload("fig9")
+    benchmark(lambda: run_once(platform, workload, False))

@@ -45,6 +45,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="SRC,DST,REMAINING",
                          help="repeatable: in-flight transfers sharing bandwidth")
     predict.add_argument("--model", default="LV08", choices=("LV08", "CM02"))
+    predict.add_argument("--full-resolve", action="store_true",
+                         help="rebuild the whole sharing system at every "
+                              "simulation event (slow verification mode) "
+                              "instead of incremental component re-solves")
 
     serve = sub.add_parser("serve", help="run the Pilgrim HTTP services")
     serve.add_argument("--host", default="127.0.0.1")
@@ -111,7 +115,7 @@ def _cmd_predict(args, out) -> int:
     ongoing = [TransferSpec.parse(t) for t in args.ongoing]
     forecasts = service.predict_transfers(
         args.platform, transfers, model=model_by_name(args.model),
-        ongoing=ongoing,
+        ongoing=ongoing, full_resolve=args.full_resolve,
     )
     out.write(json.dumps([f.to_json() for f in forecasts], indent=1) + "\n")
     return 0

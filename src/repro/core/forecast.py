@@ -103,6 +103,7 @@ class NetworkForecastService:
         model: Optional[NetworkModel] = None,
         ongoing: Sequence[TransferSpec] | Iterable[tuple[str, str, float]] = (),
         capacity_factors: Optional[dict[str, float]] = None,
+        full_resolve: bool = False,
     ) -> list[TransferForecast]:
         """Predict completion times of transfers started concurrently.
 
@@ -114,6 +115,11 @@ class NetworkForecastService:
         available) is the coarse half, typically produced by
         :class:`repro.core.background.BackgroundTrafficModel` from
         metrology counters.
+
+        ``full_resolve=True`` makes the simulation rebuild the whole
+        bandwidth-sharing system at every event instead of the default
+        incremental component re-solves — slower, kept as a verification
+        escape hatch.
 
         Raises :class:`NotFound` for unknown platforms or hosts and
         :class:`BadRequest` for empty requests.
@@ -134,7 +140,8 @@ class NetworkForecastService:
                         f"unknown host {host!r} on platform {platform_name!r}"
                     )
         sim = Simulation(platform, model or self.model,
-                         capacity_factors=capacity_factors)
+                         capacity_factors=capacity_factors,
+                         full_resolve=full_resolve)
         try:
             for spec in ongoing_specs:
                 sim.add_comm(spec.src, spec.dst, spec.size,

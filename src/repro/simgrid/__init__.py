@@ -29,12 +29,13 @@ from repro.simgrid.platform import (
     Link,
     LinkUse,
     Platform,
+    RouteCache,
     Router,
     SharingPolicy,
 )
 from repro.simgrid.models import NetworkModel, CM02, LV08
 from repro.simgrid.engine import Simulation
-from repro.simgrid.maxmin import MaxMinSystem
+from repro.simgrid.maxmin import MaxMinSystem, SharingSystem
 
 __all__ = [
     "AutonomousSystem",
@@ -43,6 +44,7 @@ __all__ = [
     "Link",
     "LinkUse",
     "Platform",
+    "RouteCache",
     "Router",
     "SharingPolicy",
     "NetworkModel",
@@ -50,4 +52,5 @@ __all__ = [
     "LV08",
     "Simulation",
     "MaxMinSystem",
+    "SharingSystem",
 ]

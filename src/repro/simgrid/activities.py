@@ -62,7 +62,8 @@ class Waitable:
 class Activity(Waitable):
     """Base class for resource-consuming activities."""
 
-    __slots__ = ("name", "state", "start_time", "finish_time", "remaining", "rate")
+    __slots__ = ("name", "state", "start_time", "finish_time", "remaining",
+                 "rate", "usages", "scale")
 
     def __init__(self, name: str) -> None:
         super().__init__()
@@ -72,6 +73,14 @@ class Activity(Waitable):
         self.finish_time = math.nan
         self.remaining = 0.0
         self.rate = 0.0
+        #: cached ``(constraint key, capacity, coefficient)`` triples — the
+        #: activity's consumption on the sharing system, computed once by the
+        #: engine at start instead of re-derived from the route every event
+        self.usages: tuple[tuple[object, float, float], ...] = ()
+        #: completion-tolerance scale (the total amount of work, floored at
+        #: 1), precomputed so the event loop's finish check is a single
+        #: comparison per activity per event
+        self.scale = 1.0
 
     # -- engine protocol ---------------------------------------------------
 
@@ -132,10 +141,13 @@ class CommActivity(Activity):
         self.src = src
         self.dst = dst
         self.size = float(size)
+        # always copy: comm.route is mutable per-activity state and must
+        # never alias the platform's shared route-cache entries
         self.route = list(route)
         self.weight = weight
         self.bound = bound
         self.payload = payload
+        self.scale = max(self.size, 1.0)
         if startup_latency > 0.0:
             self.state = ActivityState.LATENCY
             self.remaining = startup_latency
@@ -171,6 +183,7 @@ class ExecActivity(Activity):
             raise ValueError(f"exec {name!r}: flops must be >= 0, got {flops}")
         self.host = host
         self.flops = float(flops)
+        self.scale = max(self.flops, 1.0)
         self.state = ActivityState.RUNNING
         self.remaining = self.flops
 

@@ -16,6 +16,16 @@ Concretely, each loop iteration:
 
 Same-host communications bypass sharing through a configurable loopback
 (SimGrid models these with a dedicated loopback link as well).
+
+Resource sharing is *incremental* by default: a persistent
+:class:`~repro.simgrid.maxmin.SharingSystem` arena lives across events,
+activities are added when they enter their transfer/compute phase and removed
+when they finish, and each re-share only re-solves the connected components
+touched since the previous event (see ``docs/ARCHITECTURE.md``).  Pass
+``full_resolve=True`` to rebuild the whole bounded max-min system from
+scratch at every event instead — the historical behavior, kept as a
+verification escape hatch (``tests/simgrid/test_incremental_equivalence.py``
+asserts both modes agree within 1e-9).
 """
 
 from __future__ import annotations
@@ -32,9 +42,9 @@ from repro.simgrid.activities import (
     ExecActivity,
     SleepActivity,
 )
-from repro.simgrid.maxmin import MaxMinSystem
+from repro.simgrid.maxmin import MaxMinSystem, SharingSystem
 from repro.simgrid.models import LV08, NetworkModel
-from repro.simgrid.platform import Host, Platform, SharingPolicy
+from repro.simgrid.platform import Host, Platform, link_epoch
 from repro.simgrid.trace import Trace
 
 #: Completion tolerance relative to the activity's total amount of work.
@@ -56,12 +66,16 @@ class Simulation:
         loopback_latency: float = 1.5e-6,
         trace: Optional[Trace] = None,
         capacity_factors: Optional[dict[str, float]] = None,
+        full_resolve: bool = False,
     ) -> None:
         self.platform = platform
         self.model = model if model is not None else LV08()
         self.loopback_bandwidth = float(loopback_bandwidth)
         self.loopback_latency = float(loopback_latency)
         self.trace = trace
+        #: when True, rebuild the whole max-min system at every event (the
+        #: historical behavior) instead of incremental component re-solves
+        self.full_resolve = bool(full_resolve)
         #: per-link capacity scaling in [0, 1], keyed by link name — the
         #: coarse background-traffic model of §VI (bandwidth consumed by
         #: traffic outside this simulation)
@@ -78,6 +92,23 @@ class Simulation:
         self._runnable: list[tuple[object, object]] = []  # (process, send_value)
         self._share_dirty = True
         self._comm_counter = itertools.count()
+        # incremental sharing state: the persistent arena, activity -> variable
+        # id handles, and the activities that entered/left their resource
+        # phase since the last re-share
+        self._sharing = SharingSystem()
+        self._handles: dict[Activity, int] = {}
+        self._started: list[Activity] = []
+        self._finished: list[Activity] = []
+        self._rebuild_sharing = True
+        # set when a process step ran: a process can cancel activities the
+        # event loop hasn't noticed yet, so the next incremental re-share
+        # must sweep the whole arena instead of trusting the delta lists
+        self._sweep_stale = False
+        # link-mutation epoch and capacity factors at which cached activity
+        # usages were computed; a change means every cached
+        # (key, capacity, coefficient) triple must be re-derived
+        self._usage_epoch = link_epoch()
+        self._factors_seen = dict(self.capacity_factors)
 
     # -- public construction API -------------------------------------------
 
@@ -104,15 +135,16 @@ class Simulation:
             )
         else:
             route = self.platform.route(src_host, dst_host)
+            startup, weight, bound, usages = self.model.comm_spec(route)
             comm = CommActivity(
                 name, src_host, dst_host, size, route=route,
-                startup_latency=self.model.startup_latency(route),
-                weight=self.model.flow_weight(route),
-                bound=self.model.rate_bound(route),
+                startup_latency=startup, weight=weight, bound=bound,
                 payload=payload,
             )
+            comm.usages = self._scaled_usages(usages)
         comm.start_time = self.clock
         self._activities.append(comm)
+        self._started.append(comm)
         self._share_dirty = True
         if self.trace is not None:
             self.trace.record(self.clock, "comm_start", name=name,
@@ -125,8 +157,10 @@ class Simulation:
         if name is None:
             name = f"exec-{next(self._comm_counter)}"
         activity = ExecActivity(name, host_obj, flops)
+        activity.usages = self._exec_usages(host_obj)
         activity.start_time = self.clock
         self._activities.append(activity)
+        self._started.append(activity)
         self._share_dirty = True
         if self.trace is not None:
             self.trace.record(self.clock, "exec_start", name=name,
@@ -152,64 +186,177 @@ class Simulation:
         self._runnable.append((process, value))
 
     def _drain_runnable(self) -> None:
+        if self._runnable:
+            # a process step may cancel activities without telling us
+            self._sweep_stale = True
         while self._runnable:
             process, value = self._runnable.pop(0)
             process._step(value)  # type: ignore[attr-defined]
 
     # -- resource sharing ----------------------------------------------------
 
+    def _scaled_usages(
+        self, usages: tuple[tuple[object, float, float], ...]
+    ) -> tuple[tuple[object, float, float], ...]:
+        """Apply per-link capacity factors (coarse background traffic) to the
+        model's cached sharing usages.  The constraint key's first element is
+        the :class:`~repro.simgrid.platform.Link` itself."""
+        if not self.capacity_factors:
+            return usages
+        return tuple(
+            (key, capacity * self.capacity_factors.get(key[0].name, 1.0), coeff)
+            for key, capacity, coeff in usages
+        )
+
+    @staticmethod
+    def _sharing_spec(activity: Activity) -> tuple[float, float]:
+        """(weight, rate bound — ``inf`` when unbounded) of an activity's
+        sharing variable.  Single source of truth for both re-share modes."""
+        if isinstance(activity, CommActivity):
+            return activity.weight, activity.bound
+        host = activity.host  # type: ignore[attr-defined]
+        return 1.0, host.speed
+
+    @staticmethod
+    def _exec_usages(host: Host) -> tuple[tuple[object, float, float], ...]:
+        """The sharing usages of a computation: the host's core pool."""
+        return ((("host", host.name), host.speed * host.cores, 1.0),)
+
+    def _apply_rate(self, activity: Activity, value: float) -> None:
+        if isinstance(activity, CommActivity) and not math.isfinite(value):
+            # no constraint and no bound anywhere on the route: treat as
+            # the loopback rate to keep time finite
+            value = self.loopback_bandwidth
+        activity.rate = value
+
+    def _refresh_usages(self) -> None:
+        """Re-derive every activity's cached sharing usages after in-place
+        link mutation (latency feed recalibration, bandwidth edits) or a
+        capacity-factor change."""
+        for activity in self._activities:
+            if isinstance(activity, CommActivity):
+                if activity.route:
+                    activity.usages = self._scaled_usages(
+                        self.model.sharing_usages(activity.route)
+                    )
+            elif isinstance(activity, ExecActivity):
+                activity.usages = self._exec_usages(activity.host)
+
     def _reshare(self) -> None:
-        """Recompute progress rates for all running activities."""
+        """Recompute progress rates for running activities.
+
+        Incremental mode applies the started/finished deltas to the
+        persistent arena and re-solves only the touched components;
+        ``full_resolve`` rebuilds one :class:`MaxMinSystem` from scratch.
+        """
+        epoch = link_epoch()
+        if epoch != self._usage_epoch or self.capacity_factors != self._factors_seen:
+            # a link changed capacity/latency/policy in place, or the
+            # background-traffic factors moved: stale cached usages must not
+            # survive into the next solve
+            self._usage_epoch = epoch
+            self._factors_seen = dict(self.capacity_factors)
+            self._refresh_usages()
+            self._rebuild_sharing = True
+        if self.full_resolve:
+            self._reshare_full()
+        else:
+            self._reshare_incremental()
+        self._share_dirty = False
+
+    def _reshare_full(self) -> None:
         system = MaxMinSystem()
         constraints: dict[object, object] = {}
         pairs: list[tuple[Activity, object]] = []
 
         for activity in self._activities:
-            if isinstance(activity, CommActivity) and activity.state is ActivityState.RUNNING:
-                bound = activity.bound if math.isfinite(activity.bound) else None
-                var = system.new_variable(weight=activity.weight, bound=bound, payload=activity)
-                for use in activity.route:
-                    link = use.link
-                    if link.policy is SharingPolicy.FATPIPE:
-                        continue  # folded into the bound by the model
-                    key = link.constraint_key(use.direction)
+            if (
+                isinstance(activity, (CommActivity, ExecActivity))
+                and activity.state is ActivityState.RUNNING
+            ):
+                weight, bound = self._sharing_spec(activity)
+                var = system.new_variable(weight=weight, bound=bound, payload=activity)
+                for key, capacity, coefficient in activity.usages:
                     cons = constraints.get(key)
                     if cons is None:
-                        capacity = self.model.effective_bandwidth(link.bandwidth)
-                        capacity *= self.capacity_factors.get(link.name, 1.0)
                         cons = system.new_constraint(capacity, payload=key)
                         constraints[key] = cons
-                    system.expand(cons, var)
-                pairs.append((activity, var))
-            elif isinstance(activity, ExecActivity) and activity.state is ActivityState.RUNNING:
-                host = activity.host
-                key = ("host", host.name)
-                cons = constraints.get(key)
-                if cons is None:
-                    cons = system.new_constraint(host.speed * host.cores, payload=key)
-                    constraints[key] = cons
-                var = system.new_variable(weight=1.0, bound=host.speed, payload=activity)
-                system.expand(cons, var)
+                    system.expand(cons, var, coefficient)
                 pairs.append((activity, var))
 
         system.solve()
         for activity, var in pairs:
-            rate = var.value
-            if isinstance(activity, CommActivity) and not math.isfinite(rate):
-                # no constraint and no bound anywhere on the route: treat as
-                # the loopback rate to keep time finite
-                rate = self.loopback_bandwidth
-            activity.rate = rate
-        self._share_dirty = False
+            self._apply_rate(activity, var.value)
+        # the incremental delta lists are not consumed in this mode — drop
+        # them so completed activities don't accumulate for the run's life
+        self._started.clear()
+        self._finished.clear()
+        self._rebuild_sharing = True
+
+    def _reshare_incremental(self) -> None:
+        if self._rebuild_sharing:
+            # external mutations (cancel between runs, link edits) are
+            # untracked: rebuild the arena from the live activity set
+            if self._handles:
+                self._sharing = SharingSystem()
+                self._handles.clear()
+            self._finished.clear()
+            self._started = list(self._activities)
+            self._rebuild_sharing = False
+        handles = self._handles
+        for activity in self._finished:
+            vid = handles.pop(activity, None)
+            if vid is not None:
+                self._sharing.remove_variable(vid)
+        self._finished.clear()
+        if self._sweep_stale:
+            # a process stepped since the last re-share and may have canceled
+            # activities the event loop hasn't completed yet: evict anything
+            # no longer RUNNING (full mode filters by state too, and the two
+            # modes must agree)
+            self._sweep_stale = False
+            stale = [a for a in handles if a.state is not ActivityState.RUNNING]
+            for activity in stale:
+                self._sharing.remove_variable(handles.pop(activity))
+        for activity in self._started:
+            if (
+                activity.state is ActivityState.RUNNING
+                and isinstance(activity, (CommActivity, ExecActivity))
+                and activity not in handles
+            ):
+                weight, bound = self._sharing_spec(activity)
+                handles[activity] = self._sharing.add_variable_unchecked(
+                    weight, bound, activity, activity.usages
+                )
+        self._started.clear()
+        for activity, value in self._sharing.solve():
+            self._apply_rate(activity, value)
+
+    @property
+    def sharing_stats(self) -> dict:
+        """Counters of the incremental arena (solves, components, …)."""
+        return dict(self._sharing.stats)
 
     # -- main loop -----------------------------------------------------------
 
     def _next_event_time(self) -> float:
+        # inlined hot loop: equivalent to min over Activity.time_to_completion
         t = math.inf
+        done = ActivityState.DONE
+        canceled = ActivityState.CANCELED
         for activity in self._activities:
-            t = min(t, self.clock + activity.time_to_completion())
-        if self._timers:
-            t = min(t, self._timers[0][0])
+            rate = activity.rate
+            if rate <= 0.0:
+                continue
+            state = activity.state
+            if state is done or state is canceled:
+                continue
+            remaining = activity.remaining
+            t_act = self.clock + remaining / rate if remaining > 0.0 else self.clock
+            if t_act < t:
+                t = t_act
+        if self._timers and self._timers[0][0] < t:
+            t = self._timers[0][0]
         return t
 
     def run(self, until: float = math.inf, max_iterations: int = 50_000_000) -> float:
@@ -217,8 +364,10 @@ class Simulation:
 
         Returns the final simulated clock.
         """
-        # external mutations (cancel, link edits) between runs are untracked
+        # external mutations (cancel, link edits) between runs are untracked:
+        # force a re-share and a full arena rebuild
         self._share_dirty = True
+        self._rebuild_sharing = True
         for _ in range(max_iterations):
             self._drain_runnable()
             if self._share_dirty:
@@ -231,17 +380,33 @@ class Simulation:
                     for activity in self._activities:
                         activity.advance(dt)
                     self.clock = until
+                self._drop_sharing_deltas()
                 return self.clock
             dt = t_next - self.clock
             if dt > 0:
+                # inlined Activity.advance over all activities
                 for activity in self._activities:
-                    activity.advance(dt)
+                    rate = activity.rate
+                    if rate > 0.0 and activity.remaining > 0.0:
+                        left = activity.remaining - rate * dt
+                        activity.remaining = left if left > 0.0 else 0.0
             self.clock = t_next
             self._fire_due_timers()
             self._complete_finished()
             if not self._activities and not self._timers and not self._runnable:
+                self._drop_sharing_deltas()
                 return self.clock
         raise SimulationError("max_iterations exceeded; livelocked simulation?")
+
+    def _drop_sharing_deltas(self) -> None:
+        """Forget the started/finished tracking lists at run() exit.
+
+        Every ``run()`` begins with a full arena rebuild (external mutations
+        between runs are untracked), so deltas never survive a return — and
+        holding them would pin completed activities in memory."""
+        self._started.clear()
+        self._finished.clear()
+        self._rebuild_sharing = True
 
     def _fire_due_timers(self) -> None:
         while self._timers and self._timers[0][0] <= self.clock + 1e-15:
@@ -252,22 +417,24 @@ class Simulation:
         still_active: list[Activity] = []
         finished: list[Activity] = []
         for activity in self._activities:
-            total = getattr(activity, "size", None)
-            if isinstance(activity, ExecActivity):
-                total = activity.flops
-            scale = max(total or 1.0, 1.0)
             if (
-                activity.state not in (ActivityState.DONE, ActivityState.CANCELED)
+                activity.state is not ActivityState.DONE
+                and activity.state is not ActivityState.CANCELED
                 and activity.rate > 0.0
-                and activity.remaining <= _REL_EPS * scale
+                and activity.remaining <= _REL_EPS * activity.scale
             ):
                 activity.remaining = 0.0
                 if activity.phase_complete(self.clock):
                     finished.append(activity)
+                    self._finished.append(activity)
                 else:
-                    still_active.append(activity)  # phase transition (latency -> transfer)
+                    # phase transition (latency -> transfer): the activity now
+                    # enters the sharing system
+                    still_active.append(activity)
+                    self._started.append(activity)
                 self._share_dirty = True
             elif activity.state in (ActivityState.DONE, ActivityState.CANCELED):
+                self._finished.append(activity)
                 self._share_dirty = True
             else:
                 still_active.append(activity)

@@ -21,12 +21,24 @@ Solved instances hold:
 
 The solver is numpy-vectorised over constraints and variables; each iteration
 freezes at least one variable or constraint, so at most ``n + m`` passes run.
+
+Two front-ends share the same progressive-filling kernel:
+
+- :class:`MaxMinSystem` — build once, solve once (the historical API, kept as
+  the ``full_resolve`` verification path),
+- :class:`SharingSystem` — a *persistent arena* for the event loop: variables
+  come and go as activities start and finish, coefficient buffers stay alive
+  across events (grow-only, free-list slot reuse), and :meth:`SharingSystem.
+  solve` only re-solves the connected components touched since the last call
+  (dirty-set tracking).  Untouched components keep their previous allocation,
+  which is exact: progressive filling never moves rate between disconnected
+  components.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -85,23 +97,34 @@ class MaxMinSystem:
     ) -> Variable:
         """Add a variable with fairness weight ``weight`` (> 0) and optional
         rate ``bound`` (> 0 or None for unbounded)."""
+        index = len(self.variables)
         if not (weight > 0.0) or not math.isfinite(weight):
-            raise MaxMinError(f"variable weight must be positive and finite: {weight}")
+            raise MaxMinError(
+                f"variable #{index} (payload={payload!r}): weight must be "
+                f"positive and finite, got {weight}"
+            )
         if bound is not None:
             if bound <= 0 or not math.isfinite(bound):
                 if bound is not None and math.isinf(bound) and bound > 0:
                     bound = None
                 else:
-                    raise MaxMinError(f"variable bound must be positive: {bound}")
-        var = Variable(len(self.variables), float(weight), bound, payload)
+                    raise MaxMinError(
+                        f"variable #{index} (payload={payload!r}): bound must "
+                        f"be positive, got {bound}"
+                    )
+        var = Variable(index, float(weight), bound, payload)
         self.variables.append(var)
         return var
 
     def new_constraint(self, capacity: float, payload: object = None) -> Constraint:
         """Add a capacity constraint (> 0)."""
+        index = len(self.constraints)
         if not (capacity > 0.0) or not math.isfinite(capacity):
-            raise MaxMinError(f"constraint capacity must be positive and finite: {capacity}")
-        cons = Constraint(len(self.constraints), float(capacity), payload)
+            raise MaxMinError(
+                f"constraint #{index} (payload={payload!r}): capacity must be "
+                f"positive and finite, got {capacity}"
+            )
+        cons = Constraint(index, float(capacity), payload)
         self.constraints.append(cons)
         return cons
 
@@ -110,7 +133,11 @@ class MaxMinSystem:
         ``constraint``.  Repeated expansion accumulates (a route crossing a
         SHARED link twice consumes twice)."""
         if coefficient <= 0:
-            raise MaxMinError(f"coefficient must be positive: {coefficient}")
+            raise MaxMinError(
+                f"coefficient must be positive, got {coefficient} "
+                f"(constraint #{constraint.index} payload={constraint.payload!r}, "
+                f"variable #{variable.index} payload={variable.payload!r})"
+            )
         key = (constraint.index, variable.index)
         self._coeffs[key] = self._coeffs.get(key, 0.0) + float(coefficient)
 
@@ -128,7 +155,6 @@ class MaxMinSystem:
             [v.bound if v.bound is not None else np.inf for v in self.variables],
             dtype=float,
         )
-        inv_w = 1.0 / weights
 
         if m:
             rows = np.empty(len(self._coeffs), dtype=np.intp)
@@ -139,67 +165,17 @@ class MaxMinSystem:
             # dense incidence is fine at our scale (hundreds x hundreds)
             incidence = np.zeros((m, n), dtype=float)
             incidence[rows, cols] = vals
-            remaining = np.array([c.capacity for c in self.constraints], dtype=float)
+            capacities = np.array([c.capacity for c in self.constraints], dtype=float)
         else:
             incidence = np.zeros((0, n), dtype=float)
-            remaining = np.zeros(0, dtype=float)
+            capacities = np.zeros(0, dtype=float)
 
-        active = np.ones(n, dtype=bool)
-        cons_active = np.ones(m, dtype=bool)
-        values = np.zeros(n, dtype=float)
-        phi = 0.0
-
-        for _ in range(n + m + 1):
-            if not active.any():
-                break
-            active_inv_w = np.where(active, inv_w, 0.0)
-            # consumption per unit of additional level, per constraint
-            drain = incidence @ active_inv_w if m else np.zeros(0)
-            relevant = cons_active & (drain > _EPS)
-            # level increase that saturates each relevant constraint
-            with np.errstate(divide="ignore", invalid="ignore"):
-                dphi_cons = np.where(relevant, remaining / np.where(drain > 0, drain, 1.0), np.inf)
-            # level at which each active bounded variable tops out
-            dphi_vars = np.where(active, bounds * weights - phi, np.inf)
-            dphi_vars = np.where(dphi_vars < 0, 0.0, dphi_vars)
-
-            best_cons = dphi_cons.min() if m else np.inf
-            best_var = dphi_vars.min()
-            dphi = min(best_cons, best_var)
-            if not np.isfinite(dphi):
-                # no constraint and no bound applies: unbounded variables —
-                # treat as "infinitely fast" (no capacity anywhere on route)
-                values[active] = np.inf
-                active[:] = False
-                break
-
-            phi += dphi
-            if m:
-                remaining = remaining - dphi * drain
-            # freeze variables at their bound
-            hit_bound = active & (bounds * weights - phi <= _EPS * max(phi, 1.0))
-            # freeze constraints that saturated (and their variables)
-            if m:
-                saturated = relevant & (remaining <= _EPS * np.array([c.capacity for c in self.constraints]))
-                if saturated.any():
-                    # any active variable with positive coefficient on a
-                    # saturated constraint freezes at the current level
-                    involved = (incidence[saturated] > 0).any(axis=0)
-                    hit_bound = hit_bound | (active & involved)
-                    cons_active &= ~saturated
-            if not hit_bound.any():
-                # numerical safety: force-freeze the variable closest to its
-                # bound or the constraint-minimising one to guarantee progress
-                hit_bound = active.copy()
-            values[hit_bound] = np.minimum(phi * inv_w[hit_bound], bounds[hit_bound])
-            active &= ~hit_bound
+        values, usage = progressive_fill(weights, bounds, incidence, capacities)
 
         for var, value in zip(self.variables, values):
             var.value = float(value)
-        if m:
-            usage = incidence @ np.where(np.isfinite(values), values, 0.0)
-            for cons, used in zip(self.constraints, usage):
-                cons.usage = float(used)
+        for cons, used in zip(self.constraints, usage):
+            cons.usage = float(used)
 
     # -- diagnostics --------------------------------------------------------
 
@@ -208,3 +184,485 @@ class MaxMinSystem:
         return all(
             cons.usage <= cons.capacity * (1.0 + tolerance) for cons in self.constraints
         )
+
+
+def progressive_fill(
+    weights: np.ndarray,
+    bounds: np.ndarray,
+    incidence: np.ndarray,
+    capacities: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The progressive-filling kernel shared by both solver front-ends.
+
+    ``weights``/``bounds`` have one entry per variable (``inf`` bound means
+    unbounded), ``incidence`` is the dense ``(constraints × variables)``
+    coefficient matrix, ``capacities`` one entry per constraint.  Returns
+    ``(values, usage)``: the allocated rate per variable and the resulting
+    consumption per constraint.
+    """
+    n = int(weights.size)
+    m = int(capacities.size)
+    inv_w = 1.0 / weights
+    remaining = capacities.astype(float, copy=True)
+
+    active = np.ones(n, dtype=bool)
+    cons_active = np.ones(m, dtype=bool)
+    values = np.zeros(n, dtype=float)
+    phi = 0.0
+
+    for _ in range(n + m + 1):
+        if not active.any():
+            break
+        active_inv_w = np.where(active, inv_w, 0.0)
+        # consumption per unit of additional level, per constraint
+        drain = incidence @ active_inv_w if m else np.zeros(0)
+        relevant = cons_active & (drain > _EPS)
+        # level increase that saturates each relevant constraint
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dphi_cons = np.where(relevant, remaining / np.where(drain > 0, drain, 1.0), np.inf)
+        # level at which each active bounded variable tops out
+        dphi_vars = np.where(active, bounds * weights - phi, np.inf)
+        dphi_vars = np.where(dphi_vars < 0, 0.0, dphi_vars)
+
+        best_cons = dphi_cons.min() if m else np.inf
+        best_var = dphi_vars.min()
+        dphi = min(best_cons, best_var)
+        if not np.isfinite(dphi):
+            # no constraint and no bound applies: unbounded variables —
+            # treat as "infinitely fast" (no capacity anywhere on route)
+            values[active] = np.inf
+            active[:] = False
+            break
+
+        phi += dphi
+        if m:
+            remaining = remaining - dphi * drain
+        # freeze variables at their bound
+        hit_bound = active & (bounds * weights - phi <= _EPS * max(phi, 1.0))
+        # freeze constraints that saturated (and their variables)
+        if m:
+            saturated = relevant & (remaining <= _EPS * capacities)
+            if saturated.any():
+                # any active variable with positive coefficient on a
+                # saturated constraint freezes at the current level
+                involved = (incidence[saturated] > 0).any(axis=0)
+                hit_bound = hit_bound | (active & involved)
+                cons_active &= ~saturated
+        if not hit_bound.any():
+            # numerical safety: force-freeze the variable closest to its
+            # bound or the constraint-minimising one to guarantee progress
+            hit_bound = active.copy()
+        values[hit_bound] = np.minimum(phi * inv_w[hit_bound], bounds[hit_bound])
+        active &= ~hit_bound
+
+    if m:
+        usage = incidence @ np.where(np.isfinite(values), values, 0.0)
+    else:
+        usage = np.zeros(0, dtype=float)
+    return values, usage
+
+
+class SharingSystem:
+    """Persistent incremental arena for event-loop resource sharing.
+
+    Unlike :class:`MaxMinSystem` (rebuilt from scratch for every solve), a
+    ``SharingSystem`` lives across simulation events:
+
+    - :meth:`add_variable` / :meth:`remove_variable` register flows as they
+      start and finish; constraints are *interned* by an opaque key (a link
+      direction, a host) and reference-counted, disappearing with their last
+      variable,
+    - numpy buffers (weights, bounds, values, capacities, the dense
+      coefficient matrix) are grow-only with geometric doubling; freed slots
+      go to a free list and are reused,
+    - every mutation marks the touched constraints/variables *dirty*; a
+      :meth:`solve` call re-runs progressive filling only on the connected
+      components reachable from the dirty set, one component at a time, in
+      canonical (slot-sorted) order.  Untouched components keep their
+      previous allocation — exact, since max-min allocations of disconnected
+      components are independent.
+
+    ``solve`` returns the ``(payload, value)`` pairs of every re-solved
+    variable, which is exactly the set of activities whose rate may have
+    changed.
+    """
+
+    def __init__(self, initial_variables: int = 64, initial_constraints: int = 64) -> None:
+        n = max(1, int(initial_variables))
+        m = max(1, int(initial_constraints))
+        # per-variable slot buffers (plain lists: scalar access dominates the
+        # event loop, and Python lists beat numpy scalar indexing there)
+        self._weights: list[float] = [1.0] * n
+        self._bounds: list[float] = [math.inf] * n
+        self._values: list[float] = [0.0] * n
+        self._var_live: list[bool] = [False] * n
+        self._var_payload: list[object] = [None] * n
+        self._var_uses: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        self._var_free: list[int] = list(range(n - 1, -1, -1))
+        # per-constraint slot buffers
+        self._capacities: list[float] = [0.0] * m
+        self._usages: list[float] = [0.0] * m
+        self._cons_live: list[bool] = [False] * m
+        self._cons_key: list[object] = [None] * m
+        self._cons_vars: list[set[int]] = [set() for _ in range(m)]
+        self._cons_free: list[int] = list(range(m - 1, -1, -1))
+        self._key_to_slot: dict[object, int] = {}
+        # dense numpy coefficient matrix, (constraint slots × variable slots),
+        # kept alive across events and sliced per component at solve time
+        self._coeffs = np.zeros((m, n), dtype=float)
+        # dirty sets: slots whose component must be re-solved
+        self._dirty_vars: set[int] = set()
+        self._dirty_cons: set[int] = set()
+        self._live_count = 0
+        #: cumulative counters, exposed for benches and tests
+        self.stats = {
+            "solves": 0,
+            "components_solved": 0,
+            "variables_resolved": 0,
+            "peak_variables": 0,
+        }
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    @property
+    def variable_count(self) -> int:
+        """Number of live variables."""
+        return len(self)
+
+    @property
+    def constraint_count(self) -> int:
+        """Number of live (interned) constraints."""
+        return len(self._key_to_slot)
+
+    def value(self, vid: int) -> float:
+        """Current allocation of variable ``vid``."""
+        self._check_live(vid)
+        return float(self._values[vid])
+
+    def payload(self, vid: int) -> object:
+        self._check_live(vid)
+        return self._var_payload[vid]
+
+    def constraint_usage(self, key: object) -> float:
+        """Current consumption on the constraint interned under ``key``."""
+        slot = self._key_to_slot.get(key)
+        if slot is None:
+            raise MaxMinError(f"no live constraint for key {key!r}")
+        return float(self._usages[slot])
+
+    def constraint_capacity(self, key: object) -> float:
+        slot = self._key_to_slot.get(key)
+        if slot is None:
+            raise MaxMinError(f"no live constraint for key {key!r}")
+        return float(self._capacities[slot])
+
+    def allocations(self) -> list[tuple[object, float]]:
+        """``(payload, value)`` for every live variable (slot order)."""
+        return [
+            (self._var_payload[v], self._values[v])
+            for v, live in enumerate(self._var_live)
+            if live
+        ]
+
+    def is_feasible(self, tolerance: float = 1e-6) -> bool:
+        """True when no live constraint is over-consumed."""
+        return all(
+            self._usages[c] <= self._capacities[c] * (1.0 + tolerance)
+            for c, live in enumerate(self._cons_live)
+            if live
+        )
+
+    def _check_live(self, vid: int) -> None:
+        if not (0 <= vid < len(self._var_live)) or not self._var_live[vid]:
+            raise MaxMinError(f"variable #{vid} is not live in this system")
+
+    # -- growth --------------------------------------------------------------
+
+    def _grow_vars(self) -> None:
+        old = len(self._weights)
+        new = old * 2
+        self._weights.extend([1.0] * (new - old))
+        self._bounds.extend([math.inf] * (new - old))
+        self._values.extend([0.0] * (new - old))
+        self._var_live.extend([False] * (new - old))
+        self._var_payload.extend([None] * (new - old))
+        self._var_uses.extend([] for _ in range(new - old))
+        coeffs = np.zeros((self._coeffs.shape[0], new), dtype=float)
+        coeffs[:, :old] = self._coeffs
+        self._coeffs = coeffs
+        self._var_free.extend(range(new - 1, old - 1, -1))
+
+    def _grow_cons(self) -> None:
+        old = len(self._capacities)
+        new = old * 2
+        self._capacities.extend([0.0] * (new - old))
+        self._usages.extend([0.0] * (new - old))
+        self._cons_live.extend([False] * (new - old))
+        self._cons_key.extend([None] * (new - old))
+        self._cons_vars.extend(set() for _ in range(new - old))
+        coeffs = np.zeros((new, self._coeffs.shape[1]), dtype=float)
+        coeffs[:old, :] = self._coeffs
+        self._coeffs = coeffs
+        self._cons_free.extend(range(new - 1, old - 1, -1))
+
+    # -- mutation ------------------------------------------------------------
+
+    def _intern_constraint(self, key: object, capacity: float) -> int:
+        slot = self._key_to_slot.get(key)
+        if slot is not None:
+            if self._capacities[slot] != capacity:
+                # capacity changed under us (link recalibration): adopt the
+                # new value and force the component to re-solve
+                self._capacities[slot] = capacity
+                self._dirty_cons.add(slot)
+            return slot
+        if not (capacity > 0.0) or not math.isfinite(capacity):
+            raise MaxMinError(
+                f"constraint (key={key!r}): capacity must be positive and "
+                f"finite, got {capacity}"
+            )
+        if not self._cons_free:
+            self._grow_cons()
+        slot = self._cons_free.pop()
+        self._capacities[slot] = float(capacity)
+        self._usages[slot] = 0.0
+        self._cons_live[slot] = True
+        self._cons_key[slot] = key
+        self._cons_vars[slot].clear()
+        self._key_to_slot[key] = slot
+        return slot
+
+    def add_variable(
+        self,
+        weight: float,
+        bound: Optional[float] = None,
+        payload: object = None,
+        usages: Iterable[tuple[object, float, float]] = (),
+    ) -> int:
+        """Register a flow; returns its variable id (stable until removal).
+
+        ``usages`` lists ``(constraint key, capacity, coefficient)`` triples:
+        the constraint identified by ``key`` is created on first use with
+        ``capacity`` and shared (by key identity) with every other variable
+        naming it.  Duplicate keys accumulate their coefficients (a route
+        crossing one SHARED link in both directions consumes twice).
+        """
+        if not (weight > 0.0) or not math.isfinite(weight):
+            raise MaxMinError(
+                f"variable (payload={payload!r}): weight must be positive "
+                f"and finite, got {weight}"
+            )
+        if bound is None or (math.isinf(bound) and bound > 0):
+            bound_value = math.inf
+        elif bound <= 0 or not math.isfinite(bound):
+            raise MaxMinError(
+                f"variable (payload={payload!r}): bound must be positive, "
+                f"got {bound}"
+            )
+        else:
+            bound_value = float(bound)
+        # aggregate duplicate keys before touching any state
+        aggregated: dict[object, list[float]] = {}
+        for key, capacity, coefficient in usages:
+            if coefficient <= 0:
+                raise MaxMinError(
+                    f"coefficient must be positive, got {coefficient} "
+                    f"(constraint key={key!r}, variable payload={payload!r})"
+                )
+            if key in aggregated:
+                aggregated[key][1] += float(coefficient)
+            else:
+                aggregated[key] = [float(capacity), float(coefficient)]
+
+        return self.add_variable_unchecked(
+            float(weight), bound_value, payload,
+            tuple(
+                (key, capacity, coefficient)
+                for key, (capacity, coefficient) in aggregated.items()
+            ),
+        )
+
+    def add_variable_unchecked(
+        self,
+        weight: float,
+        bound: float,
+        payload: object,
+        usages: tuple[tuple[object, float, float], ...],
+    ) -> int:
+        """Hot-path :meth:`add_variable` without validation or aggregation.
+
+        The caller (the simulation engine, whose usages come pre-aggregated
+        from :meth:`NetworkModel.sharing_usages`) guarantees ``weight > 0``,
+        ``bound > 0`` (``inf`` for unbounded), positive coefficients and
+        distinct constraint keys.
+        """
+        if not self._var_free:
+            self._grow_vars()
+        vid = self._var_free.pop()
+        self._weights[vid] = weight
+        self._bounds[vid] = bound
+        self._values[vid] = 0.0
+        self._var_live[vid] = True
+        self._var_payload[vid] = payload
+        uses = self._var_uses[vid]
+        uses.clear()
+        cons_vars = self._cons_vars
+        dirty_cons = self._dirty_cons
+        for key, capacity, coefficient in usages:
+            slot = self._intern_constraint(key, capacity)
+            # note: _intern_constraint may grow (and replace) _coeffs
+            self._coeffs[slot, vid] = coefficient
+            cons_vars[slot].add(vid)
+            uses.append((slot, coefficient))
+            dirty_cons.add(slot)
+        self._dirty_vars.add(vid)
+        self._live_count += 1
+        if self._live_count > self.stats["peak_variables"]:
+            self.stats["peak_variables"] = self._live_count
+        return vid
+
+    def remove_variable(self, vid: int) -> None:
+        """Withdraw a flow; its constraints' components become dirty and
+        constraints left without any variable are freed."""
+        self._check_live(vid)
+        for slot, _coeff in self._var_uses[vid]:
+            self._coeffs[slot, vid] = 0.0
+            members = self._cons_vars[slot]
+            members.discard(vid)
+            if members:
+                self._dirty_cons.add(slot)
+            else:
+                # last user gone: free the constraint slot
+                self._cons_live[slot] = False
+                self._usages[slot] = 0.0
+                del self._key_to_slot[self._cons_key[slot]]
+                self._cons_key[slot] = None
+                self._dirty_cons.discard(slot)
+                self._cons_free.append(slot)
+        self._var_uses[vid].clear()
+        self._var_live[vid] = False
+        self._var_payload[vid] = None
+        self._values[vid] = 0.0
+        self._dirty_vars.discard(vid)
+        self._var_free.append(vid)
+        self._live_count -= 1
+
+    # -- solving -------------------------------------------------------------
+
+    def _component_from(self, seed_vars: list[int], seed_cons: list[int],
+                        seen_vars: set[int], seen_cons: set[int]) -> tuple[list[int], list[int]]:
+        """Collect the connected component containing the seeds (BFS over the
+        bipartite variable/constraint graph)."""
+        comp_vars: list[int] = []
+        comp_cons: list[int] = []
+        stack_v = [v for v in seed_vars if v not in seen_vars]
+        stack_c = [c for c in seed_cons if c not in seen_cons]
+        seen_vars.update(stack_v)
+        seen_cons.update(stack_c)
+        while stack_v or stack_c:
+            while stack_v:
+                v = stack_v.pop()
+                comp_vars.append(v)
+                for slot, _coeff in self._var_uses[v]:
+                    if slot not in seen_cons:
+                        seen_cons.add(slot)
+                        stack_c.append(slot)
+            while stack_c:
+                c = stack_c.pop()
+                comp_cons.append(c)
+                for v in self._cons_vars[c]:
+                    if v not in seen_vars:
+                        seen_vars.add(v)
+                        stack_v.append(v)
+        return comp_vars, comp_cons
+
+    def _solve_component(self, comp_vars: list[int], comp_cons: list[int]) -> None:
+        if len(comp_vars) == 1:
+            # scalar fast path: a lone variable takes the minimum of its bound
+            # and its constraints' full capacity — no numpy round-trip.  This
+            # is the common case on clusters where concurrent flows touch
+            # disjoint NIC links (every flow is its own component).
+            vid = comp_vars[0]
+            value = self._bounds[vid]
+            uses = self._var_uses[vid]
+            for slot, coeff in uses:
+                capacity = self._capacities[slot] / coeff
+                if capacity < value:
+                    value = capacity
+            self._values[vid] = value
+            for slot, coeff in uses:
+                self._usages[slot] = value * coeff
+            return
+        comp_vars = sorted(comp_vars)
+        weights = np.array([self._weights[v] for v in comp_vars], dtype=float)
+        bounds = np.array([self._bounds[v] for v in comp_vars], dtype=float)
+        if comp_cons:
+            comp_cons = sorted(comp_cons)
+            vi = np.array(comp_vars, dtype=np.intp)
+            ci = np.array(comp_cons, dtype=np.intp)
+            incidence = self._coeffs[np.ix_(ci, vi)]
+            capacities = np.array([self._capacities[c] for c in comp_cons], dtype=float)
+        else:
+            incidence = np.zeros((0, len(comp_vars)), dtype=float)
+            capacities = np.zeros(0, dtype=float)
+        values, usage = progressive_fill(weights, bounds, incidence, capacities)
+        for v, value in zip(comp_vars, values.tolist()):
+            self._values[v] = value
+        for c, used in zip(comp_cons, usage.tolist()):
+            self._usages[c] = used
+
+    def solve(self, full: bool = False) -> list[tuple[object, float]]:
+        """Re-solve every dirty connected component (all of them if ``full``).
+
+        Returns ``(payload, value)`` for each re-solved variable; variables in
+        untouched components are not listed (their allocation is unchanged).
+        """
+        if full:
+            dirty_vars = [v for v, live in enumerate(self._var_live) if live]
+            dirty_cons = [c for c, live in enumerate(self._cons_live) if live]
+        else:
+            dirty_vars = sorted(v for v in self._dirty_vars if self._var_live[v])
+            dirty_cons = sorted(c for c in self._dirty_cons if self._cons_live[c])
+        self._dirty_vars.clear()
+        self._dirty_cons.clear()
+        if not dirty_vars and not dirty_cons:
+            self.stats["solves"] += 1
+            return []
+
+        seen_vars: set[int] = set()
+        seen_cons: set[int] = set()
+        resolved: list[int] = []
+        n_components = 0
+        cons_vars = self._cons_vars
+        for seed in dirty_vars:
+            if seed in seen_vars:
+                continue
+            uses = self._var_uses[seed]
+            if all(len(cons_vars[slot]) == 1 for slot, _coeff in uses):
+                # singleton component: the variable shares no constraint —
+                # solve it with the scalar path, no BFS
+                seen_vars.add(seed)
+                seen_cons.update(slot for slot, _coeff in uses)
+                self._solve_component([seed], [])
+                resolved.append(seed)
+                n_components += 1
+                continue
+            comp_vars, comp_cons = self._component_from([seed], [], seen_vars, seen_cons)
+            self._solve_component(comp_vars, comp_cons)
+            resolved.extend(comp_vars)
+            n_components += 1
+        for seed in dirty_cons:
+            if seed in seen_cons:
+                continue
+            comp_vars, comp_cons = self._component_from([], [seed], seen_vars, seen_cons)
+            self._solve_component(comp_vars, comp_cons)
+            resolved.extend(comp_vars)
+            n_components += 1
+
+        self.stats["solves"] += 1
+        self.stats["components_solved"] += n_components
+        self.stats["variables_resolved"] += len(resolved)
+        return [(self._var_payload[v], self._values[v]) for v in sorted(resolved)]

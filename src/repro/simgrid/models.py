@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
-from repro.simgrid.platform import LinkUse, SharingPolicy
+from repro.simgrid.platform import LinkUse, SharingPolicy, link_epoch
 
 #: Minimum fairness weight, used when a route has zero latency and the model
 #: has no weight_S term (all-equal weights => plain max-min fairness).
@@ -85,6 +85,66 @@ class NetworkModel:
     def effective_bandwidth(self, nominal: float) -> float:
         """Usable capacity of a link: ``bandwidth_factor × nominal``."""
         return self.bandwidth_factor * nominal
+
+    def sharing_usages(
+        self, route: Sequence[LinkUse]
+    ) -> tuple[tuple[object, float, float], ...]:
+        """Per-constraint consumption of a flow on ``route``.
+
+        Returns ``(constraint key, effective capacity, coefficient)`` triples,
+        one per distinct capacity constraint the route crosses: FATPIPE links
+        contribute nothing (they are folded into :meth:`rate_bound`), SHARED
+        links crossed in both directions appear once with coefficient 2, and
+        FULLDUPLEX links appear once per traversed direction.  This is the
+        cacheable part of the sharing problem — it only depends on the route
+        and the model, so the engine computes it once per communication
+        instead of re-walking the route at every event.
+        """
+        aggregated: dict[object, list[float]] = {}
+        for use in route:
+            link = use.link
+            if link.policy is SharingPolicy.FATPIPE:
+                continue
+            key = link.constraint_key(use.direction)
+            entry = aggregated.get(key)
+            if entry is None:
+                aggregated[key] = [self.effective_bandwidth(link.bandwidth), 1.0]
+            else:
+                entry[1] += 1.0
+        return tuple(
+            (key, capacity, coefficient)
+            for key, (capacity, coefficient) in aggregated.items()
+        )
+
+    def comm_spec(
+        self, route: Sequence[LinkUse]
+    ) -> tuple[float, float, float, tuple[tuple[object, float, float], ...]]:
+        """``(startup latency, weight, bound, sharing usages)`` for a flow on
+        ``route``, memoized on the route object when it is a platform-cached
+        :class:`~repro.simgrid.platform.Route`.
+
+        All four quantities depend only on the route's links and this
+        (frozen) model, so they are computed once per (route, model) pair
+        instead of once per communication — the per-comm half of the
+        route-caching work.  Entries are stamped with the global link
+        mutation epoch: in-place link recalibration (latency feed, bandwidth
+        edits) invalidates them automatically.
+        """
+        memo = getattr(route, "model_specs", None)
+        epoch = link_epoch()
+        if memo is not None:
+            entry = memo.get(self)
+            if entry is not None and entry[0] == epoch:
+                return entry[1]
+        spec = (
+            self.startup_latency(route),
+            self.flow_weight(route),
+            self.rate_bound(route),
+            self.sharing_usages(route),
+        )
+        if memo is not None:
+            memo[self] = (epoch, spec)
+        return spec
 
 
 def CM02(tcp_gamma: float = 0.0) -> NetworkModel:

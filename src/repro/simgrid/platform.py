@@ -51,6 +51,65 @@ class SharingPolicy(enum.Enum):
     FULLDUPLEX = "FULLDUPLEX"
 
 
+class RouteCache:
+    """A bounded LRU cache for resolved routes, keyed by ``(src, dst)``.
+
+    Platform-graph walks (hierarchical AS resolution, Dijkstra) are the
+    expensive part of starting a communication; memoizing them means a
+    simulation's per-comm setup stops re-walking the platform.  The cache is
+    bounded so pathological all-pairs scans over huge platforms cannot grow
+    memory without limit — least-recently-used entries are evicted first.
+    Hit/miss/eviction counters are kept for benches and tests.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, maxsize: int = 131072) -> None:
+        if maxsize < 1:
+            raise PlatformError(f"route cache size must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: dict[tuple[str, str], list["LinkUse"]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple[str, str]) -> Optional[list["LinkUse"]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        # refresh recency (dicts iterate in insertion order)
+        del self._entries[key]
+        self._entries[key] = entry
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple[str, str], route: list["LinkUse"]) -> None:
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.maxsize:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+        self._entries[key] = route
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def info(self) -> dict:
+        """Counters snapshot: hits, misses, evictions, size, maxsize."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+
 class Direction(enum.Enum):
     """Traversal direction relative to a link's canonical orientation."""
 
@@ -61,16 +120,29 @@ class Direction(enum.Enum):
         return Direction.DOWN if self is Direction.UP else Direction.UP
 
 
+#: Global link-mutation epoch: bumped whenever any link's bandwidth, latency
+#: or policy changes in place, so per-route model memos (Route.model_specs)
+#: can detect staleness without per-link bookkeeping.
+_LINK_EPOCH = 0
+
+
+def link_epoch() -> int:
+    """Current global link-mutation epoch (see :class:`Route`)."""
+    return _LINK_EPOCH
+
+
 class Link:
     """A network link with a capacity, a latency and a sharing policy.
 
     ``bandwidth`` is stored in bytes/s and ``latency`` in seconds; both accept
     unit strings (``"10Gbps"``, ``"225us"``).  Attributes are mutable so that
     dynamic calibration (e.g. the Pilgrim latency feed) can adjust them
-    between simulations without rebuilding routes.
+    between simulations without rebuilding routes; every in-place mutation
+    bumps the global :func:`link_epoch` so derived per-route quantities are
+    recomputed.
     """
 
-    __slots__ = ("name", "bandwidth", "latency", "policy", "properties")
+    __slots__ = ("name", "_bandwidth", "_latency", "_policy", "properties")
 
     def __init__(
         self,
@@ -81,12 +153,42 @@ class Link:
         properties: Optional[dict] = None,
     ) -> None:
         self.name = name
-        self.bandwidth = parse_bandwidth(bandwidth)
-        self.latency = parse_time(latency)
-        if self.bandwidth <= 0:
+        self._bandwidth = parse_bandwidth(bandwidth)
+        self._latency = parse_time(latency)
+        if self._bandwidth <= 0:
             raise PlatformError(f"link {name!r}: bandwidth must be positive")
-        self.policy = policy
+        self._policy = policy
         self.properties = dict(properties or {})
+
+    @property
+    def bandwidth(self) -> float:
+        return self._bandwidth
+
+    @bandwidth.setter
+    def bandwidth(self, value: float | str) -> None:
+        global _LINK_EPOCH
+        self._bandwidth = parse_bandwidth(value)
+        _LINK_EPOCH += 1
+
+    @property
+    def latency(self) -> float:
+        return self._latency
+
+    @latency.setter
+    def latency(self, value: float | str) -> None:
+        global _LINK_EPOCH
+        self._latency = parse_time(value)
+        _LINK_EPOCH += 1
+
+    @property
+    def policy(self) -> SharingPolicy:
+        return self._policy
+
+    @policy.setter
+    def policy(self, value: SharingPolicy) -> None:
+        global _LINK_EPOCH
+        self._policy = value
+        _LINK_EPOCH += 1
 
     def constraint_key(self, direction: Direction) -> tuple["Link", Optional[Direction]]:
         """Key identifying the capacity constraint used when traversed in
@@ -120,6 +222,25 @@ class LinkUse:
     @property
     def bandwidth(self) -> float:
         return self.link.bandwidth
+
+
+class Route(list):
+    """A resolved route: a list of :class:`LinkUse` plus a per-model memo.
+
+    Network models hang their derived per-route quantities (startup latency,
+    fairness weight, rate bound, sharing usages) off the route object itself
+    via :attr:`model_specs`, so repeated communications over the same cached
+    route do not re-walk the links.  Entries carry the :func:`link_epoch` at
+    computation time, so in-place link mutation invalidates them; the memo
+    itself dies with the route — topology invalidation drops the route from
+    the platform's cache, and any specs with it."""
+
+    __slots__ = ("model_specs",)
+
+    def __init__(self, uses: Iterable[LinkUse] = ()) -> None:
+        super().__init__(uses)
+        #: model -> opaque spec tuple (managed by repro.simgrid.models)
+        self.model_specs: dict = {}
 
 
 class NetPoint:
@@ -431,7 +552,12 @@ class AutonomousSystem:
 class Platform:
     """A full platform: the root AS plus global name indexes and route cache."""
 
-    def __init__(self, name: str = "platform", routing: str = "Full") -> None:
+    def __init__(
+        self,
+        name: str = "platform",
+        routing: str = "Full",
+        route_cache_size: int = 131072,
+    ) -> None:
         self.name = name
         self.root = AutonomousSystem(name, routing=routing)
         self.root._platform = self
@@ -439,7 +565,7 @@ class Platform:
         self._netpoints: dict[str, NetPoint] = {}
         self._all_links: dict[str, Link] = {}
         self._ases: dict[str, AutonomousSystem] = {self.root.name: self.root}
-        self._route_cache: dict[tuple[str, str], list[LinkUse]] = {}
+        self._route_cache = RouteCache(maxsize=route_cache_size)
 
     # -- indexing ----------------------------------------------------------
 
@@ -508,6 +634,10 @@ class Platform:
         """Drop memoized resolved routes (topology changed)."""
         self._route_cache.clear()
 
+    def route_cache_info(self) -> dict:
+        """LRU route cache counters (hits, misses, evictions, size)."""
+        return self._route_cache.info()
+
     def _as_chain(self, point: NetPoint) -> list[AutonomousSystem]:
         """ASes from the root down to (and including) the one holding ``point``."""
         chain: list[AutonomousSystem] = []
@@ -525,15 +655,17 @@ class Platform:
 
         Walks down from the deepest common AS, stitching child-AS segments
         through gateways, exactly like SimGrid's hierarchical resolution.
-        Results are memoized until :meth:`invalidate_route_cache`.
+        Results (including gateway sub-segments, which the recursion also
+        routes through here) are memoized in a bounded LRU cache until
+        :meth:`invalidate_route_cache`.
         """
         src_point = src if isinstance(src, NetPoint) else self.netpoint(src)
         dst_point = dst if isinstance(dst, NetPoint) else self.netpoint(dst)
         key = (src_point.name, dst_point.name)
         cached = self._route_cache.get(key)
         if cached is None:
-            cached = self._resolve(src_point, dst_point)
-            self._route_cache[key] = cached
+            cached = Route(self._resolve(src_point, dst_point))
+            self._route_cache.put(key, cached)
         return cached
 
     def _resolve(self, src: NetPoint, dst: NetPoint) -> list[LinkUse]:
@@ -571,7 +703,7 @@ class Platform:
                     f"crosses child AS {child.name!r} without a gateway"
                 )
             gw_point = self.netpoint(gw_name)
-            route.extend(self._resolve(src, gw_point))
+            route.extend(self.route(src, gw_point))
         route.extend(entry.links)
         if len(chain_dst) != depth:  # dst lives in a child AS
             child = chain_dst[depth]
@@ -582,7 +714,7 @@ class Platform:
                     f"enters child AS {child.name!r} without a gateway"
                 )
             gw_point = self.netpoint(gw_name)
-            route.extend(self._resolve(gw_point, dst))
+            route.extend(self.route(gw_point, dst))
         return route
 
     def route_latency(self, src: str | NetPoint, dst: str | NetPoint) -> float:

@@ -218,3 +218,100 @@ class TestKernel:
             sim.schedule(i * 0.1, lambda: times.append(sim.clock))
         sim.simulate_transfers([("star-1", "star-2", 1e8)])
         assert times == sorted(times)
+
+
+class TestIncrementalSharing:
+    def test_incremental_is_the_default(self, star4):
+        assert Simulation(star4).full_resolve is False
+        assert Simulation(star4, full_resolve=True).full_resolve is True
+
+    def test_full_resolve_matches_incremental(self, star4):
+        durations = {}
+        for mode in (True, False):
+            sim = Simulation(star4, LV08(), full_resolve=mode)
+            comms = sim.simulate_transfers(
+                [("star-1", "star-3", 1e9), ("star-2", "star-3", 2e8),
+                 ("star-1", "star-4", 5e8)]
+            )
+            durations[mode] = [c.duration for c in comms]
+        for full_d, inc_d in zip(durations[True], durations[False]):
+            assert inc_d == pytest.approx(full_d, rel=1e-9)
+
+    def test_untouched_flows_are_not_resolved(self, star4):
+        # two disjoint transfers plus one that finishes early: the finisher's
+        # component is re-solved, the disjoint survivor's is not
+        sim = Simulation(star4, CM02())
+        sim.add_comm("star-1", "star-2", 2e9)
+        sim.add_comm("star-3", "star-4", 1e8)
+        sim.run()
+        stats = sim.sharing_stats
+        assert stats["peak_variables"] == 2
+        # 2 initial singleton components; the early finisher frees its
+        # constraints without dirtying the survivor
+        assert stats["variables_resolved"] == 2
+
+    def test_sharing_stats_exposed(self, star4):
+        sim = Simulation(star4, CM02())
+        sim.simulate_transfers([("star-1", "star-2", 1e8)])
+        stats = sim.sharing_stats
+        assert stats["solves"] >= 1
+        assert stats["components_solved"] >= 1
+        assert stats["peak_variables"] == 1
+
+    def test_usages_cached_on_activities(self, star4):
+        sim = Simulation(star4, LV08())
+        comm = sim.add_comm("star-1", "star-2", 1e8)
+        assert len(comm.usages) == 2  # src uplink + dst downlink
+        for _key, capacity, coefficient in comm.usages:
+            assert capacity == pytest.approx(0.97 * 1.25e8)
+            assert coefficient == 1.0
+        ex = sim.add_exec("star-1", 1e9)
+        assert ex.usages == ((("host", "star-1"), 1e9, 1.0),)
+
+    def test_capacity_factors_scale_cached_usages(self, star4):
+        link_name = star4.links()[0].name
+        sim = Simulation(star4, CM02(), capacity_factors={link_name: 0.5})
+        comm = sim.add_comm("star-1", "star-2", 1e8)
+        by_link = {key[0].name: capacity for key, capacity, _ in comm.usages}
+        assert by_link[link_name] == pytest.approx(0.5 * 1.25e8)
+
+    @pytest.mark.parametrize("full_resolve", [False, True])
+    def test_link_bandwidth_edit_reaches_inflight_comms(self, full_resolve):
+        # in-place link recalibration between runs must affect running
+        # transfers (cached usages are epoch-invalidated, both modes)
+        p = build_dumbbell(1, 1)
+        sim = Simulation(p, CM02(), full_resolve=full_resolve)
+        comm = sim.add_comm("left-1", "right-1", 1e9)
+        sim.run(until=1.0)
+        for link in p.links():
+            link.bandwidth = link.bandwidth / 2.0
+        sim.run()
+        # 1s at 1.25e8 B/s, remaining 8.75e8 at 6.25e7 B/s => ~15s total
+        assert comm.finish_time == pytest.approx(1.0 + 8.75e8 / 6.25e7, rel=1e-3)
+
+    def test_full_resolve_does_not_accumulate_finished_activities(self, star4):
+        sim = Simulation(star4, CM02(), full_resolve=True)
+        for i in range(5):
+            sim.add_comm("star-1", "star-2", 1e6)
+            sim.run()
+        assert sim._started == []
+        assert sim._handles == {}
+
+    @pytest.mark.parametrize("full_resolve", [False, True])
+    def test_capacity_factor_change_between_runs(self, star4, full_resolve):
+        sim = Simulation(star4, CM02(), full_resolve=full_resolve)
+        comm = sim.add_comm("star-1", "star-2", 1e9)
+        sim.run(until=1.0)
+        # background traffic appears: halve every link's available capacity
+        sim.capacity_factors = {link.name: 0.5 for link in star4.links()}
+        sim.run()
+        # 1s at 1.25e8, remaining 8.75e8 at 6.25e7 => ~15s
+        assert comm.finish_time == pytest.approx(1.0 + 8.75e8 / 6.25e7, rel=1e-3)
+
+    def test_comm_route_does_not_alias_cached_route(self, star4):
+        sim = Simulation(star4, CM02())
+        comm = sim.add_comm("star-1", "star-2", 1e6)
+        cached = star4.route("star-1", "star-2")
+        assert comm.route == list(cached)
+        comm.route.clear()  # per-activity state only
+        assert len(star4.route("star-1", "star-2")) == len(cached) != 0

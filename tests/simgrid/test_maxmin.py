@@ -138,6 +138,47 @@ class TestValidation:
             sys.expand(c, v, coefficient=0.0)
 
 
+class TestErrorMessages:
+    """Solver errors name the offending variable/constraint and its payload."""
+
+    def test_bad_weight_names_variable_and_payload(self):
+        sys = MaxMinSystem()
+        sys.new_variable(weight=1.0)
+        with pytest.raises(MaxMinError, match=r"variable #1 \(payload='flow-a'\)"):
+            sys.new_variable(weight=0.0, payload="flow-a")
+        with pytest.raises(MaxMinError, match=r"weight must be positive and finite, got nan"):
+            sys.new_variable(weight=math.nan)
+
+    def test_bad_bound_names_variable_and_payload(self):
+        sys = MaxMinSystem()
+        with pytest.raises(
+            MaxMinError,
+            match=r"variable #0 \(payload='flow-b'\): bound must be positive, got -3.0",
+        ):
+            sys.new_variable(weight=1.0, bound=-3.0, payload="flow-b")
+
+    def test_bad_capacity_names_constraint_and_payload(self):
+        sys = MaxMinSystem()
+        sys.new_constraint(1.0)
+        with pytest.raises(
+            MaxMinError,
+            match=r"constraint #1 \(payload='link:up'\): capacity must be "
+                  r"positive and finite, got 0.0",
+        ):
+            sys.new_constraint(0.0, payload="link:up")
+
+    def test_bad_coefficient_names_both_endpoints(self):
+        sys = MaxMinSystem()
+        c = sys.new_constraint(10.0, payload="the-link")
+        v = sys.new_variable(weight=1.0, payload="the-flow")
+        with pytest.raises(
+            MaxMinError,
+            match=r"coefficient must be positive, got -1.0 \(constraint #0 "
+                  r"payload='the-link', variable #0 payload='the-flow'\)",
+        ):
+            sys.expand(c, v, coefficient=-1.0)
+
+
 @st.composite
 def random_system(draw):
     n_vars = draw(st.integers(1, 12))

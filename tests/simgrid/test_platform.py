@@ -188,7 +188,7 @@ class TestRoutes:
         assert len(p.route("a", "b")) == 1  # cached now
         l2 = p.root.add_link("l2", 1e8)
         p.root.add_route("a", "c", [l1, l2])  # invalidates the cache
-        assert p._route_cache == {}
+        assert len(p._route_cache) == 0
         # both old and new routes resolve after invalidation
         assert len(p.route("a", "b")) == 1
         assert [u.link.name for u in p.route("a", "c")] == ["l1", "l2"]
@@ -352,6 +352,85 @@ class TestDijkstraRouting:
         expected = nx.shortest_path(g, "a", "b", weight="weight")
         route = p.route("a", "b")
         assert len(route) == len(expected) - 1
+
+
+class TestRouteCache:
+    def _mesh(self, n=4, cache_size=131072):
+        from repro.simgrid.platform import Platform as P
+
+        p = P("mesh", route_cache_size=cache_size)
+        hosts = [p.root.add_host(f"h{i}") for i in range(n)]
+        links = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                links[(i, j)] = p.root.add_link(f"l{i}-{j}", 1e8)
+                p.root.add_route(f"h{i}", f"h{j}", [links[(i, j)]])
+        return p
+
+    def test_hits_and_misses_counted(self):
+        p = self._mesh()
+        info = p.route_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 0
+        p.route("h0", "h1")
+        p.route("h0", "h1")
+        p.route("h0", "h2")
+        info = p.route_cache_info()
+        assert info["misses"] == 2
+        assert info["hits"] == 1
+        assert info["size"] == 2
+
+    def test_cached_route_is_reused_object(self):
+        p = self._mesh()
+        first = p.route("h0", "h1")
+        assert p.route("h0", "h1") is first
+
+    def test_lru_eviction_bounds_size(self):
+        p = self._mesh(cache_size=3)
+        pairs = [("h0", "h1"), ("h0", "h2"), ("h0", "h3"), ("h1", "h2")]
+        for a, b in pairs:
+            p.route(a, b)
+        info = p.route_cache_info()
+        assert info["size"] == 3
+        assert info["evictions"] == 1
+        # the oldest entry (h0->h1) was evicted: re-resolving is a miss
+        misses_before = info["misses"]
+        p.route("h0", "h1")
+        assert p.route_cache_info()["misses"] == misses_before + 1
+
+    def test_lru_recency_refresh(self):
+        p = self._mesh(cache_size=2)
+        p.route("h0", "h1")
+        p.route("h0", "h2")
+        p.route("h0", "h1")          # refresh: h0->h2 is now the LRU entry
+        p.route("h0", "h3")          # evicts h0->h2
+        misses_before = p.route_cache_info()["misses"]
+        p.route("h0", "h1")          # still cached
+        assert p.route_cache_info()["misses"] == misses_before
+
+    def test_invalidation_clears_but_keeps_counters(self):
+        p = self._mesh()
+        p.route("h0", "h1")
+        p.invalidate_route_cache()
+        info = p.route_cache_info()
+        assert info["size"] == 0
+        assert info["misses"] == 1
+
+    def test_rejects_nonpositive_cache_size(self):
+        from repro.simgrid.platform import PlatformError, RouteCache
+
+        with pytest.raises(PlatformError):
+            RouteCache(maxsize=0)
+
+    def test_model_spec_memo_invalidated_by_link_mutation(self):
+        from repro.simgrid.models import LV08
+
+        p = self._mesh()
+        model = LV08()
+        route = p.route("h0", "h1")
+        startup_before = model.comm_spec(route)[0]
+        route[0].link.latency = route[0].link.latency * 10
+        startup_after = model.comm_spec(route)[0]
+        assert startup_after == pytest.approx(startup_before * 10)
 
 
 class TestRouteTableAccounting:

@@ -1,0 +1,55 @@
+"""Tier-1 hook for the benchmark smoke check.
+
+Every ``benchmarks/bench_*.py`` must at least *run* (tiny sizes, one
+repetition, timing disabled) — see ``tools/check_bench_smoke.py``.  This is
+the slowest tier-1 test by far (~1 minute: it replays every figure experiment
+once); set ``REPRO_SKIP_BENCH_SMOKE=1`` to skip it during quick local loops.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_bench_smoke  # noqa: E402
+
+
+def test_bench_file_discovery():
+    files = check_bench_smoke.bench_files()
+    names = {f.name for f in files}
+    assert "bench_incremental_solver.py" in names
+    assert "bench_fig05_sagittaire_30x30.py" in names
+    assert len(files) >= 20
+
+
+def test_smoke_environment_sets_knobs():
+    env = check_bench_smoke.smoke_environment()
+    assert env["REPRO_REPS"] == "1"
+    assert env["REPRO_SMOKE"] == "1"
+    assert str(REPO_ROOT / "src") in env["PYTHONPATH"]
+
+
+@pytest.mark.skipif(
+    bool(os.environ.get("REPRO_SKIP_BENCH_SMOKE")),
+    reason="REPRO_SKIP_BENCH_SMOKE set",
+)
+def test_all_benches_run_in_smoke_mode():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_bench_smoke.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=540,
+    )
+    assert result.returncode == 0, (
+        f"bench smoke run failed (rc={result.returncode}):\n"
+        f"--- stdout (tail) ---\n{result.stdout[-4000:]}\n"
+        f"--- stderr (tail) ---\n{result.stderr[-2000:]}"
+    )

@@ -74,6 +74,16 @@ class TestPredict:
         with pytest.raises(SystemExit):
             run_cli("predict")
 
+    def test_full_resolve_flag_matches_default(self):
+        transfer = ("sagittaire-1.lyon.grid5000.fr,"
+                    "sagittaire-2.lyon.grid5000.fr,1e9")
+        code_inc, inc = run_cli("predict", "--transfer", transfer)
+        code_full, full = run_cli("predict", "--transfer", transfer,
+                                  "--full-resolve")
+        assert code_inc == code_full == 0
+        assert (json.loads(full)[0]["duration"]
+                == pytest.approx(json.loads(inc)[0]["duration"], rel=1e-9))
+
 
 class TestExperiment:
     def test_runs_reduced_figure(self):

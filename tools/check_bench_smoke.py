@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Run every ``benchmarks/bench_*.py`` in smoke mode so benches can't rot.
+
+Bench modules are not collected by the default test run (pytest only picks up
+``test_*.py``), which historically let them break silently between releases.
+This runner executes all of them in ONE pytest subprocess — sharing the
+session-cached experiment harness across files — with:
+
+- ``REPRO_REPS=1``: a single experiment repetition per figure,
+- ``REPRO_SMOKE=1``: benches shrink their own timing loops,
+- ``--benchmark-disable``: each benchmarked callable runs once, untimed.
+
+Exit code is pytest's.  Used standalone::
+
+    PYTHONPATH=src python tools/check_bench_smoke.py
+
+and wired into tier-1 through ``tests/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+
+def bench_files() -> list[Path]:
+    return sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def smoke_command(files: list[Path]) -> list[str]:
+    return [
+        sys.executable, "-m", "pytest", "-q",
+        "-p", "no:cacheprovider",
+        "--benchmark-disable",
+        *[str(f) for f in files],
+    ]
+
+
+def smoke_environment() -> dict[str, str]:
+    env = dict(os.environ)
+    env["REPRO_REPS"] = "1"
+    env["REPRO_SMOKE"] = "1"
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def main(argv: list[str] | None = None) -> int:
+    files = bench_files()
+    if not files:
+        print("no benchmarks/bench_*.py files found", file=sys.stderr)
+        return 2
+    print(f"smoke-running {len(files)} bench modules "
+          f"(REPRO_REPS=1, REPRO_SMOKE=1, --benchmark-disable)")
+    result = subprocess.run(
+        smoke_command(files), cwd=REPO_ROOT, env=smoke_environment()
+    )
+    return result.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
