@@ -4,6 +4,21 @@ Every stochastic component of the reproduction (testbed noise, random node
 draws, cross-traffic) derives its generator from a root seed plus a string
 label, so experiments are reproducible bit-for-bit while independent
 components stay decorrelated.
+
+Two derivation layers coexist:
+
+- :func:`derive_seed` / :func:`rng_for` — the historical SHA-256 label
+  derivation.  Its values are **frozen**: the figure goldens
+  (``tests/experiments/goldens/``) pin experiment results produced with these
+  exact seeds, so the mapping must never change.
+- :func:`seed_sequence` / :func:`spawn_seeds` / :func:`spawn_rngs` — child
+  streams via :meth:`numpy.random.SeedSequence.spawn`.  This is the correct
+  way to hand out *sibling* streams to parallel workers: spawned children are
+  guaranteed-independent by construction, whereas seeding workers with
+  ``root``, ``root + 1``, … (or any ad-hoc arithmetic on integer seeds) risks
+  correlated streams.  All new fan-out code (the scenario workload
+  generators, the parallel campaign executor) derives per-worker streams
+  through this API.
 """
 
 from __future__ import annotations
@@ -31,3 +46,36 @@ def derive_seed(root: int, *labels: object) -> int:
 def rng_for(root: int, *labels: object) -> np.random.Generator:
     """A :class:`numpy.random.Generator` seeded from ``root`` and ``labels``."""
     return np.random.default_rng(derive_seed(root, *labels))
+
+
+def seed_sequence(root: int, *labels: object) -> np.random.SeedSequence:
+    """The :class:`numpy.random.SeedSequence` at ``root`` + ``labels``.
+
+    The label path is folded into the entropy through :func:`derive_seed`, so
+    the sequence is reproducible and label-decorrelated; children must be
+    created through :meth:`~numpy.random.SeedSequence.spawn` (or the
+    :func:`spawn_seeds` / :func:`spawn_rngs` helpers below).
+    """
+    return np.random.SeedSequence(derive_seed(root, *labels))
+
+
+def spawn_seeds(root: int, n: int, *labels: object) -> list[int]:
+    """``n`` independent 63-bit child seeds via ``SeedSequence.spawn``.
+
+    Deterministic in ``(root, labels, n)``: the first ``k`` children of a
+    larger spawn equal the children of a smaller one, so growing a worker
+    pool never reshuffles the streams already handed out.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seeds")
+    children = seed_sequence(root, *labels).spawn(n)
+    return [int(child.generate_state(1, np.uint64)[0] >> 1) for child in children]
+
+
+def spawn_rngs(root: int, n: int, *labels: object) -> list[np.random.Generator]:
+    """``n`` independent generators via ``SeedSequence.spawn`` (see
+    :func:`spawn_seeds`)."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    children = seed_sequence(root, *labels).spawn(n)
+    return [np.random.default_rng(child) for child in children]

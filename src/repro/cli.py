@@ -65,6 +65,24 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--platform", default="g5k_test",
                             choices=("g5k_test", "g5k_cabinets"))
 
+    scenarios = sub.add_parser(
+        "scenarios", help="declarative scenario presets (topology × "
+                          "workload × dynamics)")
+    scen_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scen_sub.add_parser("list", help="list the registered scenario presets")
+    scen_run = scen_sub.add_parser("run", help="run one scenario preset")
+    scen_run.add_argument("preset", help="preset name (see `scenarios list`)")
+    scen_run.add_argument("--reps", type=int, default=1,
+                          help="repetitions (stochastic workloads redraw "
+                               "from spawned sibling streams)")
+    scen_run.add_argument("--seed", type=int, default=None,
+                          help="override the preset's root seed")
+    scen_run.add_argument("--full-resolve", action="store_true",
+                          help="verification mode: rebuild the sharing "
+                               "system at every event")
+    scen_run.add_argument("--json", action="store_true",
+                          help="emit the full result as JSON")
+
     report = sub.add_parser(
         "report", help="run the full validation campaign, emit markdown")
     report.add_argument("--reps", type=int, default=3)
@@ -167,6 +185,49 @@ def _cmd_experiment(args, out) -> int:
     return 0
 
 
+def _cmd_scenarios(args, out) -> int:
+    from repro.analysis.tables import render_table
+    from repro.scenarios import DEFAULT_REGISTRY, run_scenario
+
+    if args.scenarios_command == "list":
+        rows = [
+            (spec.name, spec.topology.family, spec.workload.kind,
+             len(spec.dynamics), spec.description)
+            for spec in DEFAULT_REGISTRY
+        ]
+        out.write(render_table(
+            ["preset", "topology", "workload", "events", "description"], rows,
+            title=f"{len(rows)} scenario presets",
+        ) + "\n")
+        return 0
+
+    if args.preset not in DEFAULT_REGISTRY:
+        out.write(f"unknown scenario {args.preset!r}; "
+                  f"available: {', '.join(DEFAULT_REGISTRY.names())}\n")
+        return 2
+    spec = DEFAULT_REGISTRY.get(args.preset)
+    if args.seed is not None:
+        spec = spec.replace(seed=args.seed)
+    result = run_scenario(spec, repetitions=args.reps,
+                          full_resolve=args.full_resolve)
+    if args.json:
+        out.write(json.dumps(result.to_json(), indent=1) + "\n")
+        return 0
+    summary = result.summary()
+    out.write(render_table(
+        ["metric", "value"], list(summary.items()),
+        title=f"{spec.name}: {spec.description or spec.topology.family}",
+    ) + "\n")
+    if result.events_applied:
+        out.write(render_table(
+            ["t (s)", "link", "action", "bandwidth (B/s)"],
+            [(e.time, e.link, e.action, e.bandwidth)
+             for e in result.events_applied],
+            title="dynamics applied (first repetition)",
+        ) + "\n")
+    return 0
+
+
 def _cmd_report(args, out) -> int:
     from repro.analysis.report import build_report
     from repro.experiments.environment import forecast_service, testbed
@@ -213,6 +274,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

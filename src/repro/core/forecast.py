@@ -12,8 +12,11 @@ This module implements exactly that, over :mod:`repro.simgrid`.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro._util.parallel import pool_chunk_size
 
 from repro.core.rest.errors import BadRequest, NotFound
 from repro.simgrid.engine import Simulation
@@ -156,3 +159,65 @@ class NetworkForecastService:
                              duration=r["duration"])
             for r in records
         ]
+
+    def predict_transfers_many(
+        self,
+        platform_name: str,
+        requests: Sequence[Sequence[TransferSpec] | Sequence[tuple[str, str, float]]],
+        model: Optional[NetworkModel] = None,
+        full_resolve: bool = False,
+        workers: Optional[int] = None,
+        service_factory: Optional[Callable[[], "NetworkForecastService"]] = None,
+    ) -> list[list[TransferForecast]]:
+        """Answer many independent forecast requests (a backtest batch).
+
+        Each element of ``requests`` is one ``predict_transfers`` transfer
+        list; the answers come back in request order.  With ``workers > 1``
+        the requests fan out over a :class:`ProcessPoolExecutor` —
+        ``service_factory`` must then be a picklable module-level callable
+        returning an equivalent service (platforms hold closure-free but
+        heavyweight state, so workers rebuild instead of shipping them; the
+        session-cached :func:`repro.experiments.environment.forecast_service`
+        is the usual factory).  Every simulation is independent, so parallel
+        answers are identical to serial ones.
+        """
+        requests = list(requests)
+        if workers is None or workers <= 1 or len(requests) <= 1:
+            return [
+                self.predict_transfers(platform_name, transfers, model=model,
+                                       full_resolve=full_resolve)
+                for transfers in requests
+            ]
+        if service_factory is None:
+            raise ValueError(
+                "predict_transfers_many(workers > 1) needs a picklable "
+                "service_factory rebuilding the service in each worker"
+            )
+        # ship the model object itself (a frozen, picklable dataclass) so
+        # custom factors/gamma survive the process boundary
+        request_model = model or self.model
+        payloads = [
+            (service_factory, platform_name,
+             [(s.src, s.dst, s.size) if isinstance(s, TransferSpec) else tuple(s)
+              for s in transfers],
+             request_model, full_resolve)
+            for transfers in requests
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunk = pool_chunk_size(len(payloads), workers)
+            return list(pool.map(_predict_request_task, payloads, chunksize=chunk))
+
+
+#: Worker-process cache: one rebuilt service per factory per process.
+_WORKER_SERVICES: dict = {}
+
+
+def _predict_request_task(payload: tuple) -> list[TransferForecast]:
+    """One ``predict_transfers`` call inside a worker process."""
+    service_factory, platform_name, transfers, model, full_resolve = payload
+    service = _WORKER_SERVICES.get(service_factory)
+    if service is None:
+        service = _WORKER_SERVICES[service_factory] = service_factory()
+    return service.predict_transfers(
+        platform_name, transfers, model=model, full_resolve=full_resolve,
+    )

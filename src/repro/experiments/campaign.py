@@ -6,12 +6,25 @@ in this article) validates the network model of SimGrid" — the paper swept
 published figures.  This module expresses that campaign as an orchestration
 sweep (every feasible combination, with the infeasible ones excluded the
 way a 79-node cluster forces) and runs it through the experiment engine.
+
+``run_campaign(workers=N)`` fans the combinations out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Per-combination seeds
+come from :meth:`ParamSweep.seeded_combinations` — the same chain the serial
+engine uses — and results are aggregated in sweep order, so a parallel
+campaign is **bit-identical** to a serial one (asserted by
+``benchmarks/bench_campaign_parallel.py``).  Worker processes rebuild their
+experiment environment through a module-level factory (pickled by
+reference); the default factory reuses the session-cached
+:mod:`repro.experiments.environment` builders, which a forked worker
+inherits for free.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Optional, Sequence
 
+from repro._util.rng import derive_seed
 from repro.analysis.errors import ErrorSeries
 from repro.core.forecast import NetworkForecastService
 from repro.experiments.protocol import (
@@ -83,6 +96,46 @@ def spec_for(combination: dict, sizes: Optional[tuple[float, ...]] = None,
     )
 
 
+def default_campaign_environment() -> tuple[NetworkForecastService, TestbedNetwork]:
+    """The standard campaign environment (session-cached g5k platforms and
+    testbed).  Module-level so worker processes can receive it by reference."""
+    from repro.experiments.environment import forecast_service, testbed
+
+    return forecast_service(), testbed()
+
+
+#: Worker-process cache: one rebuilt environment per factory per process.
+_WORKER_ENVIRONMENTS: dict = {}
+
+
+def _run_combination_task(payload: tuple) -> tuple[str, Optional[ErrorSeries], Optional[str]]:
+    """Run one campaign combination inside a worker process.
+
+    Mirrors the serial engine's body + bounded-retry loop exactly (same
+    attempt-seed derivation), and returns ``(combination_id, series, error)``
+    with errors stringified so they always cross the process boundary.
+    """
+    (combination, comb_seed, repetitions, sizes, platform_name,
+     environment_factory, max_retries) = payload
+    env = _WORKER_ENVIRONMENTS.get(environment_factory)
+    if env is None:
+        env = _WORKER_ENVIRONMENTS[environment_factory] = environment_factory()
+    forecast, network = env
+    last_error: Optional[str] = None
+    for attempt in range(max_retries + 1):
+        try:
+            spec = spec_for(combination, sizes=sizes, repetitions=repetitions)
+            series = run_experiment(
+                spec, forecast, network, platform_name=platform_name,
+                seed=derive_seed(comb_seed, attempt), repetitions=repetitions,
+                sizes=sizes,
+            )
+            return combination_id(combination), series, None
+        except Exception as exc:  # noqa: BLE001 - executor boundary
+            last_error = f"{type(exc).__name__}: {exc}"
+    return combination_id(combination), None, last_error
+
+
 def run_campaign(
     forecast: NetworkForecastService,
     network: TestbedNetwork,
@@ -92,13 +145,46 @@ def run_campaign(
     sizes: Optional[tuple[float, ...]] = None,
     platform_name: str = "g5k_test",
     progress=None,
+    workers: Optional[int] = None,
+    environment_factory: Callable = default_campaign_environment,
+    chunk_size: Optional[int] = None,
+    max_retries: int = 1,
 ) -> dict[str, ErrorSeries]:
     """Run (a slice of) the campaign; returns series keyed by combination id.
 
     Per-combination seeds derive from the engine's, so any single
     combination can be re-run in isolation bit-for-bit.
+
+    ``workers > 1`` runs combinations on a process pool.  In that mode each
+    worker obtains its experiment environment from ``environment_factory``
+    (a picklable module-level callable returning ``(forecast, network)``);
+    the ``forecast``/``network`` arguments only serve the serial path, so
+    callers with a custom environment must pass a matching factory.  Results
+    are chunked (``chunk_size`` tasks per executor round-trip, auto-sized by
+    default) and aggregated in sweep order — identical ordering, identical
+    seeds, bit-identical statistics vs. the serial path.
     """
     sweep = sweep if sweep is not None else campaign_sweep()
+    if workers is not None and workers > 1:
+        if environment_factory is default_campaign_environment:
+            # workers run against the factory's environment, not the
+            # forecast/network arguments — refuse to silently discard a
+            # custom environment (building the default here is free: forked
+            # workers inherit the caches it warms)
+            default_forecast, default_network = default_campaign_environment()
+            if forecast is not default_forecast or network is not default_network:
+                raise ValueError(
+                    "run_campaign(workers > 1) executes combinations against "
+                    "environment_factory(), which does not match the "
+                    "forecast/network passed in; supply a module-level "
+                    "environment_factory rebuilding your custom environment"
+                )
+        return _run_campaign_parallel(
+            sweep, seed=seed, repetitions=repetitions, sizes=sizes,
+            platform_name=platform_name, progress=progress, workers=workers,
+            environment_factory=environment_factory, chunk_size=chunk_size,
+            max_retries=max_retries,
+        )
 
     def body(combination: dict, comb_seed: int) -> ErrorSeries:
         spec = spec_for(combination, sizes=sizes, repetitions=repetitions)
@@ -107,7 +193,8 @@ def run_campaign(
             seed=comb_seed, repetitions=repetitions, sizes=sizes,
         )
 
-    engine = ExperimentEngine(sweep, body, seed=seed, progress=progress)
+    engine = ExperimentEngine(sweep, body, seed=seed, progress=progress,
+                              max_retries=max_retries)
     engine.run()
     if engine.failures:
         combination, error = engine.failures[0]
@@ -118,6 +205,43 @@ def run_campaign(
         combination_id(combination): series
         for combination, series in engine.results
     }
+
+
+def _run_campaign_parallel(
+    sweep: ParamSweep,
+    seed: int,
+    repetitions: int,
+    sizes: Optional[tuple[float, ...]],
+    platform_name: str,
+    progress,
+    workers: int,
+    environment_factory: Callable,
+    chunk_size: Optional[int],
+    max_retries: int,
+) -> dict[str, ErrorSeries]:
+    seeded = sweep.seeded_combinations(seed)
+    payloads = [
+        (combination, comb_seed, repetitions, sizes, platform_name,
+         environment_factory, max_retries)
+        for combination, comb_seed in seeded
+    ]
+    if not payloads:
+        return {}
+    chunk = chunk_size or ParamSweep.chunk_size(len(payloads), workers)
+    results: dict[str, ErrorSeries] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # executor.map preserves input order: aggregation happens in sweep
+        # order no matter which worker finishes first
+        outcomes = pool.map(_run_combination_task, payloads, chunksize=chunk)
+        for (combination, _), (cid, series, error) in zip(seeded, outcomes):
+            if error is not None:
+                raise RuntimeError(
+                    f"campaign combination {cid} failed: {error}"
+                )
+            results[cid] = series
+            if progress is not None:
+                progress(combination, series)
+    return results
 
 
 def campaign_summary(results: dict[str, ErrorSeries]) -> SummaryStats:

@@ -11,13 +11,9 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro._util.rng import derive_seed
-from repro.orchestration.sweep import ParamSweep
+from repro.orchestration.sweep import ParamSweep, combination_id
 
-
-def combination_id(combination: dict) -> str:
-    """Stable, filesystem-safe identifier of a sweep combination."""
-    parts = [f"{key}={combination[key]}" for key in sorted(combination)]
-    return "__".join(parts).replace(" ", "").replace("/", "-")
+__all__ = ["ExperimentEngine", "combination_id"]
 
 
 class ExperimentEngine:
@@ -41,8 +37,7 @@ class ExperimentEngine:
 
     def run(self) -> list[tuple[dict, object]]:
         """Execute all combinations; returns (combination, result) pairs."""
-        for combination in self.sweep:
-            comb_seed = derive_seed(self.seed, combination_id(combination))
+        for combination, comb_seed in self.sweep.seeded_combinations(self.seed):
             result: object = None
             last_error: Optional[BaseException] = None
             for attempt in range(self.max_retries + 1):

@@ -2,12 +2,27 @@
 
 A :class:`ParamSweep` is the cartesian product of named parameter value
 lists, with optional exclusion predicates (e.g. the paper never runs
-1 source × 1 destination grid experiments)."""
+1 source × 1 destination grid experiments).
+
+This module also owns the sweep-level identities every executor builds on:
+:func:`combination_id` (stable, filesystem-safe) and
+:meth:`ParamSweep.seeded_combinations` (the per-combination seed chain that
+the serial :class:`~repro.orchestration.engine.ExperimentEngine` and the
+parallel campaign executor share, so both produce bit-identical results)."""
 
 from __future__ import annotations
 
 import itertools
 from typing import Callable, Iterator, Optional, Sequence
+
+from repro._util.parallel import pool_chunk_size
+from repro._util.rng import derive_seed
+
+
+def combination_id(combination: dict) -> str:
+    """Stable, filesystem-safe identifier of a sweep combination."""
+    parts = [f"{key}={combination[key]}" for key in sorted(combination)]
+    return "__".join(parts).replace(" ", "").replace("/", "-")
 
 
 class ParamSweep:
@@ -40,3 +55,23 @@ class ParamSweep:
 
     def combinations(self) -> list[dict]:
         return list(self)
+
+    def seeded_combinations(self, root_seed: int) -> list[tuple[dict, int]]:
+        """``(combination, seed)`` pairs, seeds derived from ``root_seed``
+        and the combination id.
+
+        This is the single source of per-combination seeds: the serial
+        engine and the parallel campaign executor both consume it, which is
+        what makes their results bit-identical regardless of worker count or
+        scheduling order.
+        """
+        return [
+            (combination, derive_seed(root_seed, combination_id(combination)))
+            for combination in self
+        ]
+
+    @staticmethod
+    def chunk_size(n_items: int, workers: int, per_worker_waves: int = 4) -> int:
+        """A map chunksize giving each worker ~``per_worker_waves`` chunks
+        (see :func:`repro._util.parallel.pool_chunk_size`)."""
+        return pool_chunk_size(n_items, workers, per_worker_waves)

@@ -1,0 +1,48 @@
+"""Declarative scenario subsystem: topology × workload × dynamics.
+
+- :mod:`repro.scenarios.spec` — :class:`ScenarioSpec` and friends (JSON
+  round-trip),
+- :mod:`repro.scenarios.topologies` — the topology generator registry,
+- :mod:`repro.scenarios.workloads` — the workload generator registry,
+- :mod:`repro.scenarios.dynamics` — timed link degradation/failure/recovery,
+- :mod:`repro.scenarios.registry` — named presets (`repro scenarios list`),
+- :mod:`repro.scenarios.runner` — :func:`run_scenario`.
+
+See ``docs/SCENARIOS.md``.
+"""
+
+from repro.scenarios.registry import DEFAULT_REGISTRY, ScenarioRegistry
+from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.spec import (
+    LinkEvent,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.scenarios.topologies import (
+    build_topology,
+    register_topology,
+    topology_families,
+)
+from repro.scenarios.workloads import (
+    generate_workload,
+    register_workload,
+    workload_kinds,
+)
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "LinkEvent",
+    "ScenarioRegistry",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "build_topology",
+    "generate_workload",
+    "register_topology",
+    "register_workload",
+    "run_scenario",
+    "topology_families",
+    "workload_kinds",
+]

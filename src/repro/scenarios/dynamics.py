@@ -1,0 +1,100 @@
+"""Applying a dynamics schedule to a running simulation.
+
+Each :class:`~repro.scenarios.spec.LinkEvent` becomes a simulation timer
+that mutates the matched links' bandwidth in place.  The mutation bumps the
+global link-mutation epoch (see :class:`~repro.simgrid.platform.Link`), and
+the scheduled callback calls :meth:`Simulation.touch_sharing
+<repro.simgrid.engine.Simulation.touch_sharing>`, so the kernel re-derives
+every in-flight activity's sharing usages at the very next event-loop
+iteration — in-flight transfers recalibrate to the degraded/failed/recovered
+capacities exactly like they do for the latency feed's link edits.
+
+Failures set bandwidth to :data:`FAILED_BANDWIDTH` (1 byte/s) rather than
+zero: the platform model requires positive capacities, and a vanishing-but-
+positive floor keeps completion times finite so a scenario without a
+recovery event still terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.scenarios.spec import LinkEvent
+from repro.simgrid.engine import Simulation
+
+#: Bandwidth floor (bytes/s) modelling a failed link.
+FAILED_BANDWIDTH = 1.0
+
+
+@dataclass
+class AppliedEvent:
+    """One link mutation that actually fired during a run."""
+
+    time: float
+    link: str
+    action: str
+    bandwidth: float  # the bandwidth set, bytes/s
+
+    def to_json(self) -> dict:
+        return {"time": self.time, "link": self.link,
+                "action": self.action, "bandwidth": self.bandwidth}
+
+
+@dataclass
+class DynamicsLog:
+    """Applied link mutations, appended as their timers fire."""
+
+    applied: list[AppliedEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.applied)
+
+
+def validate_dynamics(platform, events: Sequence[LinkEvent]) -> None:
+    """Fail fast if any event's pattern matches no link of ``platform``."""
+    for event in events:
+        if not platform.links_matching(event.link):
+            raise ValueError(
+                f"dynamics event at t={event.time} matches no link: "
+                f"pattern {event.link!r}"
+            )
+
+
+def schedule_dynamics(
+    sim: Simulation, events: Sequence[LinkEvent]
+) -> DynamicsLog:
+    """Schedule all ``events`` on ``sim`` (call before ``run()``, at clock 0).
+
+    Event times are absolute simulated seconds.  ``degrade`` factors apply to
+    each link's *nominal* bandwidth (its value when the schedule first touches
+    it), so ``degrade 0.5 → degrade 0.25 → recover`` composes predictably
+    instead of compounding.  Returns the log the fired events append to.
+    """
+    if sim.clock != 0.0:
+        raise ValueError(
+            f"dynamics schedules use absolute times; schedule at clock 0, "
+            f"not {sim.clock}"
+        )
+    validate_dynamics(sim.platform, events)
+    nominal: dict[str, float] = {}
+    log = DynamicsLog()
+
+    def fire(event: LinkEvent) -> None:
+        for link in sim.platform.links_matching(event.link):
+            base = nominal.setdefault(link.name, link.bandwidth)
+            if event.action == "degrade":
+                link.bandwidth = base * event.factor
+            elif event.action == "fail":
+                link.bandwidth = FAILED_BANDWIDTH
+            else:  # recover
+                link.bandwidth = base
+            log.applied.append(AppliedEvent(
+                time=event.time, link=link.name, action=event.action,
+                bandwidth=link.bandwidth,
+            ))
+        sim.touch_sharing()
+
+    for event in sorted(events, key=lambda e: e.time):
+        sim.schedule(event.time, lambda event=event: fire(event))
+    return log

@@ -1,0 +1,151 @@
+"""Named scenario presets.
+
+The :data:`DEFAULT_REGISTRY` holds the scenarios the CLI exposes
+(``repro scenarios list|run``) and the tier-1 preset smoke check runs.  The
+presets deliberately span every topology family and every workload kind, at
+sizes small enough that each completes in well under a second — they are the
+scaffolding future workload PRs extend, not benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.scenarios.spec import (
+    LinkEvent,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+
+class ScenarioRegistry:
+    """Named :class:`ScenarioSpec` collection with registration-order
+    listing."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, ScenarioSpec] = {}
+
+    def register(self, spec: ScenarioSpec) -> ScenarioSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"scenario {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ScenarioSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown scenario {name!r} (have {self.names()})"
+            ) from None
+
+    def names(self) -> list[str]:
+        return list(self._specs)
+
+    def specs(self) -> list[ScenarioSpec]:
+        return list(self._specs.values())
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+
+#: The built-in presets (≥ 6 scenarios spanning all 6 topology families).
+DEFAULT_REGISTRY = ScenarioRegistry()
+
+DEFAULT_REGISTRY.register(ScenarioSpec(
+    name="star-incast",
+    description="15-to-1 incast on a flat star; the sink's access link "
+                "degrades to half rate mid-transfer, then recovers",
+    topology=TopologySpec("star", {"n_hosts": 16}),
+    workload=WorkloadSpec("incast", size=5e7, params={"fan_in": 15}),
+    dynamics=(
+        LinkEvent(time=0.2, link="star-16-link", action="degrade", factor=0.5),
+        LinkEvent(time=0.8, link="star-16-link", action="recover"),
+    ),
+))
+
+DEFAULT_REGISTRY.register(ScenarioSpec(
+    name="dumbbell-congestion",
+    description="all-to-all across a shared dumbbell bottleneck that "
+                "collapses to quarter rate and recovers",
+    topology=TopologySpec("dumbbell", {"n_left": 4, "n_right": 4}),
+    workload=WorkloadSpec("all_to_all", size=2e7),
+    dynamics=(
+        LinkEvent(time=0.3, link="bottleneck", action="degrade", factor=0.25),
+        LinkEvent(time=1.2, link="bottleneck", action="recover"),
+    ),
+))
+
+DEFAULT_REGISTRY.register(ScenarioSpec(
+    name="grid-shuffle",
+    description="3-site two-level grid running a 3-stride shuffle while "
+                "every backbone link halves its capacity",
+    topology=TopologySpec("grid", {"site_specs": {"lille": 4, "lyon": 4,
+                                                  "nancy": 4}}),
+    workload=WorkloadSpec("shuffle", size=1e8, params={"strides": 3}),
+    dynamics=(
+        LinkEvent(time=0.5, link="bb-*", action="degrade", factor=0.5),
+    ),
+))
+
+DEFAULT_REGISTRY.register(ScenarioSpec(
+    name="fat-tree-shuffle",
+    description="k=4 fat tree under a 4-stride shuffle with one core "
+                "uplink failing and recovering",
+    topology=TopologySpec("fat_tree", {"k": 4}),
+    workload=WorkloadSpec("shuffle", size=1e8, params={"strides": 4}),
+    dynamics=(
+        LinkEvent(time=0.3, link="ft-p0-a0-c0", action="fail"),
+        LinkEvent(time=0.9, link="ft-p0-a0-c0", action="recover"),
+    ),
+))
+
+DEFAULT_REGISTRY.register(ScenarioSpec(
+    name="fat-tree-incast",
+    description="k=4 fat tree, 15-to-1 incast into the last host (static "
+                "control case: no dynamics)",
+    topology=TopologySpec("fat_tree", {"k": 4}),
+    workload=WorkloadSpec("incast", size=2e7, params={"fan_in": 15}),
+))
+
+DEFAULT_REGISTRY.register(ScenarioSpec(
+    name="torus-neighbors",
+    description="4x4 torus exchanging with ring neighbors while one mesh "
+                "link fails and recovers",
+    topology=TopologySpec("torus", {"dims": (4, 4)}),
+    workload=WorkloadSpec("shuffle", size=5e7, params={"strides": 2}),
+    dynamics=(
+        LinkEvent(time=0.02, link="torus-0-0-d0", action="fail"),
+        LinkEvent(time=0.08, link="torus-0-0-d0", action="recover"),
+    ),
+))
+
+DEFAULT_REGISTRY.register(ScenarioSpec(
+    name="dragonfly-random",
+    description="4-group dragonfly under seeded random pair traffic with "
+                "one global link failing mid-run",
+    topology=TopologySpec("dragonfly", {"n_groups": 4, "routers_per_group": 3,
+                                        "hosts_per_router": 2}),
+    workload=WorkloadSpec("random_pairs", size=5e7, params={"n_pairs": 24}),
+    dynamics=(
+        LinkEvent(time=0.25, link="dfly-global-0-1", action="fail"),
+        LinkEvent(time=0.75, link="dfly-global-0-1", action="recover"),
+    ),
+    seed=7,
+))
+
+DEFAULT_REGISTRY.register(ScenarioSpec(
+    name="star-flash-crowd",
+    description="24-host star hit by seeded random pair traffic (static "
+                "baseline for the incast preset)",
+    topology=TopologySpec("star", {"n_hosts": 24}),
+    workload=WorkloadSpec("random_pairs", size=2e7, params={"n_pairs": 32}),
+    seed=11,
+))

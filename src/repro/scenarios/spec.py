@@ -1,0 +1,190 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` composes the three orthogonal axes a network
+experiment varies over:
+
+- a **topology** (:class:`TopologySpec`) — which generator family builds the
+  platform and with which parameters,
+- a **workload** (:class:`WorkloadSpec`) — which traffic pattern runs on it,
+- a **dynamics schedule** (:class:`LinkEvent` list) — timed link
+  degradations, failures and recoveries applied while transfers are in
+  flight.
+
+Specs are plain frozen dataclasses with a lossless JSON round-trip
+(``ScenarioSpec.from_json(spec.to_json()) == spec``), so scenario campaigns
+can be stored, diffed and shipped to worker processes as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Dynamics actions a :class:`LinkEvent` may carry.
+EVENT_ACTIONS = ("degrade", "fail", "recover")
+
+
+def _freeze(value: object) -> object:
+    """Normalize JSON-ish parameter values so equality survives the
+    JSON round-trip (tuples and lists collapse to tuples)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _freeze(v) for k, v in value.items()}
+    return value
+
+
+def _thaw(value: object) -> object:
+    """The JSON-friendly mirror of :func:`_freeze` (tuples back to lists)."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _thaw(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Which generator builds the platform: a family name from the topology
+    registry plus its keyword parameters."""
+
+    family: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.family:
+            raise ValueError("topology family must be non-empty")
+        object.__setattr__(self, "params", _freeze(dict(self.params)))
+
+    def to_json(self) -> dict:
+        return {"family": self.family, "params": _thaw(self.params)}
+
+    @staticmethod
+    def from_json(doc: dict) -> "TopologySpec":
+        return TopologySpec(family=doc["family"], params=doc.get("params", {}))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which traffic pattern runs: a kind from the workload registry, the
+    per-transfer size in bytes, and generator-specific parameters."""
+
+    kind: str
+    size: float = 1e8
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("workload kind must be non-empty")
+        if self.size <= 0:
+            raise ValueError(f"transfer size must be positive, got {self.size}")
+        object.__setattr__(self, "size", float(self.size))
+        object.__setattr__(self, "params", _freeze(dict(self.params)))
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "size": self.size, "params": _thaw(self.params)}
+
+    @staticmethod
+    def from_json(doc: dict) -> "WorkloadSpec":
+        return WorkloadSpec(kind=doc["kind"], size=doc.get("size", 1e8),
+                            params=doc.get("params", {}))
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """One timed link mutation.
+
+    ``link`` is an :mod:`fnmatch` pattern over platform link names (an exact
+    name matches itself).  ``action`` is one of:
+
+    - ``"degrade"`` — set matched links to ``factor`` × nominal bandwidth,
+    - ``"fail"`` — collapse matched links to the failure bandwidth floor,
+    - ``"recover"`` — restore matched links to nominal bandwidth.
+    """
+
+    time: float
+    link: str
+    action: str
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if not self.link:
+            raise ValueError("event link pattern must be non-empty")
+        if self.action not in EVENT_ACTIONS:
+            raise ValueError(
+                f"unknown action {self.action!r} (have {EVENT_ACTIONS})"
+            )
+        if self.action == "degrade" and not 0.0 < self.factor <= 1.0:
+            raise ValueError(
+                f"degrade factor must be in (0, 1], got {self.factor}"
+            )
+        object.__setattr__(self, "time", float(self.time))
+        # factor only means something for degrade; normalizing it keeps the
+        # JSON round-trip (which omits it otherwise) lossless
+        object.__setattr__(
+            self, "factor",
+            float(self.factor) if self.action == "degrade" else 1.0,
+        )
+
+    def to_json(self) -> dict:
+        doc = {"time": self.time, "link": self.link, "action": self.action}
+        if self.action == "degrade":
+            doc["factor"] = self.factor
+        return doc
+
+    @staticmethod
+    def from_json(doc: dict) -> "LinkEvent":
+        return LinkEvent(time=doc["time"], link=doc["link"],
+                         action=doc["action"], factor=doc.get("factor", 1.0))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative scenario: topology × workload × dynamics."""
+
+    name: str
+    topology: TopologySpec
+    workload: WorkloadSpec
+    dynamics: tuple[LinkEvent, ...] = ()
+    seed: int = 0
+    model: str = "LV08"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        object.__setattr__(self, "dynamics", tuple(self.dynamics))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "topology": self.topology.to_json(),
+            "workload": self.workload.to_json(),
+            "dynamics": [event.to_json() for event in self.dynamics],
+            "seed": self.seed,
+            "model": self.model,
+        }
+
+    @staticmethod
+    def from_json(doc: dict) -> "ScenarioSpec":
+        return ScenarioSpec(
+            name=doc["name"],
+            description=doc.get("description", ""),
+            topology=TopologySpec.from_json(doc["topology"]),
+            workload=WorkloadSpec.from_json(doc["workload"]),
+            dynamics=tuple(
+                LinkEvent.from_json(e) for e in doc.get("dynamics", ())
+            ),
+            seed=doc.get("seed", 0),
+            model=doc.get("model", "LV08"),
+        )
+
+    def replace(self, **changes) -> "ScenarioSpec":
+        """A copy with ``changes`` applied (dataclasses.replace sugar)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)

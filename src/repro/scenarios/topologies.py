@@ -1,0 +1,97 @@
+"""The topology generator registry.
+
+Every platform builder the repo knows — the original star/dumbbell/grid
+helpers of :mod:`repro.simgrid.builder` and the fat-tree/torus/dragonfly
+generators added with this subsystem — is reachable behind one family name,
+so a :class:`~repro.scenarios.spec.TopologySpec` fully determines a
+platform.  Adding a family is one :func:`register_topology` call; see
+``docs/SCENARIOS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.scenarios.spec import TopologySpec
+from repro.simgrid.builder import (
+    build_dragonfly,
+    build_dumbbell,
+    build_fat_tree,
+    build_star_cluster,
+    build_torus,
+    build_two_level_grid,
+)
+from repro.simgrid.platform import Platform
+
+#: family name -> builder(**params) -> Platform
+_GENERATORS: dict[str, Callable[..., Platform]] = {}
+
+
+def register_topology(
+    family: str, builder: Optional[Callable[..., Platform]] = None
+):
+    """Register ``builder`` under ``family`` (usable as a decorator)."""
+
+    def _register(fn: Callable[..., Platform]) -> Callable[..., Platform]:
+        if family in _GENERATORS:
+            raise ValueError(f"topology family {family!r} already registered")
+        _GENERATORS[family] = fn
+        return fn
+
+    return _register(builder) if builder is not None else _register
+
+
+def topology_families() -> list[str]:
+    """All registered family names, sorted."""
+    return sorted(_GENERATORS)
+
+
+def build_topology(spec: TopologySpec) -> Platform:
+    """Build the platform a :class:`TopologySpec` describes."""
+    try:
+        builder = _GENERATORS[spec.family]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology family {spec.family!r} "
+            f"(have {topology_families()})"
+        ) from None
+    params = {key: _param(value) for key, value in spec.params.items()}
+    return builder(**params)
+
+
+def _param(value: object) -> object:
+    """Spec params are frozen (tuples); builders take them as-is — tuples
+    satisfy every ``Sequence`` parameter — so this is just a hook point."""
+    return value
+
+
+@register_topology("star")
+def _star(n_hosts: int = 16, **kwargs) -> Platform:
+    kwargs.setdefault("full_mesh", True)
+    return build_star_cluster("star", n_hosts, **kwargs)
+
+
+@register_topology("dumbbell")
+def _dumbbell(**kwargs) -> Platform:
+    return build_dumbbell(**kwargs)
+
+
+@register_topology("grid")
+def _grid(site_specs: Optional[dict] = None, **kwargs) -> Platform:
+    sites = dict(site_specs) if site_specs else {"lille": 4, "lyon": 4, "nancy": 4}
+    return build_two_level_grid(sites, **kwargs)
+
+
+@register_topology("fat_tree")
+def _fat_tree(**kwargs) -> Platform:
+    return build_fat_tree(**kwargs)
+
+
+@register_topology("torus")
+def _torus(**kwargs) -> Platform:
+    return build_torus(**kwargs)
+
+
+@register_topology("dragonfly")
+def _dragonfly(**kwargs) -> Platform:
+    return build_dragonfly(**kwargs)

@@ -1,0 +1,115 @@
+"""The workload generator registry.
+
+A workload generator maps ``(hosts, spec, rng)`` to a list of
+``(src, dst, size)`` transfers.  ``hosts`` is the platform's host list in
+construction order (deterministic), ``spec`` the
+:class:`~repro.scenarios.spec.WorkloadSpec`, and ``rng`` a
+:class:`numpy.random.Generator` whose stream is spawned from the scenario
+seed — only :func:`random_pairs` consumes it, but every generator receives
+it so stochastic variants slot in without signature changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.scenarios.spec import WorkloadSpec
+
+Transfer = tuple[str, str, float]
+
+#: kind -> generator(hosts, spec, rng) -> [(src, dst, size), ...]
+_GENERATORS: dict[str, Callable] = {}
+
+
+def register_workload(kind: str, generator: Optional[Callable] = None):
+    """Register ``generator`` under ``kind`` (usable as a decorator)."""
+
+    def _register(fn: Callable) -> Callable:
+        if kind in _GENERATORS:
+            raise ValueError(f"workload kind {kind!r} already registered")
+        _GENERATORS[kind] = fn
+        return fn
+
+    return _register(generator) if generator is not None else _register
+
+
+def workload_kinds() -> list[str]:
+    """All registered workload kinds, sorted."""
+    return sorted(_GENERATORS)
+
+
+def generate_workload(
+    spec: WorkloadSpec, hosts: Sequence[str], rng: np.random.Generator
+) -> list[Transfer]:
+    """The transfer list of ``spec`` over ``hosts``."""
+    try:
+        generator = _GENERATORS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload kind {spec.kind!r} (have {workload_kinds()})"
+        ) from None
+    if len(hosts) < 2:
+        raise ValueError(f"workloads need >= 2 hosts, got {len(hosts)}")
+    transfers = generator(list(hosts), spec, rng)
+    if not transfers:
+        raise ValueError(f"workload {spec.kind!r} produced no transfers")
+    return transfers
+
+
+@register_workload("all_to_all")
+def _all_to_all(hosts, spec, rng) -> list[Transfer]:
+    """Every ordered host pair; ``limit`` caps the participating hosts."""
+    limit = spec.params.get("limit")
+    active = hosts[: int(limit)] if limit else hosts
+    return [(a, b, spec.size) for a in active for b in active if a != b]
+
+
+@register_workload("incast")
+def _incast(hosts, spec, rng) -> list[Transfer]:
+    """``fan_in`` sources all sending to one sink (the last host, or
+    ``destination``) — the classic partition/aggregate hot spot."""
+    destination = spec.params.get("destination") or hosts[-1]
+    if destination not in hosts:
+        raise ValueError(f"incast destination {destination!r} not in platform")
+    others = [h for h in hosts if h != destination]
+    fan_in = int(spec.params.get("fan_in") or len(others))
+    if not 1 <= fan_in <= len(others):
+        raise ValueError(
+            f"incast fan_in must be in [1, {len(others)}], got {fan_in}"
+        )
+    return [(src, destination, spec.size) for src in others[:fan_in]]
+
+
+@register_workload("shuffle")
+def _shuffle(hosts, spec, rng) -> list[Transfer]:
+    """Map-reduce style shuffle: host ``i`` sends to hosts ``i+1 … i+strides``
+    (mod n), so every host is simultaneously source and destination."""
+    n = len(hosts)
+    strides = int(spec.params.get("strides", 1))
+    if not 1 <= strides < n:
+        raise ValueError(f"shuffle strides must be in [1, {n - 1}], got {strides}")
+    return [
+        (hosts[i], hosts[(i + s) % n], spec.size)
+        for i in range(n)
+        for s in range(1, strides + 1)
+    ]
+
+
+@register_workload("random_pairs")
+def _random_pairs(hosts, spec, rng) -> list[Transfer]:
+    """``n_pairs`` random (src, dst) draws, src ≠ dst, seeded from the
+    scenario's spawned stream."""
+    n_pairs = int(spec.params.get("n_pairs", len(hosts)))
+    if n_pairs < 1:
+        raise ValueError(f"random_pairs needs n_pairs >= 1, got {n_pairs}")
+    n = len(hosts)
+    transfers: list[Transfer] = []
+    for _ in range(n_pairs):
+        src = int(rng.integers(n))
+        dst = int(rng.integers(n - 1))
+        if dst >= src:
+            dst += 1
+        transfers.append((hosts[src], hosts[dst], spec.size))
+    return transfers

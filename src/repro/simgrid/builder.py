@@ -9,11 +9,21 @@ are used throughout the tests, the examples and the Grid'5000 converter:
   routers with uplinks to a core router (graphene-like),
 - :func:`build_dumbbell` — two host sets around one bottleneck link,
 - :func:`build_two_level_grid` — several cluster ASes joined by backbone
-  links through gateways.
+  links through gateways,
+- :func:`build_fat_tree` — a k-ary fat tree (edge/aggregation/core layers),
+- :func:`build_torus` — an n-dimensional torus with wraparound neighbor links,
+- :func:`build_dragonfly` — router groups with all-to-all local and global
+  links.
+
+The fat-tree, torus and dragonfly builders declare only their adjacency and
+rely on Dijkstra routing (shortest path by latency, ties broken by hop count),
+so their route tables stay linear in the link count.  All builders are
+registered behind one name in :mod:`repro.scenarios.topologies`.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional, Sequence
 
 from repro.simgrid.platform import (
@@ -263,4 +273,168 @@ def build_two_level_grid(
             bb = root.add_link(f"bb-{a}-{b}", backbone_bandwidth, backbone_latency,
                                policy=backbone_policy)
             root.add_route(f"AS_{a}", f"AS_{b}", [bb])
+    return platform
+
+
+def build_fat_tree(
+    k: int = 4,
+    host_bandwidth: float | str = "1Gbps",
+    host_latency: float | str = "100us",
+    switch_bandwidth: float | str = "10Gbps",
+    switch_latency: float | str = "100us",
+    host_speed: float = 1e9,
+    prefix: str = "ft",
+    switch_policy: SharingPolicy = SharingPolicy.FULLDUPLEX,
+) -> Platform:
+    """A k-ary fat tree (Al-Fares et al. shape): ``k`` pods of ``k/2`` edge
+    and ``k/2`` aggregation switches, ``(k/2)²`` core switches, ``k³/4``
+    hosts.
+
+    Edge switch ``e`` of each pod serves ``k/2`` hosts; aggregation switch
+    ``a`` of each pod uplinks to core group ``a`` (cores
+    ``a·k/2 … a·k/2+k/2−1``).  Routes derive from the adjacency via Dijkstra
+    (equal switch latencies ⇒ minimal-hop paths), so the route table is
+    linear in the link count instead of quadratic in hosts.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    platform = Platform(f"{prefix}-platform", routing="Dijkstra")
+    root = platform.root
+    cores = [root.add_router(f"{prefix}-core-{c}") for c in range(half * half)]
+    host_index = 1
+    for pod in range(k):
+        aggs = [root.add_router(f"{prefix}-p{pod}-agg-{a}") for a in range(half)]
+        edges = [root.add_router(f"{prefix}-p{pod}-edge-{e}") for e in range(half)]
+        for a, agg in enumerate(aggs):
+            for c in range(half):
+                core = cores[a * half + c]
+                link = root.add_link(
+                    f"{prefix}-p{pod}-a{a}-c{a * half + c}",
+                    switch_bandwidth, switch_latency, policy=switch_policy,
+                )
+                root.add_connection(agg.name, core.name, link)
+        for e, edge in enumerate(edges):
+            for a, agg in enumerate(aggs):
+                link = root.add_link(
+                    f"{prefix}-p{pod}-e{e}-a{a}",
+                    switch_bandwidth, switch_latency, policy=switch_policy,
+                )
+                root.add_connection(edge.name, agg.name, link)
+            for _ in range(half):
+                host = root.add_host(f"{prefix}-{host_index}", speed=host_speed)
+                link = root.add_link(
+                    f"{prefix}-{host_index}-link", host_bandwidth, host_latency,
+                    policy=SharingPolicy.FULLDUPLEX,
+                )
+                root.add_connection(host.name, edge.name, link)
+                host_index += 1
+    return platform
+
+
+def build_torus(
+    dims: Sequence[int] = (4, 4),
+    link_bandwidth: float | str = "10Gbps",
+    link_latency: float | str = "50us",
+    host_speed: float = 1e9,
+    prefix: str = "torus",
+    link_policy: SharingPolicy = SharingPolicy.FULLDUPLEX,
+) -> Platform:
+    """An n-dimensional torus of hosts: every grid point is a host connected
+    to its ``+1`` neighbor (with wraparound) in each dimension.
+
+    Hosts are named ``{prefix}-i-j[-k…]`` from their coordinates.  For a
+    dimension of size 2 the wraparound link would duplicate the forward one,
+    so only a single link is created.  Dijkstra routing finds minimal-latency
+    (= minimal-hop for uniform links) paths.
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 2 for d in dims):
+        raise ValueError(f"torus dimensions must all be >= 2, got {dims}")
+    platform = Platform(f"{prefix}-platform", routing="Dijkstra")
+    root = platform.root
+
+    def host_name(coord: tuple[int, ...]) -> str:
+        return f"{prefix}-" + "-".join(str(c) for c in coord)
+
+    coords = list(itertools.product(*(range(d) for d in dims)))
+    for coord in coords:
+        root.add_host(host_name(coord), speed=host_speed)
+    for coord in coords:
+        for axis, size in enumerate(dims):
+            if size == 2 and coord[axis] == 1:
+                continue  # wraparound would duplicate the 0->1 link
+            neighbor = list(coord)
+            neighbor[axis] = (coord[axis] + 1) % size
+            neighbor = tuple(neighbor)
+            link = root.add_link(
+                f"{prefix}-{'-'.join(map(str, coord))}-d{axis}",
+                link_bandwidth, link_latency, policy=link_policy,
+            )
+            root.add_connection(host_name(coord), host_name(neighbor), link)
+    return platform
+
+
+def build_dragonfly(
+    n_groups: int = 4,
+    routers_per_group: int = 3,
+    hosts_per_router: int = 2,
+    host_bandwidth: float | str = "1Gbps",
+    host_latency: float | str = "100us",
+    local_bandwidth: float | str = "10Gbps",
+    local_latency: float | str = "50us",
+    global_bandwidth: float | str = "10Gbps",
+    global_latency: float | str = "500us",
+    host_speed: float = 1e9,
+    prefix: str = "dfly",
+) -> Platform:
+    """A dragonfly: groups of all-to-all connected routers, each router
+    serving ``hosts_per_router`` hosts, every group pair joined by one global
+    link whose endpoints rotate over the group's routers.
+
+    The canonical Cray-style topology (Kim et al. 2008): minimal routes are
+    host → local router [→ local link] → global link [→ local link] → host,
+    which Dijkstra recovers because global links carry the long latency.
+    """
+    if n_groups < 2 or routers_per_group < 1 or hosts_per_router < 1:
+        raise ValueError(
+            f"dragonfly needs >= 2 groups and >= 1 router/host per level, got "
+            f"({n_groups}, {routers_per_group}, {hosts_per_router})"
+        )
+    platform = Platform(f"{prefix}-platform", routing="Dijkstra")
+    root = platform.root
+    routers: list[list] = []
+    host_index = 1
+    for g in range(n_groups):
+        group = [root.add_router(f"{prefix}-g{g}-r{r}")
+                 for r in range(routers_per_group)]
+        routers.append(group)
+        for router in group:
+            for _ in range(hosts_per_router):
+                host = root.add_host(f"{prefix}-{host_index}", speed=host_speed)
+                link = root.add_link(
+                    f"{prefix}-{host_index}-link", host_bandwidth, host_latency,
+                    policy=SharingPolicy.FULLDUPLEX,
+                )
+                root.add_connection(host.name, router.name, link)
+                host_index += 1
+        for a, b in itertools.combinations(range(routers_per_group), 2):
+            link = root.add_link(
+                f"{prefix}-g{g}-local-{a}-{b}", local_bandwidth, local_latency,
+                policy=SharingPolicy.FULLDUPLEX,
+            )
+            root.add_connection(group[a].name, group[b].name, link)
+    # one global link per group pair; endpoint routers rotate round-robin so
+    # the global links spread over each group's routers
+    out_port = [0] * n_groups
+    for a, b in itertools.combinations(range(n_groups), 2):
+        ra = routers[a][out_port[a] % routers_per_group]
+        rb = routers[b][out_port[b] % routers_per_group]
+        out_port[a] += 1
+        out_port[b] += 1
+        link = root.add_link(
+            f"{prefix}-global-{a}-{b}", global_bandwidth, global_latency,
+            policy=SharingPolicy.FULLDUPLEX,
+        )
+        root.add_connection(ra.name, rb.name, link)
     return platform

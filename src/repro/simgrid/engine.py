@@ -180,6 +180,18 @@ class Simulation:
             raise SimulationError(f"negative delay: {delay}")
         heapq.heappush(self._timers, (self.clock + delay, next(self._seq), callback))
 
+    def touch_sharing(self) -> None:
+        """Force a re-share at the next event-loop iteration.
+
+        Timer callbacks that mutate platform state the kernel cannot observe
+        directly — link bandwidth/latency/policy edits (which bump the global
+        :func:`~repro.simgrid.platform.link_epoch`), capacity-factor changes —
+        must call this so in-flight activities recalibrate immediately instead
+        of at the next activity start/completion.  The scenario dynamics
+        schedules (:mod:`repro.scenarios.dynamics`) are the main user.
+        """
+        self._share_dirty = True
+
     # -- process integration (used by repro.simgrid.msg) --------------------
 
     def _make_runnable(self, process: object, value: object = None) -> None:

@@ -628,6 +628,22 @@ class Platform:
         except KeyError:
             raise UnknownElementError(f"unknown link {name!r}") from None
 
+    def links_matching(self, pattern: str) -> list[Link]:
+        """All links whose name matches the :mod:`fnmatch` ``pattern``
+        (``"g-uplink*"``, ``"bb-*"``); an exact name matches itself.
+
+        Scenario dynamics schedules target links through these patterns so a
+        preset stays valid when a generator's exact link numbering changes.
+        """
+        import fnmatch
+
+        if pattern in self._all_links:
+            return [self._all_links[pattern]]
+        return [
+            link for name, link in self._all_links.items()
+            if fnmatch.fnmatchcase(name, pattern)
+        ]
+
     # -- routing -----------------------------------------------------------
 
     def invalidate_route_cache(self) -> None:

@@ -115,3 +115,55 @@ class TestService:
         service = self.make()
         service.register_platform("alpha", build_star_cluster("a", 2))
         assert service.platform_names() == ["alpha", "star"]
+
+
+class TestPredictMany:
+    """Batch (backtest) requests, serial and process-parallel."""
+
+    REQUESTS = [
+        [("sagittaire-1.lyon.grid5000.fr", "sagittaire-2.lyon.grid5000.fr", 1e9)],
+        [("graphene-1.nancy.grid5000.fr", "graphene-2.nancy.grid5000.fr", 5e8),
+         ("graphene-3.nancy.grid5000.fr", "graphene-4.nancy.grid5000.fr", 5e8)],
+        [("sagittaire-3.lyon.grid5000.fr", "graphene-2.nancy.grid5000.fr", 1e8)],
+    ]
+
+    def test_serial_batch_matches_individual_calls(self, forecast_service):
+        batch = forecast_service.predict_transfers_many("g5k_test", self.REQUESTS)
+        individual = [
+            forecast_service.predict_transfers("g5k_test", transfers)
+            for transfers in self.REQUESTS
+        ]
+        assert batch == individual
+
+    def test_parallel_batch_matches_serial(self, forecast_service):
+        from repro.experiments.environment import forecast_service as factory
+
+        serial = forecast_service.predict_transfers_many("g5k_test", self.REQUESTS)
+        parallel = forecast_service.predict_transfers_many(
+            "g5k_test", self.REQUESTS, workers=2, service_factory=factory)
+        assert parallel == serial
+
+    def test_parallel_preserves_custom_model_parameters(self, forecast_service):
+        import dataclasses
+
+        from repro.experiments.environment import forecast_service as factory
+        from repro.simgrid.models import model_by_name
+
+        half = dataclasses.replace(model_by_name("LV08"), bandwidth_factor=0.5)
+        serial = forecast_service.predict_transfers_many(
+            "g5k_test", self.REQUESTS, model=half)
+        parallel = forecast_service.predict_transfers_many(
+            "g5k_test", self.REQUESTS, model=half, workers=2,
+            service_factory=factory)
+        assert parallel == serial
+
+    def test_parallel_without_factory_rejected(self, forecast_service):
+        with pytest.raises(ValueError, match="service_factory"):
+            forecast_service.predict_transfers_many(
+                "g5k_test", self.REQUESTS, workers=2)
+
+    def test_single_request_stays_serial(self, forecast_service):
+        # workers>1 with one request short-circuits (no factory required)
+        answers = forecast_service.predict_transfers_many(
+            "g5k_test", self.REQUESTS[:1], workers=4)
+        assert len(answers) == 1

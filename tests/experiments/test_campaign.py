@@ -101,3 +101,68 @@ class TestRunCampaign:
                           repetitions=1, sizes=(1e9,))
         for key in r1:
             assert r1[key].points[0].errors == r2[key].points[0].errors
+
+
+class TestParallelCampaign:
+    """The process-pool executor must be a bit-identical drop-in."""
+
+    def sweep(self):
+        return ParamSweep({
+            "topology": [Topology.CLUSTER],
+            "cluster": ["graphene"],
+            "n_src": [1, 2, 3],
+            "n_dst": [2, 4],
+        })
+
+    def test_parallel_matches_serial_bitwise(self, forecast_service, g5k_testbed):
+        kwargs = dict(seed=9, repetitions=1, sizes=(5.99e7, 1e9))
+        serial = run_campaign(forecast_service, g5k_testbed,
+                              sweep=self.sweep(), **kwargs)
+        parallel = run_campaign(forecast_service, g5k_testbed,
+                                sweep=self.sweep(), workers=2, **kwargs)
+        assert list(serial) == list(parallel)  # sweep-order aggregation
+        for key in serial:
+            assert serial[key].rows() == parallel[key].rows()
+        assert campaign_summary(serial) == campaign_summary(parallel)
+
+    def test_parallel_chunking_does_not_change_results(
+            self, forecast_service, g5k_testbed):
+        kwargs = dict(seed=9, repetitions=1, sizes=(1e9,))
+        by_one = run_campaign(forecast_service, g5k_testbed, sweep=self.sweep(),
+                              workers=2, chunk_size=1, **kwargs)
+        by_three = run_campaign(forecast_service, g5k_testbed, sweep=self.sweep(),
+                                workers=2, chunk_size=3, **kwargs)
+        for key in by_one:
+            assert by_one[key].rows() == by_three[key].rows()
+
+    def test_parallel_progress_reported_in_sweep_order(
+            self, forecast_service, g5k_testbed):
+        seen = []
+        run_campaign(
+            forecast_service, g5k_testbed, sweep=self.sweep(), seed=3,
+            repetitions=1, sizes=(1e9,), workers=2,
+            progress=lambda comb, res: seen.append((comb["n_src"], comb["n_dst"])),
+        )
+        assert seen == [(c["n_src"], c["n_dst"])
+                        for c in self.sweep().combinations()]
+
+    def test_parallel_rejects_mismatched_custom_environment(self, g5k_testbed):
+        from repro.core.forecast import NetworkForecastService
+
+        custom = NetworkForecastService({})
+        with pytest.raises(ValueError, match="environment_factory"):
+            run_campaign(custom, g5k_testbed, sweep=self.sweep(), seed=3,
+                         repetitions=1, sizes=(1e9,), workers=2)
+
+    def test_parallel_failure_surfaces_combination_id(
+            self, forecast_service, g5k_testbed):
+        bad = ParamSweep({
+            "topology": [Topology.CLUSTER],
+            "cluster": ["no-such-cluster"],
+            "n_src": [1],
+            "n_dst": [2],
+        })
+        with pytest.raises(RuntimeError, match="no-such-cluster"):
+            run_campaign(forecast_service, g5k_testbed, sweep=bad,
+                         seed=3, repetitions=1, sizes=(1e9,), workers=2,
+                         max_retries=0)

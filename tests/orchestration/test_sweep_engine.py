@@ -29,6 +29,26 @@ class TestSweep:
         with pytest.raises(ValueError):
             ParamSweep({})
 
+    def test_seeded_combinations_match_engine_seed_chain(self):
+        from repro._util.rng import derive_seed
+
+        sweep = ParamSweep({"a": [1, 2], "b": ["x"]})
+        seeded = sweep.seeded_combinations(root_seed=7)
+        assert [c for c, _ in seeded] == sweep.combinations()
+        for combination, seed in seeded:
+            assert seed == derive_seed(7, combination_id(combination))
+
+    def test_seeded_combinations_decorrelated(self):
+        sweep = ParamSweep({"a": list(range(20))})
+        seeds = [s for _, s in sweep.seeded_combinations(0)]
+        assert len(set(seeds)) == 20
+
+    def test_chunk_size_balances_waves(self):
+        assert ParamSweep.chunk_size(100, 4) == 6
+        assert ParamSweep.chunk_size(3, 4) == 1
+        assert ParamSweep.chunk_size(0, 4) == 1
+        assert ParamSweep.chunk_size(100, 1) == 1
+
 
 class TestCombinationId:
     def test_stable_and_sorted(self):

@@ -1,0 +1,116 @@
+"""Registry presets, topology registry, and the scenario runner."""
+
+import pytest
+
+from repro.scenarios.registry import DEFAULT_REGISTRY, ScenarioRegistry
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.scenarios.topologies import (
+    build_topology,
+    register_topology,
+    topology_families,
+)
+
+
+class TestTopologyRegistry:
+    def test_all_families_registered(self):
+        assert topology_families() == [
+            "dragonfly", "dumbbell", "fat_tree", "grid", "star", "torus"]
+
+    def test_build_star_from_spec(self):
+        platform = build_topology(TopologySpec("star", {"n_hosts": 5}))
+        assert len(platform.hosts()) == 5
+
+    def test_build_grid_defaults(self):
+        platform = build_topology(TopologySpec("grid"))
+        assert len(platform.hosts()) == 12
+
+    def test_torus_tuple_params_accepted(self):
+        platform = build_topology(TopologySpec("torus", {"dims": [3, 3]}))
+        assert len(platform.hosts()) == 9
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            build_topology(TopologySpec("mobius"))
+
+    def test_duplicate_family_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_topology("star", lambda **kw: None)
+
+
+class TestDefaultRegistry:
+    def test_at_least_six_presets_over_five_families(self):
+        assert len(DEFAULT_REGISTRY) >= 6
+        families = {spec.topology.family for spec in DEFAULT_REGISTRY}
+        assert len(families) >= 5
+
+    def test_lookup_and_errors(self):
+        spec = DEFAULT_REGISTRY.get("star-incast")
+        assert spec.workload.kind == "incast"
+        assert "star-incast" in DEFAULT_REGISTRY
+        with pytest.raises(ValueError, match="unknown scenario"):
+            DEFAULT_REGISTRY.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        spec = DEFAULT_REGISTRY.get("star-incast")
+        registry.register(spec)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(spec)
+
+    def test_descriptions_present(self):
+        assert all(spec.description for spec in DEFAULT_REGISTRY)
+
+
+class TestRunScenario:
+    def test_deterministic_across_runs(self):
+        spec = DEFAULT_REGISTRY.get("dragonfly-random")
+        a = run_scenario(spec)
+        b = run_scenario(spec)
+        assert a.durations() == b.durations()
+        assert a.makespans == b.makespans
+
+    def test_seed_changes_random_workload(self):
+        spec = DEFAULT_REGISTRY.get("dragonfly-random")
+        a = run_scenario(spec)
+        b = run_scenario(spec.replace(seed=spec.seed + 1))
+        assert [(t.src, t.dst) for t in a.transfers] != [
+            (t.src, t.dst) for t in b.transfers]
+
+    def test_repetitions_respawn_streams(self):
+        spec = DEFAULT_REGISTRY.get("star-flash-crowd")
+        result = run_scenario(spec, repetitions=3)
+        assert result.repetitions == 3
+        assert len(result.makespans) == 3
+        by_rep = {}
+        for t in result.transfers:
+            by_rep.setdefault(t.rep, []).append((t.src, t.dst))
+        assert len(by_rep) == 3
+        # sibling spawned streams draw different pairs
+        assert by_rep[0] != by_rep[1]
+
+    def test_deterministic_workloads_identical_across_reps(self):
+        spec = DEFAULT_REGISTRY.get("fat-tree-incast")
+        result = run_scenario(spec, repetitions=2)
+        assert result.makespans[0] == result.makespans[1]
+
+    def test_summary_and_json_shape(self):
+        result = run_scenario(DEFAULT_REGISTRY.get("dumbbell-congestion"))
+        summary = result.summary()
+        assert summary["n_transfers"] == 56
+        assert summary["events_applied"] == 2
+        assert summary["makespan"] >= summary["max_duration"] > 0
+        doc = result.to_json()
+        assert doc["name"] == "dumbbell-congestion"
+        assert len(doc["transfers"]) == 56
+        assert {"time", "link", "action", "bandwidth"} <= set(doc["events"][0])
+
+    def test_dynamics_change_outcomes(self):
+        spec = DEFAULT_REGISTRY.get("dumbbell-congestion")
+        with_dynamics = run_scenario(spec)
+        static = run_scenario(spec.replace(dynamics=()))
+        assert max(with_dynamics.durations()) > max(static.durations())
+
+    def test_bad_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario(DEFAULT_REGISTRY.get("star-incast"), repetitions=0)

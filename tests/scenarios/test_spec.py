@@ -1,0 +1,110 @@
+"""ScenarioSpec JSON round-trip and validation."""
+
+import json
+
+import pytest
+
+from repro.scenarios.spec import (
+    LinkEvent,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+
+def sample_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="sample",
+        description="a spec exercising every field",
+        topology=TopologySpec("torus", {"dims": (4, 4), "prefix": "t"}),
+        workload=WorkloadSpec("random_pairs", size=5e7, params={"n_pairs": 12}),
+        dynamics=(
+            LinkEvent(time=0.2, link="t-*-d0", action="degrade", factor=0.5),
+            LinkEvent(time=0.5, link="t-0-0-d1", action="fail"),
+            LinkEvent(time=0.9, link="t-*", action="recover"),
+        ),
+        seed=42,
+        model="CM02",
+    )
+
+
+class TestRoundTrip:
+    def test_to_from_json_identity(self):
+        spec = sample_spec()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_is_idempotent(self):
+        doc1 = sample_spec().to_json()
+        doc2 = ScenarioSpec.from_json(doc1).to_json()
+        assert doc1 == doc2
+
+    def test_survives_actual_json_serialisation(self):
+        spec = sample_spec()
+        wire = json.dumps(spec.to_json())
+        assert ScenarioSpec.from_json(json.loads(wire)) == spec
+
+    def test_every_preset_round_trips(self):
+        from repro.scenarios.registry import DEFAULT_REGISTRY
+
+        for spec in DEFAULT_REGISTRY:
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_sequence_params_normalised(self):
+        # list vs tuple params must compare equal after the trip
+        a = TopologySpec("torus", {"dims": [3, 3]})
+        b = TopologySpec("torus", {"dims": (3, 3)})
+        assert a == b
+        assert TopologySpec.from_json(a.to_json()) == b
+
+    def test_irrelevant_factor_normalised_for_round_trip(self):
+        # factor is degrade-only; a stray value must not break equality
+        event = LinkEvent(time=1.0, link="l", action="fail", factor=0.5)
+        assert event.factor == 1.0
+        assert LinkEvent.from_json(event.to_json()) == event
+
+    def test_defaults_omittable_in_json(self):
+        doc = {
+            "name": "minimal",
+            "topology": {"family": "star"},
+            "workload": {"kind": "all_to_all"},
+        }
+        spec = ScenarioSpec.from_json(doc)
+        assert spec.dynamics == ()
+        assert spec.seed == 0
+        assert spec.model == "LV08"
+
+
+class TestValidation:
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError):
+            LinkEvent(time=0.0, link="x", action="explode")
+
+    def test_degrade_factor_range(self):
+        with pytest.raises(ValueError):
+            LinkEvent(time=0.0, link="x", action="degrade", factor=0.0)
+        with pytest.raises(ValueError):
+            LinkEvent(time=0.0, link="x", action="degrade", factor=1.5)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            LinkEvent(time=-1.0, link="x", action="fail")
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            TopologySpec("")
+        with pytest.raises(ValueError):
+            WorkloadSpec("")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="", topology=TopologySpec("star"),
+                         workload=WorkloadSpec("incast"))
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("incast", size=0)
+
+    def test_replace_produces_new_spec(self):
+        spec = sample_spec()
+        other = spec.replace(seed=99)
+        assert other.seed == 99
+        assert spec.seed == 42
+        assert other.topology == spec.topology

@@ -1,0 +1,121 @@
+"""Workload generators: shapes, determinism, registry errors."""
+
+import pytest
+
+from repro._util.rng import spawn_rngs
+from repro.scenarios.spec import WorkloadSpec
+from repro.scenarios.workloads import (
+    generate_workload,
+    register_workload,
+    workload_kinds,
+)
+
+HOSTS = [f"h-{i}" for i in range(1, 9)]
+
+
+def rng(seed=0):
+    return spawn_rngs(seed, 1, "test")[0]
+
+
+class TestAllToAll:
+    def test_every_ordered_pair(self):
+        transfers = generate_workload(WorkloadSpec("all_to_all", size=1e6),
+                                      HOSTS, rng())
+        assert len(transfers) == 8 * 7
+        assert len(set(transfers)) == 8 * 7
+        assert all(src != dst for src, dst, _ in transfers)
+
+    def test_limit_caps_participants(self):
+        spec = WorkloadSpec("all_to_all", size=1e6, params={"limit": 3})
+        transfers = generate_workload(spec, HOSTS, rng())
+        assert len(transfers) == 3 * 2
+        assert {h for t in transfers for h in t[:2]} == {"h-1", "h-2", "h-3"}
+
+
+class TestIncast:
+    def test_defaults_to_last_host_sink(self):
+        transfers = generate_workload(
+            WorkloadSpec("incast", size=1e6, params={"fan_in": 5}), HOSTS, rng())
+        assert len(transfers) == 5
+        assert all(dst == "h-8" for _, dst, _ in transfers)
+        assert all(src != "h-8" for src, _, _ in transfers)
+
+    def test_explicit_destination(self):
+        spec = WorkloadSpec("incast", size=1e6,
+                            params={"destination": "h-2", "fan_in": 3})
+        transfers = generate_workload(spec, HOSTS, rng())
+        assert all(dst == "h-2" for _, dst, _ in transfers)
+
+    def test_fan_in_bounds(self):
+        with pytest.raises(ValueError):
+            generate_workload(
+                WorkloadSpec("incast", params={"fan_in": 99}), HOSTS, rng())
+
+    def test_unknown_destination_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload(
+                WorkloadSpec("incast", params={"destination": "nope"}),
+                HOSTS, rng())
+
+
+class TestShuffle:
+    def test_single_stride_is_a_ring(self):
+        transfers = generate_workload(WorkloadSpec("shuffle", size=1e6),
+                                      HOSTS, rng())
+        assert len(transfers) == 8
+        assert ("h-8", "h-1", 1e6) in transfers
+
+    def test_strides_multiply_transfers(self):
+        spec = WorkloadSpec("shuffle", size=1e6, params={"strides": 3})
+        transfers = generate_workload(spec, HOSTS, rng())
+        assert len(transfers) == 8 * 3
+        # every host sends and receives exactly `strides` transfers
+        sends = {h: 0 for h in HOSTS}
+        recvs = {h: 0 for h in HOSTS}
+        for src, dst, _ in transfers:
+            sends[src] += 1
+            recvs[dst] += 1
+        assert set(sends.values()) == {3}
+        assert set(recvs.values()) == {3}
+
+    def test_stride_bounds(self):
+        with pytest.raises(ValueError):
+            generate_workload(
+                WorkloadSpec("shuffle", params={"strides": 8}), HOSTS, rng())
+
+
+class TestRandomPairs:
+    def test_deterministic_given_stream(self):
+        spec = WorkloadSpec("random_pairs", size=1e6, params={"n_pairs": 20})
+        a = generate_workload(spec, HOSTS, rng(5))
+        b = generate_workload(spec, HOSTS, rng(5))
+        assert a == b
+
+    def test_different_streams_differ(self):
+        spec = WorkloadSpec("random_pairs", size=1e6, params={"n_pairs": 20})
+        a = generate_workload(spec, HOSTS, rng(5))
+        b = generate_workload(spec, HOSTS, rng(6))
+        assert a != b
+
+    def test_no_self_transfers(self):
+        spec = WorkloadSpec("random_pairs", size=1e6, params={"n_pairs": 500})
+        transfers = generate_workload(spec, HOSTS, rng())
+        assert all(src != dst for src, dst, _ in transfers)
+
+
+class TestRegistry:
+    def test_known_kinds(self):
+        assert workload_kinds() == [
+            "all_to_all", "incast", "random_pairs", "shuffle"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            generate_workload(WorkloadSpec("nope"), HOSTS, rng())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload("incast", lambda hosts, spec, rng: [])
+
+    def test_too_few_hosts_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 hosts"):
+            generate_workload(WorkloadSpec("all_to_all"), ["only"], rng())

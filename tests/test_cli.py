@@ -99,3 +99,55 @@ class TestExperiment:
         code, text = run_cli("experiment", "--figure", "fig99")
         assert code == 2
         assert "unknown figure" in text
+
+
+class TestScenarios:
+    def test_list_shows_every_preset_and_family(self):
+        from repro.scenarios import DEFAULT_REGISTRY
+
+        code, text = run_cli("scenarios", "list")
+        assert code == 0
+        for spec in DEFAULT_REGISTRY:
+            assert spec.name in text
+        for family in ("star", "dumbbell", "grid", "fat_tree", "torus",
+                       "dragonfly"):
+            assert family in text
+
+    @pytest.mark.parametrize("preset", [
+        "star-incast", "dumbbell-congestion", "grid-shuffle",
+        "fat-tree-shuffle", "torus-neighbors", "dragonfly-random",
+    ])
+    def test_run_works_for_presets_across_families(self, preset):
+        # acceptance: `repro scenarios run <preset>` for >= 6 presets
+        # spanning >= 5 topology families
+        code, text = run_cli("scenarios", "run", preset)
+        assert code == 0
+        assert "makespan" in text
+
+    def test_run_json_round_trips(self):
+        code, text = run_cli("scenarios", "run", "star-flash-crowd", "--json")
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["name"] == "star-flash-crowd"
+        assert doc["summary"]["n_transfers"] == 32
+
+    def test_run_seed_override_changes_random_draws(self):
+        _, a = run_cli("scenarios", "run", "dragonfly-random", "--json")
+        _, b = run_cli("scenarios", "run", "dragonfly-random", "--json",
+                       "--seed", "123")
+        pairs = lambda text: [(t["src"], t["dst"])
+                              for t in json.loads(text)["transfers"]]
+        assert pairs(a) != pairs(b)
+
+    def test_full_resolve_matches_incremental(self):
+        _, inc = run_cli("scenarios", "run", "torus-neighbors", "--json")
+        _, full = run_cli("scenarios", "run", "torus-neighbors", "--json",
+                          "--full-resolve")
+        inc_doc, full_doc = json.loads(inc), json.loads(full)
+        assert inc_doc["makespans"] == pytest.approx(full_doc["makespans"],
+                                                     rel=1e-9)
+
+    def test_unknown_preset(self):
+        code, text = run_cli("scenarios", "run", "warp-core")
+        assert code == 2
+        assert "unknown scenario" in text

@@ -5,7 +5,13 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro._util.rng import derive_seed, rng_for
+from repro._util.rng import (
+    derive_seed,
+    rng_for,
+    seed_sequence,
+    spawn_rngs,
+    spawn_seeds,
+)
 from repro._util.stats import BoxStats, box_stats, median, quantile, stddev
 
 
@@ -21,6 +27,13 @@ class TestRng:
         seed = derive_seed(123456789, "x", (1, 2), 3.5)
         assert 0 <= seed < 2**63
 
+    def test_derive_seed_values_frozen(self):
+        # the figure goldens were produced with these exact derivations; any
+        # change to the mapping silently invalidates every frozen result
+        assert derive_seed(20120917) == 4555353632674399267
+        assert derive_seed(20120917, "draw", "fig3") == 8560672467100955714
+        assert derive_seed(0, "rep", 0) == 7450385249297746602
+
     def test_rng_for_reproducible_streams(self):
         a = rng_for(7, "stream").normal(size=5)
         b = rng_for(7, "stream").normal(size=5)
@@ -30,6 +43,49 @@ class TestRng:
         a = rng_for(7, "s1").normal(size=5)
         b = rng_for(7, "s2").normal(size=5)
         assert not (a == b).all()
+
+
+class TestSpawn:
+    """Child seeds must come from ``SeedSequence.spawn`` — deterministic,
+    decorrelated across workers, stable under pool growth."""
+
+    def test_spawn_deterministic(self):
+        assert spawn_seeds(3, 4, "workers") == spawn_seeds(3, 4, "workers")
+
+    def test_spawned_children_distinct(self):
+        seeds = spawn_seeds(3, 16, "workers")
+        assert len(set(seeds)) == 16
+        assert all(0 <= s < 2**63 for s in seeds)
+
+    def test_prefix_stable_under_pool_growth(self):
+        # growing a worker pool must not reshuffle already-issued streams
+        assert spawn_seeds(9, 8)[:3] == spawn_seeds(9, 3)
+
+    def test_labels_decorrelate_spawns(self):
+        assert spawn_seeds(5, 4, "a") != spawn_seeds(5, 4, "b")
+        assert spawn_seeds(5, 4) != spawn_seeds(6, 4)
+
+    def test_spawn_rngs_match_seed_sequence_children(self):
+        import numpy as np
+
+        children = seed_sequence(11, "pool").spawn(3)
+        expected = [np.random.default_rng(c).normal(size=4) for c in children]
+        got = [g.normal(size=4) for g in spawn_rngs(11, 3, "pool")]
+        for a, b in zip(expected, got):
+            assert (a == b).all()
+
+    def test_sibling_streams_uncorrelated(self):
+        import numpy as np
+
+        a, b = spawn_rngs(42, 2, "workers")
+        xs, ys = a.normal(size=2000), b.normal(size=2000)
+        assert abs(float(np.corrcoef(xs, ys)[0, 1])) < 0.1
+
+    def test_negative_spawn_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -2)
 
 
 class TestStats:

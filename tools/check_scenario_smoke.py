@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Smoke-run every registered scenario preset so presets can't rot.
+
+The scenario registry is the CLI's public surface (``repro scenarios
+list|run``): every preset must build its platform, generate its workload,
+apply its dynamics schedule and complete a simulation.  This runner — the
+scenario-registry sibling of ``tools/check_bench_smoke.py`` — executes each
+preset once in-process in *both* kernel modes and cross-checks them, so a
+preset that only works incrementally (or only with full re-solves) fails
+loudly.  Used standalone::
+
+    PYTHONPATH=src python tools/check_scenario_smoke.py
+
+and wired into tier-1 through ``tests/scenarios/test_preset_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Both modes must agree on every duration to this relative tolerance.
+REL_TOL = 1e-9
+
+
+def smoke_preset(spec) -> tuple[float, int]:
+    """Run one preset in both kernel modes; returns (makespan, transfers)."""
+    from repro.scenarios.runner import run_scenario
+
+    incremental = run_scenario(spec, full_resolve=False)
+    full = run_scenario(spec, full_resolve=True)
+    for inc, ful in zip(incremental.transfers, full.transfers):
+        drift = abs(inc.duration - ful.duration) / max(inc.duration, ful.duration)
+        if drift > REL_TOL:
+            raise AssertionError(
+                f"{spec.name}: kernel modes disagree on {inc.src}->{inc.dst} "
+                f"({inc.duration} vs {ful.duration}, rel {drift:.2e})"
+            )
+    if len(spec.dynamics) and not incremental.events_applied:
+        raise AssertionError(f"{spec.name}: dynamics schedule never fired")
+    return max(incremental.makespans), len(incremental.transfers)
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.scenarios.registry import DEFAULT_REGISTRY
+
+    specs = DEFAULT_REGISTRY.specs()
+    if not specs:
+        print("no scenario presets registered", file=sys.stderr)
+        return 2
+    print(f"smoke-running {len(specs)} scenario presets "
+          f"(incremental + full_resolve, {REL_TOL} agreement)")
+    failures = 0
+    for spec in specs:
+        t0 = time.perf_counter()
+        try:
+            makespan, n_transfers = smoke_preset(spec)
+        except Exception as exc:  # noqa: BLE001 - smoke boundary
+            failures += 1
+            print(f"  FAIL {spec.name}: {type(exc).__name__}: {exc}")
+            continue
+        print(f"  ok   {spec.name}: {n_transfers} transfers, "
+              f"makespan {makespan:.3f}s "
+              f"({(time.perf_counter() - t0) * 1e3:.0f} ms)")
+    if failures:
+        print(f"{failures}/{len(specs)} presets failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
