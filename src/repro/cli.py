@@ -53,6 +53,20 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="run the Pilgrim HTTP services")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=0,
+                       help="warm forecast worker processes (0 = answer "
+                            "inline in the serving process, the default)")
+    serve.add_argument("--batch-window", type=float, default=0.005,
+                       metavar="SECONDS",
+                       help="micro-batching window: concurrent requests "
+                            "arriving within it share one fan-out")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="forecast cache entries (0 disables caching)")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="recycle pool workers after this many forecasts")
+    serve.add_argument("--no-serving", action="store_true",
+                       help="skip the serving layer (cache, batching, warm "
+                            "pool); every request simulates directly")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate one paper figure")
@@ -144,6 +158,21 @@ def _cmd_serve(args, out) -> int:
 
     out.write("loading Grid'5000 platforms...\n")
     pilgrim = Pilgrim.with_grid5000()
+    if not args.no_serving:
+        from repro.serving.factories import grid5000_forecast_service
+
+        pilgrim.enable_serving(
+            service_factory=grid5000_forecast_service,
+            workers=max(0, args.workers),
+            window=args.batch_window,
+            cache_size=args.cache_size,
+            max_requests=args.max_requests,
+        )
+        mode = (f"{args.workers} warm workers" if args.workers > 0
+                else "inline execution")
+        out.write(f"serving layer: {mode}, "
+                  f"window {args.batch_window * 1000:g} ms, "
+                  f"cache {args.cache_size} entries\n")
     server = pilgrim.serve(host=args.host, port=args.port).start()
     out.write(f"Pilgrim serving at {server.url} (Ctrl-C to stop)\n")
     try:
@@ -154,6 +183,7 @@ def _cmd_serve(args, out) -> int:
         out.write("stopping\n")
     finally:
         server.stop()
+        pilgrim.disable_serving()
     return 0
 
 

@@ -12,7 +12,7 @@ This module implements exactly that, over :mod:`repro.simgrid`.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -168,6 +168,7 @@ class NetworkForecastService:
         full_resolve: bool = False,
         workers: Optional[int] = None,
         service_factory: Optional[Callable[[], "NetworkForecastService"]] = None,
+        executor: Optional[Executor] = None,
     ) -> list[list[TransferForecast]]:
         """Answer many independent forecast requests (a backtest batch).
 
@@ -180,9 +181,28 @@ class NetworkForecastService:
         session-cached :func:`repro.experiments.environment.forecast_service`
         is the usual factory).  Every simulation is independent, so parallel
         answers are identical to serial ones.
+
+        ``executor`` injects a live pool instead of the throwaway per-call
+        one (which stays the no-pool default):
+
+        - a :class:`repro.serving.pool.WarmWorkerPool` (anything with a
+          ``predict_many`` method) answers from its resident services —
+          ``service_factory`` is not needed;
+        - any other :class:`concurrent.futures.Executor` receives the same
+          ``service_factory`` tasks the throwaway pool would, but is left
+          running for the caller to reuse and shut down.
         """
         requests = list(requests)
-        if workers is None or workers <= 1 or len(requests) <= 1:
+        if executor is not None:
+            predict_many = getattr(executor, "predict_many", None)
+            if predict_many is not None:  # a warm pool with resident services
+                # ship this service's model explicitly (like the factory
+                # path below): the pool's rebuilt services may default
+                # differently
+                return predict_many(platform_name, requests,
+                                    model=model or self.model,
+                                    full_resolve=full_resolve)
+        elif workers is None or workers <= 1 or len(requests) <= 1:
             return [
                 self.predict_transfers(platform_name, transfers, model=model,
                                        full_resolve=full_resolve)
@@ -203,6 +223,11 @@ class NetworkForecastService:
              request_model, full_resolve)
             for transfers in requests
         ]
+        if executor is not None:
+            chunk = pool_chunk_size(
+                len(payloads), getattr(executor, "_max_workers", workers or 1))
+            return list(executor.map(_predict_request_task, payloads,
+                                     chunksize=chunk))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             chunk = pool_chunk_size(len(payloads), workers)
             return list(pool.map(_predict_request_task, payloads, chunksize=chunk))

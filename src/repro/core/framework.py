@@ -39,6 +39,42 @@ class Pilgrim:
         self.forecast = NetworkForecastService(platforms, model=model)
         self.metrology = MetrologyService(self.registry)
         self.workflows = WorkflowForecastService(self.forecast)
+        #: serving frontend (cache + batcher + warm pool); see enable_serving
+        self.serving = None
+
+    def enable_serving(
+        self,
+        service_factory=None,
+        workers: int = 0,
+        window: float = 0.005,
+        cache_size: int = 4096,
+        max_batch: int = 256,
+        max_requests: Optional[int] = None,
+    ):
+        """Put the serving subsystem in front of the forecast service.
+
+        Once enabled, the predict routes (GET and POST) answer through the
+        epoch-keyed forecast cache and the request coalescer, and — with
+        ``workers > 0`` and a picklable ``service_factory`` — fan batches
+        out over a warm worker pool.  Returns the started
+        :class:`~repro.serving.service.ForecastServingService`; call
+        :meth:`disable_serving` (or ``serving.stop()``) to tear it down.
+        """
+        from repro.serving.service import ForecastServingService
+
+        if self.serving is not None:
+            raise RuntimeError("serving already enabled")
+        self.serving = ForecastServingService(
+            self.forecast, service_factory=service_factory, workers=workers,
+            window=window, cache_size=cache_size, max_batch=max_batch,
+            max_requests=max_requests,
+        ).start()
+        return self.serving
+
+    def disable_serving(self) -> None:
+        if self.serving is not None:
+            self.serving.stop()
+            self.serving = None
 
     @classmethod
     def with_grid5000(
@@ -102,6 +138,16 @@ class Pilgrim:
         def metric_info(request: Request, tool: str, site: str, host: str, metric: str):
             return self.metrology.describe(tool, site, host, metric)
 
+        def answer_predict(platform: str, specs, ongoing):
+            if self.serving is not None:
+                forecasts = self.serving.predict(platform, specs,
+                                                 ongoing=ongoing)
+            else:
+                forecasts = self.forecast.predict_transfers(
+                    platform, specs, ongoing=ongoing
+                )
+            return [f.to_json() for f in forecasts]
+
         @router.get("/pilgrim/predict_transfers/{platform}")
         def predict(request: Request, platform: str):
             raw = request.params("transfer")
@@ -112,10 +158,53 @@ class Pilgrim:
             # in the simulated world but are not part of the answer
             ongoing = [TransferSpec.parse(item)
                        for item in request.params("ongoing")]
-            forecasts = self.forecast.predict_transfers(
-                platform, specs, ongoing=ongoing
-            )
-            return [f.to_json() for f in forecasts]
+            return answer_predict(platform, specs, ongoing)
+
+        def body_transfers(request: Request, field: str, required: bool):
+            if required:
+                items = request.body_field(field)
+            else:
+                items = request.body_field(field, default=None)
+            if items is None:
+                return []
+            if not isinstance(items, list):
+                raise BadRequest(f"{field!r} must be a JSON array")
+            if required and not items:
+                raise BadRequest(f"{field!r} must be a non-empty JSON array")
+            specs = []
+            for item in items:
+                if not isinstance(item, (list, tuple)) or len(item) != 3:
+                    raise BadRequest(
+                        f"each {field} entry must be [src, dst, size], "
+                        f"got {item!r}"
+                    )
+                try:
+                    specs.append(TransferSpec(item[0], item[1], item[2]))
+                except (TypeError, ValueError) as exc:
+                    raise BadRequest(str(exc)) from None
+            return specs
+
+        @router.post("/pilgrim/predict_transfers/{platform}")
+        def predict_post(request: Request, platform: str):
+            # POST body carries the transfer list, so batch size is not
+            # limited by URI length (the serving-layer ingest route)
+            specs = body_transfers(request, "transfers", required=True)
+            ongoing = body_transfers(request, "ongoing", required=False)
+            return answer_predict(platform, specs, ongoing)
+
+        @router.get("/pilgrim/stats")
+        def serving_stats(request: Request):
+            payload = {
+                "serving": (self.serving.stats() if self.serving is not None
+                            else {"enabled": False}),
+                "route_caches": {
+                    name: self.forecast.platform(name).route_cache_info()
+                    for name in self.forecast.platform_names()
+                },
+            }
+            if self.serving is not None:
+                payload["serving"]["enabled"] = True
+            return payload
 
         @router.get("/pilgrim/select_fastest/{platform}")
         def select_fastest(request: Request, platform: str):

@@ -12,7 +12,7 @@ import urllib.request
 from typing import Optional, Sequence
 
 from repro.core.rest.errors import ApiError, BadRequest, NotFound
-from repro.core.rest.json_codec import loads
+from repro.core.rest.json_codec import dumps, loads
 
 
 class RestClient:
@@ -27,8 +27,21 @@ class RestClient:
         url = self.base_url + path
         if params:
             url += "?" + urllib.parse.urlencode(list(params))
+        return self._request(urllib.request.Request(url))
+
+    def post(self, path: str, payload: object) -> object:
+        """POST ``payload`` as a JSON body to ``path``; returns JSON."""
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._request(request)
+
+    def _request(self, request: urllib.request.Request) -> object:
         try:
-            with urllib.request.urlopen(url, timeout=self.timeout) as response:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             body = exc.read().decode("utf-8", errors="replace")
@@ -61,6 +74,26 @@ class RestClient:
         ]
         result = self.get(f"/pilgrim/predict_transfers/{platform}", params)
         return result  # type: ignore[return-value]
+
+    def post_predict_transfers(
+        self,
+        platform: str,
+        transfers: Sequence[tuple[str, str, float]],
+        ongoing: Sequence[tuple[str, str, float]] = (),
+    ) -> list[dict]:
+        """POST variant of :meth:`predict_transfers` for large transfer
+        lists (the serving-layer route, not limited by URI length)."""
+        payload: dict = {
+            "transfers": [[src, dst, size] for src, dst, size in transfers],
+        }
+        if ongoing:
+            payload["ongoing"] = [[src, dst, size] for src, dst, size in ongoing]
+        result = self.post(f"/pilgrim/predict_transfers/{platform}", payload)
+        return result  # type: ignore[return-value]
+
+    def stats(self) -> dict:
+        """The serving layer's cache/pool/latency counters."""
+        return self.get("/pilgrim/stats")  # type: ignore[return-value]
 
     def select_fastest(
         self, platform: str, hypotheses: dict[str, Sequence[tuple[str, str, float]]]

@@ -21,24 +21,51 @@ from repro.core.rest.errors import ApiError, BadRequest, MethodNotAllowed, NotFo
 
 _SEGMENT_RE = re.compile(r"^(?P<prefix>[^{}]*)\{(?P<name>[A-Za-z_][A-Za-z0-9_]*)\}(?P<suffix>[^{}]*)$")
 
+#: Sentinel distinguishing "no default" from an explicit ``None`` default.
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class Request:
-    """A parsed HTTP request."""
+    """A parsed HTTP request.
+
+    ``body`` carries the decoded JSON document of a POST request (``None``
+    for body-less methods — the GET contract is unchanged).
+    """
 
     method: str
     path: str
     query: dict[str, list[str]] = field(default_factory=dict)
+    body: Optional[object] = None
 
     @staticmethod
-    def from_target(method: str, target: str) -> "Request":
+    def from_target(method: str, target: str,
+                    body: Optional[object] = None) -> "Request":
         """Build from a raw request target like ``/a/b?x=1&x=2``."""
         parsed = urllib.parse.urlsplit(target)
         query = urllib.parse.parse_qs(parsed.query, keep_blank_values=True)
         return Request(method=method.upper(),
-                       path=urllib.parse.unquote(parsed.path), query=query)
+                       path=urllib.parse.unquote(parsed.path), query=query,
+                       body=body)
 
     # -- convenient, validated accessors -----------------------------------
+
+    def json_body(self) -> object:
+        """The request's JSON document; :class:`BadRequest` if absent."""
+        if self.body is None:
+            raise BadRequest("a JSON request body is required")
+        return self.body
+
+    def body_field(self, name: str, default: object = _MISSING) -> object:
+        """One key of a JSON-object body, with optional default."""
+        body = self.json_body()
+        if not isinstance(body, dict):
+            raise BadRequest("request body must be a JSON object")
+        if name in body:
+            return body[name]
+        if default is not _MISSING:
+            return default
+        raise BadRequest(f"missing body field {name!r}")
 
     def param(self, name: str, default: Optional[str] = None) -> str:
         values = self.query.get(name)
@@ -113,6 +140,15 @@ class Router:
 
         def decorate(handler: Callable) -> Callable:
             self.add("GET", pattern, handler)
+            return handler
+
+        return decorate
+
+    def post(self, pattern: str) -> Callable:
+        """Decorator form for POST routes (JSON body in ``request.body``)."""
+
+        def decorate(handler: Callable) -> Callable:
+            self.add("POST", pattern, handler)
             return handler
 
         return decorate

@@ -3,7 +3,8 @@
 Binds to an ephemeral port by default so tests and examples can run many
 instances concurrently.  The server is deliberately minimal — HTTP GET with
 URI-embedded parameters and JSON answers is the paper's full transport
-contract (§IV-C).
+contract (§IV-C).  POST with a JSON body is the serving-layer extension for
+transfer lists too large to embed in a request target.
 """
 
 from __future__ import annotations
@@ -12,7 +13,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
-from repro.core.rest.json_codec import dumps
+from repro.core.rest.json_codec import dumps, loads
 from repro.core.rest.router import Request, Router
 
 
@@ -27,9 +28,34 @@ class PilgrimHTTPServer:
             def do_GET(self) -> None:  # noqa: N802 - stdlib naming
                 self._handle("GET")
 
-            def _handle(self, method: str) -> None:
-                request = Request.from_target(method, self.path)
+            def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+                # POST carries a JSON body, so transfer lists are not
+                # limited by request-target length; the GET contract
+                # (URI-embedded parameters) is unchanged
+                try:
+                    length = int(self.headers.get("Content-Length", 0) or 0)
+                except ValueError:
+                    self._respond(400, {"error": "BadRequest", "status": 400,
+                                        "message": "bad Content-Length"})
+                    return
+                raw = self.rfile.read(length) if length > 0 else b""
+                body = None
+                if raw:
+                    try:
+                        body = loads(raw.decode("utf-8"))
+                    except (UnicodeDecodeError, ValueError):
+                        self._respond(400, {"error": "BadRequest", "status": 400,
+                                            "message": "request body is not "
+                                                       "valid JSON"})
+                        return
+                self._handle("POST", body=body)
+
+            def _handle(self, method: str, body: object = None) -> None:
+                request = Request.from_target(method, self.path, body=body)
                 status, payload = outer.router.dispatch(request)
+                self._respond(status, payload)
+
+            def _respond(self, status: int, payload: object) -> None:
                 body = dumps(payload).encode("utf-8")
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")

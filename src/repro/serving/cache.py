@@ -1,0 +1,118 @@
+"""Epoch-keyed forecast cache.
+
+A bounded LRU over complete PNFS answers.  The key is the full identity of
+a forecast::
+
+    (platform name, link-mutation epoch, model id, transfers, ongoing, mode)
+
+where ``transfers``/``ongoing`` are canonicalized tuples of
+``(src, dst, size-in-bytes)`` — unit strings and :class:`TransferSpec`
+objects normalize to the same key — and the epoch is the global
+:func:`repro.simgrid.platform.link_epoch` captured at lookup time.
+
+Invalidation is *implicit*: any in-place link recalibration (the latency
+feed, a scenario dynamics schedule, a manual bandwidth edit) bumps the
+epoch, so every previously cached answer simply becomes unreachable and
+ages out of the LRU.  No subscription or callback wiring is needed — the
+cache reuses the exact staleness mechanism the route/model memos already
+trust.
+
+The key is **order-sensitive** on purpose: max-min sharing has a unique
+solution, but the solver's floating-point reduction order follows request
+order, so only an identical request list is guaranteed a bit-identical
+answer.  A permuted request is a clean miss, never a wrong hit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Sequence
+
+from repro._util.lru import BoundedLRU
+from repro.core.forecast import TransferForecast, TransferSpec
+from repro.simgrid.platform import link_epoch
+
+
+def canonical_transfers(
+    transfers: Sequence[TransferSpec] | Iterable[tuple[str, str, float]],
+) -> tuple[tuple[str, str, float], ...]:
+    """Normalize a transfer list to hashable ``(src, dst, bytes)`` tuples.
+
+    Accepts :class:`TransferSpec` objects or raw tuples (sizes may be unit
+    strings); both forms of the same request map to the same key.
+    Idempotent with a fast path: an already-canonical tuple is returned
+    as-is, so the hot serving path normalizes (and validates) only once.
+    """
+    items = tuple(transfers)
+    if all(type(t) is tuple and len(t) == 3 and type(t[2]) is float
+           for t in items):
+        return items
+    specs = [
+        t if isinstance(t, TransferSpec) else TransferSpec(*t) for t in items
+    ]
+    return tuple((s.src, s.dst, float(s.size)) for s in specs)
+
+
+def forecast_cache_key(
+    platform_name: str,
+    model: object,
+    transfers: Sequence[TransferSpec] | Iterable[tuple[str, str, float]],
+    ongoing: Sequence[TransferSpec] | Iterable[tuple[str, str, float]] = (),
+    full_resolve: bool = False,
+    epoch: Optional[int] = None,
+) -> tuple:
+    """The cache key for one forecast request.
+
+    ``model`` is identified by ``repr`` — network models are frozen
+    dataclasses, so the repr pins every parameter (factors, gamma).
+    """
+    return (
+        platform_name,
+        link_epoch() if epoch is None else epoch,
+        repr(model),
+        canonical_transfers(transfers),
+        canonical_transfers(ongoing),
+        bool(full_resolve),
+    )
+
+
+class ForecastCache(BoundedLRU):
+    """Bounded, thread-safe LRU of forecast answers (the serving sibling of
+    the platform's ``RouteCache``; both derive from
+    :class:`repro._util.lru.BoundedLRU`).  On top of the base it adds a
+    lock (HTTP handler threads share one cache) and value copying, so a
+    caller mutating its answer list cannot poison later hits.
+
+    ``maxsize=0`` builds a disabled cache: every lookup misses, nothing is
+    stored — the serving layer uses this for its ``cache off`` mode so the
+    counters still read consistently.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        super().__init__(maxsize)
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def get(self, key: tuple) -> Optional[list[TransferForecast]]:
+        with self._lock:
+            entry = super().get(key)
+            return list(entry) if entry is not None else None
+
+    def put(self, key: tuple, forecasts: Sequence[TransferForecast]) -> None:
+        with self._lock:
+            super().put(key, list(forecasts))
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+
+    def info(self) -> dict:
+        """Counters snapshot: enabled, hits, misses, evictions, size,
+        maxsize."""
+        with self._lock:
+            return {"enabled": self.enabled, **super().info()}

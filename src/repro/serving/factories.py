@@ -1,0 +1,43 @@
+"""Picklable service factories for pool workers, benches and tests.
+
+Warm-pool workers rebuild their forecast service from a factory shipped
+over the process boundary, so factories must be module-level callables (or
+``functools.partial`` over one).  These cover the common cases:
+
+- :func:`star_forecast_service` — a synthetic full-mesh star cluster,
+  cheap to simulate but with a real per-worker build cost, which is what
+  the serving bench needs to contrast warm vs. cold pools;
+- :func:`grid5000_forecast_service` — the session-cached Grid'5000
+  service (under the default ``fork`` start method, workers inherit the
+  parent's already-built platforms at fork time for free).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable
+
+from repro.core.forecast import NetworkForecastService
+from repro.simgrid.builder import build_star_cluster
+
+#: Platform name used by the star factories (and the serving bench).
+STAR_PLATFORM = "serving-star"
+
+
+def star_forecast_service(n_hosts: int = 64,
+                          name: str = STAR_PLATFORM) -> NetworkForecastService:
+    """A forecast service over a fresh full-mesh star cluster."""
+    return NetworkForecastService({name: build_star_cluster(name, n_hosts)})
+
+
+def star_factory(n_hosts: int = 64,
+                 name: str = STAR_PLATFORM) -> Callable[[], NetworkForecastService]:
+    """A picklable factory building :func:`star_forecast_service`."""
+    return partial(star_forecast_service, n_hosts, name)
+
+
+def grid5000_forecast_service() -> NetworkForecastService:
+    """The session-cached Grid'5000 forecast service (g5k_test + cabinets)."""
+    from repro.experiments.environment import forecast_service
+
+    return forecast_service()

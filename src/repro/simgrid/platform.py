@@ -24,6 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
+from repro._util.lru import BoundedLRU
 from repro.simgrid.units import parse_bandwidth, parse_time
 
 
@@ -51,63 +52,24 @@ class SharingPolicy(enum.Enum):
     FULLDUPLEX = "FULLDUPLEX"
 
 
-class RouteCache:
+class RouteCache(BoundedLRU):
     """A bounded LRU cache for resolved routes, keyed by ``(src, dst)``.
 
     Platform-graph walks (hierarchical AS resolution, Dijkstra) are the
     expensive part of starting a communication; memoizing them means a
     simulation's per-comm setup stops re-walking the platform.  The cache is
     bounded so pathological all-pairs scans over huge platforms cannot grow
-    memory without limit — least-recently-used entries are evicted first.
-    Hit/miss/eviction counters are kept for benches and tests.
+    memory without limit — least-recently-used entries are evicted first
+    (see :class:`repro._util.lru.BoundedLRU`, which also keeps the
+    hit/miss/eviction counters for benches and tests).
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries")
+    __slots__ = ()
 
     def __init__(self, maxsize: int = 131072) -> None:
         if maxsize < 1:
             raise PlatformError(f"route cache size must be >= 1, got {maxsize}")
-        self.maxsize = int(maxsize)
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._entries: dict[tuple[str, str], list["LinkUse"]] = {}
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def get(self, key: tuple[str, str]) -> Optional[list["LinkUse"]]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        # refresh recency (dicts iterate in insertion order)
-        del self._entries[key]
-        self._entries[key] = entry
-        self.hits += 1
-        return entry
-
-    def put(self, key: tuple[str, str], route: list["LinkUse"]) -> None:
-        if key in self._entries:
-            del self._entries[key]
-        elif len(self._entries) >= self.maxsize:
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-            self.evictions += 1
-        self._entries[key] = route
-
-    def clear(self) -> None:
-        self._entries.clear()
-
-    def info(self) -> dict:
-        """Counters snapshot: hits, misses, evictions, size, maxsize."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-        }
+        super().__init__(maxsize)
 
 
 class Direction(enum.Enum):

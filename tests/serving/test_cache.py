@@ -1,0 +1,121 @@
+"""Forecast cache: LRU behavior, canonicalization, epoch invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.forecast import TransferForecast, TransferSpec
+from repro.serving.cache import (
+    ForecastCache,
+    canonical_transfers,
+    forecast_cache_key,
+)
+from repro.simgrid.models import CM02, LV08
+from repro.simgrid.platform import link_epoch
+
+
+def forecast(i: int) -> TransferForecast:
+    return TransferForecast(src=f"h{i}", dst=f"h{i+1}", size=1e6, duration=float(i))
+
+
+class TestCanonicalization:
+    def test_specs_and_tuples_share_a_key(self):
+        specs = [TransferSpec("a", "b", 5e8)]
+        tuples = [("a", "b", 5e8)]
+        assert canonical_transfers(specs) == canonical_transfers(tuples)
+
+    def test_unit_strings_normalize(self):
+        assert canonical_transfers([("a", "b", "500MB")]) == \
+            canonical_transfers([("a", "b", 5e8)])
+
+    def test_canonicalization_is_idempotent(self):
+        canon = canonical_transfers([("a", "b", "500MB"),
+                                     TransferSpec("c", "d", 1e6)])
+        assert canonical_transfers(canon) is canon  # fast path: as-is
+
+    def test_order_is_significant(self):
+        one = canonical_transfers([("a", "b", 1e6), ("c", "d", 1e6)])
+        two = canonical_transfers([("c", "d", 1e6), ("a", "b", 1e6)])
+        assert one != two
+
+    def test_model_parameters_pin_the_key(self):
+        base = forecast_cache_key("p", LV08(), [("a", "b", 1e6)])
+        other_model = forecast_cache_key("p", CM02(), [("a", "b", 1e6)])
+        gamma = forecast_cache_key("p", LV08().with_gamma(4e6), [("a", "b", 1e6)])
+        assert len({base, other_model, gamma}) == 3
+
+    def test_full_resolve_and_ongoing_pin_the_key(self):
+        base = forecast_cache_key("p", LV08(), [("a", "b", 1e6)])
+        full = forecast_cache_key("p", LV08(), [("a", "b", 1e6)],
+                                  full_resolve=True)
+        flight = forecast_cache_key("p", LV08(), [("a", "b", 1e6)],
+                                    ongoing=[("x", "y", 1e5)])
+        assert len({base, full, flight}) == 3
+
+
+class TestLRU:
+    def test_hit_returns_a_copy(self):
+        cache = ForecastCache(maxsize=4)
+        key = forecast_cache_key("p", LV08(), [("a", "b", 1e6)])
+        cache.put(key, [forecast(1)])
+        got = cache.get(key)
+        assert got == [forecast(1)]
+        got.append(forecast(2))
+        assert cache.get(key) == [forecast(1)]
+
+    def test_miss_and_counters(self):
+        cache = ForecastCache(maxsize=4)
+        key = forecast_cache_key("p", LV08(), [("a", "b", 1e6)])
+        assert cache.get(key) is None
+        cache.put(key, [forecast(1)])
+        assert cache.get(key) is not None
+        info = cache.info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["size"] == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ForecastCache(maxsize=2)
+        keys = [forecast_cache_key("p", LV08(), [("a", "b", float(i + 1))])
+                for i in range(3)]
+        cache.put(keys[0], [forecast(0)])
+        cache.put(keys[1], [forecast(1)])
+        assert cache.get(keys[0]) is not None  # refresh 0 → 1 is oldest
+        cache.put(keys[2], [forecast(2)])
+        assert cache.info()["evictions"] == 1
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[2]) is not None
+
+    def test_disabled_cache_never_stores(self):
+        cache = ForecastCache(maxsize=0)
+        key = forecast_cache_key("p", LV08(), [("a", "b", 1e6)])
+        cache.put(key, [forecast(1)])
+        assert cache.get(key) is None
+        assert not cache.enabled
+        assert cache.info()["misses"] == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ForecastCache(maxsize=-1)
+
+
+class TestEpochInvalidation:
+    def test_link_mutation_moves_the_key(self, star4):
+        model = LV08()
+        before = forecast_cache_key("p", model, [("a", "b", 1e6)])
+        link = next(iter(star4.links()))
+        link.bandwidth = link.bandwidth * 0.5  # bumps the global epoch
+        after = forecast_cache_key("p", model, [("a", "b", 1e6)])
+        assert before != after
+        assert after[1] == link_epoch()
+
+    def test_stale_entries_become_unreachable(self, star4):
+        cache = ForecastCache(maxsize=8)
+        model = LV08()
+        key = forecast_cache_key("p", model, [("a", "b", 1e6)])
+        cache.put(key, [forecast(1)])
+        link = next(iter(star4.links()))
+        link.latency = link.latency + 1e-6
+        fresh = forecast_cache_key("p", model, [("a", "b", 1e6)])
+        assert cache.get(fresh) is None  # recalibration invalidated the hit

@@ -1,0 +1,135 @@
+"""Concurrent clients hammering the serving stack over HTTP.
+
+N threads replay a shared set of mixed queries against one server (GET and
+POST, with the serving layer's cache and coalescer in the path) and every
+response must equal the serial ground truth computed before the storm.
+Afterwards, the cache counters must be *consistent*: every request was
+exactly one hit or one miss, and concurrent identical requests never
+produced a wrong or torn answer.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.framework import Pilgrim
+from repro.core.rest.client import RestClient
+from repro.serving.factories import STAR_PLATFORM, star_forecast_service
+
+N_HOSTS = 8
+N_THREADS = 8
+ROUNDS = 3  # each thread replays the query set this many times
+
+
+@pytest.fixture(scope="module")
+def star_service():
+    return star_forecast_service(N_HOSTS)
+
+
+@pytest.fixture(scope="module")
+def queries(star_service):
+    hosts = [h.name for h in star_service.platform(STAR_PLATFORM).hosts()]
+    return [
+        [(hosts[0], hosts[1], 5e7)],
+        [(hosts[2], hosts[3], 1e8), (hosts[4], hosts[5], 2e7)],
+        [(hosts[1], hosts[6], 5e7), (hosts[0], hosts[7], 5e7),
+         (hosts[3], hosts[5], 1e8)],
+        [(hosts[6], hosts[7], 2.5e8)],
+    ]
+
+
+@pytest.fixture(scope="module")
+def ground_truth(star_service, queries):
+    """Serial one-at-a-time answers, computed before any server exists."""
+    return [
+        [f.to_json() for f in
+         star_service.predict_transfers(STAR_PLATFORM, transfers)]
+        for transfers in queries
+    ]
+
+
+def test_hammer_matches_serial_ground_truth(star_service, queries,
+                                            ground_truth):
+    pilgrim = Pilgrim()
+    pilgrim.register_platform(STAR_PLATFORM,
+                              star_service.platform(STAR_PLATFORM))
+    serving = pilgrim.enable_serving(window=0.002, cache_size=256)
+    try:
+        with pilgrim.serve() as server:
+            url = server.url
+
+            def client_session(worker: int) -> list[tuple[int, list]]:
+                client = RestClient(url)
+                outcomes = []
+                for round_no in range(ROUNDS):
+                    for qi, transfers in enumerate(queries):
+                        # alternate transports so GET and POST race on the
+                        # same cache entries
+                        if (worker + round_no + qi) % 2:
+                            answer = client.post_predict_transfers(
+                                STAR_PLATFORM, transfers)
+                        else:
+                            answer = client.predict_transfers(
+                                STAR_PLATFORM, transfers)
+                        outcomes.append((qi, answer))
+                return outcomes
+
+            with ThreadPoolExecutor(max_workers=N_THREADS) as clients:
+                sessions = list(clients.map(client_session,
+                                            range(N_THREADS)))
+
+        for outcomes in sessions:
+            assert len(outcomes) == ROUNDS * len(queries)
+            for qi, answer in outcomes:
+                assert answer == ground_truth[qi], (
+                    f"concurrent answer for query {qi} diverged from serial "
+                    f"ground truth"
+                )
+
+        stats = serving.stats()
+        cache = stats["cache"]
+        expected_requests = N_THREADS * ROUNDS * len(queries)
+        # every request resolved as exactly one hit or one miss
+        assert cache["hits"] + cache["misses"] == expected_requests
+        # each distinct query simulated at least once, and the cache ended
+        # holding at most the distinct query set (no duplicate keys)
+        assert cache["misses"] >= len(queries)
+        assert cache["size"] <= len(queries)
+        assert cache["evictions"] == 0
+        # the storm actually hit the cache: far more hits than misses
+        assert cache["hits"] > cache["misses"]
+        assert stats["latency"]["count"] == expected_requests
+        assert stats["batcher"]["requests"] == cache["misses"]
+    finally:
+        pilgrim.disable_serving()
+
+
+def test_hammer_with_cache_disabled_still_correct(star_service, queries,
+                                                  ground_truth):
+    pilgrim = Pilgrim()
+    pilgrim.register_platform(STAR_PLATFORM,
+                              star_service.platform(STAR_PLATFORM))
+    serving = pilgrim.enable_serving(window=0.002, cache_size=0)
+    try:
+        with pilgrim.serve() as server:
+            client_urls = server.url
+
+            def client_session(worker: int) -> list:
+                client = RestClient(client_urls)
+                return [
+                    client.post_predict_transfers(STAR_PLATFORM, transfers)
+                    for transfers in queries
+                ]
+
+            with ThreadPoolExecutor(max_workers=4) as clients:
+                sessions = list(clients.map(client_session, range(4)))
+        for answers in sessions:
+            assert answers == ground_truth
+        stats = serving.stats()
+        assert stats["cache"]["hits"] == 0
+        assert stats["cache"]["misses"] == 4 * len(queries)
+        assert stats["batcher"]["requests"] == 4 * len(queries)
+    finally:
+        pilgrim.disable_serving()

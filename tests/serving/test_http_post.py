@@ -1,0 +1,179 @@
+"""POST transport: JSON bodies, router dispatch, /stats endpoint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import Pilgrim
+from repro.core.rest.client import RestClient
+from repro.core.rest.errors import BadRequest, MethodNotAllowed
+from repro.core.rest.router import Request, Router
+from repro.serving.factories import STAR_PLATFORM, star_forecast_service
+
+N_HOSTS = 8
+
+
+@pytest.fixture(scope="module")
+def star_service():
+    return star_forecast_service(N_HOSTS)
+
+
+@pytest.fixture(scope="module")
+def hosts(star_service):
+    return [h.name for h in star_service.platform(STAR_PLATFORM).hosts()]
+
+
+@pytest.fixture(scope="module")
+def pilgrim(star_service):
+    instance = Pilgrim()
+    instance.register_platform(STAR_PLATFORM,
+                               star_service.platform(STAR_PLATFORM))
+    instance.enable_serving(window=0.001, cache_size=64)
+    yield instance
+    instance.disable_serving()
+
+
+@pytest.fixture(scope="module")
+def http(pilgrim):
+    with pilgrim.serve() as server:
+        yield RestClient(server.url)
+
+
+class TestRouterPost:
+    def test_post_route_receives_body(self):
+        router = Router()
+
+        @router.post("/echo")
+        def echo(request: Request):
+            return {"got": request.json_body()}
+
+        status, payload = router.dispatch(
+            Request.from_target("POST", "/echo", body={"x": 1}))
+        assert status == 200
+        assert payload == {"got": {"x": 1}}
+
+    def test_get_contract_unchanged(self):
+        router = Router()
+
+        @router.post("/thing")
+        def create(request: Request):
+            return {}
+
+        @router.get("/thing")
+        def read(request: Request):
+            return {"method": "GET"}
+
+        status, payload = router.dispatch(Request.from_target("GET", "/thing"))
+        assert status == 200
+        assert payload == {"method": "GET"}
+
+    def test_method_mismatch_is_405(self):
+        router = Router()
+
+        @router.post("/only-post")
+        def create(request: Request):
+            return {}
+
+        status, payload = router.dispatch(
+            Request.from_target("GET", "/only-post"))
+        assert status == MethodNotAllowed.status
+
+    def test_body_accessors(self):
+        request = Request.from_target("POST", "/x", body={"a": 1})
+        assert request.json_body() == {"a": 1}
+        assert request.body_field("a") == 1
+        assert request.body_field("b", default=None) is None
+        with pytest.raises(BadRequest):
+            request.body_field("b")
+        with pytest.raises(BadRequest):
+            Request.from_target("POST", "/x", body=[1]).body_field("a")
+        with pytest.raises(BadRequest):
+            Request.from_target("GET", "/x").json_body()
+
+
+class TestHTTPPost:
+    def test_large_transfer_list_not_limited_by_uri(self, http, hosts):
+        # hundreds of transfers would overflow a request target; the JSON
+        # body carries them without any URI-length ceiling
+        transfers = [
+            [hosts[i % len(hosts)], hosts[(i + 1) % len(hosts)],
+             1e6 * (1 + i % 7)]
+            for i in range(300)
+        ]
+        answers = http.post_predict_transfers(STAR_PLATFORM, transfers)
+        assert len(answers) == 300
+        assert all(a["duration"] > 0 for a in answers)
+
+    def test_post_matches_get(self, http, hosts):
+        pairs = [(hosts[0], hosts[1], 5e7), (hosts[2], hosts[3], 1e8)]
+        via_get = http.predict_transfers(STAR_PLATFORM, pairs)
+        via_post = http.post_predict_transfers(STAR_PLATFORM, pairs)
+        assert via_get == via_post
+
+    def test_ongoing_in_body(self, http, hosts):
+        pairs = [(hosts[0], hosts[1], 5e7)]
+        alone = http.post_predict_transfers(STAR_PLATFORM, pairs)
+        contended = http.post_predict_transfers(
+            STAR_PLATFORM, pairs, ongoing=[(hosts[0], hosts[2], 1e9)])
+        assert contended[0]["duration"] >= alone[0]["duration"]
+
+    def test_explicit_empty_ongoing_accepted(self, http, hosts):
+        # a client that always serializes the field must not be rejected
+        answers = http.post(
+            f"/pilgrim/predict_transfers/{STAR_PLATFORM}",
+            {"transfers": [[hosts[0], hosts[1], 5e7]], "ongoing": []})
+        assert len(answers) == 1
+
+    def test_malformed_bodies_are_400(self, http, hosts):
+        with pytest.raises(BadRequest):
+            http.post(f"/pilgrim/predict_transfers/{STAR_PLATFORM}", {})
+        with pytest.raises(BadRequest):
+            http.post(f"/pilgrim/predict_transfers/{STAR_PLATFORM}",
+                      {"transfers": []})
+        with pytest.raises(BadRequest):
+            http.post(f"/pilgrim/predict_transfers/{STAR_PLATFORM}",
+                      {"transfers": [[hosts[0], hosts[1]]]})
+        with pytest.raises(BadRequest):
+            http.post(f"/pilgrim/predict_transfers/{STAR_PLATFORM}",
+                      {"transfers": [[hosts[0], hosts[1], -5]]})
+
+    def test_invalid_json_body_is_400(self, http):
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            http.base_url + f"/pilgrim/predict_transfers/{STAR_PLATFORM}",
+            data=b"{not json", headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_stats_endpoint(self, http, hosts):
+        http.post_predict_transfers(STAR_PLATFORM,
+                                    [(hosts[0], hosts[1], 5e7)])
+        stats = http.stats()
+        serving = stats["serving"]
+        assert serving["enabled"] is True
+        assert serving["cache"]["maxsize"] == 64
+        assert serving["latency"]["count"] >= 1
+        assert serving["batcher"]["requests"] >= 1
+        assert STAR_PLATFORM in stats["route_caches"]
+
+    def test_stats_without_serving(self, star_service):
+        bare = Pilgrim()
+        bare.register_platform(STAR_PLATFORM,
+                               star_service.platform(STAR_PLATFORM))
+        with bare.serve() as server:
+            stats = RestClient(server.url).stats()
+        assert stats["serving"] == {"enabled": False}
+
+    def test_post_without_serving_enabled(self, star_service, hosts):
+        bare = Pilgrim()
+        bare.register_platform(STAR_PLATFORM,
+                               star_service.platform(STAR_PLATFORM))
+        with bare.serve() as server:
+            answers = RestClient(server.url).post_predict_transfers(
+                STAR_PLATFORM, [(hosts[0], hosts[1], 5e7)])
+        assert len(answers) == 1

@@ -1,0 +1,126 @@
+"""Warm worker pool: equivalence, recycling, executor injection."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.serving.factories import (
+    STAR_PLATFORM,
+    star_factory,
+    star_forecast_service,
+)
+from repro.serving.pool import WarmWorkerPool
+
+N_HOSTS = 6
+
+
+@pytest.fixture(scope="module")
+def star_service():
+    return star_forecast_service(N_HOSTS)
+
+
+@pytest.fixture(scope="module")
+def requests(star_service):
+    hosts = [h.name for h in star_service.platform(STAR_PLATFORM).hosts()]
+    return [
+        [(hosts[0], hosts[1], 5e7), (hosts[2], hosts[3], 1e8)],
+        [(hosts[4], hosts[5], 2e7)],
+        [(hosts[1], hosts[4], 5e7)],
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial(star_service, requests):
+    return [star_service.predict_transfers(STAR_PLATFORM, r) for r in requests]
+
+
+class TestWarmPool:
+    def test_results_match_serial_bitwise(self, requests, serial):
+        with WarmWorkerPool(star_factory(N_HOSTS), workers=2) as pool:
+            answers = pool.predict_many(STAR_PLATFORM, requests)
+        assert answers == serial
+
+    def test_pool_stays_warm_across_batches(self, requests, serial):
+        with WarmWorkerPool(star_factory(N_HOSTS), workers=2) as pool:
+            first = pool.predict_many(STAR_PLATFORM, requests)
+            second = pool.predict_many(STAR_PLATFORM, requests)
+            stats = pool.stats()
+        assert first == serial
+        assert second == serial
+        assert stats["batches"] == 2
+        assert stats["requests"] == 2 * len(requests)
+        assert stats["recycles"] == 0
+
+    def test_recycles_after_max_requests(self, requests, serial):
+        with WarmWorkerPool(star_factory(N_HOSTS), workers=2,
+                            max_requests=2) as pool:
+            for _ in range(3):
+                assert pool.predict_many(STAR_PLATFORM, requests) == serial
+            stats = pool.stats()
+        assert stats["recycles"] >= 1
+        # recycling must never change answers (fresh workers, same factory)
+
+    def test_recycles_on_link_epoch_change(self, requests, star4):
+        with WarmWorkerPool(star_factory(N_HOSTS), workers=2) as pool:
+            pool.predict_many(STAR_PLATFORM, requests[:1])
+            link = next(iter(star4.links()))
+            link.bandwidth = link.bandwidth * 0.9  # bump the global epoch
+            pool.predict_many(STAR_PLATFORM, requests[:1])
+            assert pool.stats()["recycles"] == 1
+
+    def test_empty_batch(self):
+        pool = WarmWorkerPool(star_factory(N_HOSTS), workers=2)
+        assert pool.predict_many(STAR_PLATFORM, []) == []
+        assert not pool.started  # no workers spawned for nothing
+        pool.stop()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmWorkerPool(star_factory(N_HOSTS), workers=0)
+        with pytest.raises(ValueError):
+            WarmWorkerPool(star_factory(N_HOSTS), workers=1, max_requests=0)
+        pool = WarmWorkerPool(star_factory(N_HOSTS), workers=1)
+        with pytest.raises(ValueError):
+            pool.predict_many(STAR_PLATFORM, [[("a", "b", 1.0)]],
+                              ongoing=[(), ()])
+        pool.stop()
+
+
+class TestExecutorInjection:
+    def test_warm_pool_through_predict_transfers_many(
+            self, star_service, requests, serial):
+        with WarmWorkerPool(star_factory(N_HOSTS), workers=2) as pool:
+            answers = star_service.predict_transfers_many(
+                STAR_PLATFORM, requests, executor=pool)
+            again = star_service.predict_transfers_many(
+                STAR_PLATFORM, requests, executor=pool)
+            stats = pool.stats()
+        assert answers == serial
+        assert again == serial
+        assert stats["batches"] == 2  # one pool served both calls
+
+    def test_plain_executor_is_reused_not_shut_down(
+            self, star_service, requests, serial):
+        factory = star_factory(N_HOSTS)
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            answers = star_service.predict_transfers_many(
+                STAR_PLATFORM, requests, service_factory=factory,
+                executor=executor)
+            again = star_service.predict_transfers_many(
+                STAR_PLATFORM, requests, service_factory=factory,
+                executor=executor)
+            assert answers == serial
+            assert again == serial
+
+    def test_plain_executor_still_needs_factory(self, star_service, requests):
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            with pytest.raises(ValueError, match="service_factory"):
+                star_service.predict_transfers_many(
+                    STAR_PLATFORM, requests, executor=executor)
+
+    def test_no_pool_default_unchanged(self, star_service, requests, serial):
+        # the historical contract: no executor, workers<=1 → serial inline
+        answers = star_service.predict_transfers_many(STAR_PLATFORM, requests)
+        assert answers == serial

@@ -1,0 +1,24 @@
+"""Tier-1 hook for the serving smoke check.
+
+The serving stack (HTTP server + POST ingest + cache + /stats) must come
+up, answer, hit its cache and shut down cleanly — see
+``tools/check_serving_smoke.py``.  Like the scenario smoke, this is
+millisecond-scale and runs in-process on every tier-1 pass.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_serving_smoke  # noqa: E402
+
+
+def test_standalone_serving_smoke_passes(capsys):
+    assert check_serving_smoke.main() == 0
+    out = capsys.readouterr().out
+    assert "serving smoke OK" in out
+    assert "FAIL" not in out

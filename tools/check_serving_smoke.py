@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Smoke-check the serving subsystem end to end so it can't rot.
+
+The serving sibling of ``tools/check_bench_smoke.py`` and
+``tools/check_scenario_smoke.py``: bring up a Pilgrim HTTP server with the
+serving layer enabled (cache + coalescer, inline execution — no worker
+processes, so the check is fast on any machine), POST a batch of transfers,
+repeat it to exercise the cache, read ``/stats``, cross-check every answer
+against a direct simulation, and shut down.  Used standalone::
+
+    PYTHONPATH=src python tools/check_serving_smoke.py
+
+and wired into tier-1 through ``tests/serving/test_serving_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Hosts in the synthetic smoke platform.
+N_HOSTS = 8
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.core.framework import Pilgrim
+    from repro.core.rest.client import RestClient
+    from repro.serving.factories import STAR_PLATFORM, star_forecast_service
+
+    service = star_forecast_service(N_HOSTS)
+    platform = service.platform(STAR_PLATFORM)
+    hosts = [h.name for h in platform.hosts()]
+
+    pilgrim = Pilgrim()
+    pilgrim.register_platform(STAR_PLATFORM, platform)
+    pilgrim.enable_serving(window=0.002, cache_size=64)
+    failures: list[str] = []
+    try:
+        with pilgrim.serve() as server:
+            client = RestClient(server.url)
+            transfers = [
+                [hosts[i], hosts[(i + 1) % len(hosts)], 5e7 * (i + 1)]
+                for i in range(4)
+            ]
+            first = client.post_predict_transfers(STAR_PLATFORM, transfers)
+            again = client.post_predict_transfers(STAR_PLATFORM, transfers)
+            direct = [
+                f.to_json() for f in service.predict_transfers(
+                    STAR_PLATFORM, [tuple(t) for t in transfers])
+            ]
+            if first != direct:
+                failures.append("POST answer differs from direct simulation")
+            if again != first:
+                failures.append("cached answer differs from simulated answer")
+
+            stats = client.stats()
+            serving = stats.get("serving", {})
+            cache = serving.get("cache", {})
+            if not serving.get("enabled"):
+                failures.append("/stats does not report serving enabled")
+            if cache.get("hits", 0) < 1:
+                failures.append(f"repeated POST produced no cache hit: {cache}")
+            if cache.get("misses", 0) < 1:
+                failures.append(f"first POST produced no cache miss: {cache}")
+            if serving.get("latency", {}).get("count", 0) < 2:
+                failures.append(f"latency counter missed requests: {serving}")
+            if serving.get("batcher", {}).get("requests", 0) < 1:
+                failures.append(f"batcher saw no requests: {serving}")
+    finally:
+        pilgrim.disable_serving()
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"serving smoke OK: star({N_HOSTS}) platform, POST x2, "
+          f"cache hit confirmed, /stats consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
