@@ -97,6 +97,59 @@ def _build_parser() -> argparse.ArgumentParser:
     scen_run.add_argument("--json", action="store_true",
                           help="emit the full result as JSON")
 
+    metrology = sub.add_parser(
+        "metrology", help="live metrology pipeline (probe → RRD → "
+                          "forecast → recalibrate)")
+    met_sub = metrology.add_subparsers(dest="metrology_command", required=True)
+
+    met_record = met_sub.add_parser(
+        "record", help="probe a degrading testbed and dump the RRD series "
+                       "as a measured-trace JSON document")
+    met_record.add_argument("--hosts", type=int, default=4)
+    met_record.add_argument("--period", type=float, default=15.0,
+                            help="probe period, metrology seconds")
+    met_record.add_argument("--steps", type=int, default=10,
+                            help="probe cycles after warm-up")
+    met_record.add_argument("--warmup", type=int, default=3,
+                            help="healthy probe cycles anchoring references")
+    met_record.add_argument("--link", type=int, default=1,
+                            help="1-based index of the degrading host link")
+    met_record.add_argument("--factor", type=float, default=0.3,
+                            help="degraded capacity as a fraction of nominal")
+    met_record.add_argument("--seed", type=int, default=3)
+    met_record.add_argument("--output", default=None,
+                            help="write the trace document here "
+                                 "(default: stdout)")
+
+    met_replay = met_sub.add_parser(
+        "replay", help="replay a recorded trace document as measured "
+                       "scenario dynamics")
+    met_replay.add_argument("--input", required=True,
+                            help="trace document from `metrology record`")
+    met_replay.add_argument("--size", type=float, default=4e7,
+                            help="per-transfer bytes of the replay workload")
+    met_replay.add_argument("--time-scale", type=float, default=0.01,
+                            help="simulated seconds per recorded metrology "
+                                 "second (compresses probe periods onto the "
+                                 "transfer timescale)")
+    met_replay.add_argument("--reps", type=int, default=1)
+    met_replay.add_argument("--full-resolve", action="store_true")
+    met_replay.add_argument("--json", action="store_true",
+                            help="emit the full scenario result as JSON")
+
+    met_run = met_sub.add_parser(
+        "run", help="run the live loop: probe → RRD → forecast → epoch "
+                    "bump → re-predict, against a degrading link")
+    met_run.add_argument("--hosts", type=int, default=4)
+    met_run.add_argument("--period", type=float, default=15.0)
+    met_run.add_argument("--steps", type=int, default=10)
+    met_run.add_argument("--warmup", type=int, default=3)
+    met_run.add_argument("--link", type=int, default=1)
+    met_run.add_argument("--factor", type=float, default=0.3)
+    met_run.add_argument("--size", type=float, default=2e8,
+                         help="per-transfer bytes of the evaluation workload")
+    met_run.add_argument("--seed", type=int, default=3)
+
     report = sub.add_parser(
         "report", help="run the full validation campaign, emit markdown")
     report.add_argument("--reps", type=int, default=3)
@@ -258,6 +311,147 @@ def _cmd_scenarios(args, out) -> int:
     return 0
 
 
+#: Version tag of the `metrology record` trace document.
+TRACE_DOC_FORMAT = 1
+
+
+def _cmd_metrology(args, out) -> int:
+    if args.metrology_command == "record":
+        return _cmd_metrology_record(args, out)
+    if args.metrology_command == "replay":
+        return _cmd_metrology_replay(args, out)
+    return _cmd_metrology_run(args, out)
+
+
+def _record_demo(args):
+    from repro.metrology.demo import StarMetrologyDemo
+
+    return StarMetrologyDemo.for_run(
+        n_hosts=args.hosts, period=args.period, seed=args.seed,
+        warmup=args.warmup, steps=args.steps,
+        degrade_link=args.link, degrade_factor=args.factor,
+    )
+
+
+def _cmd_metrology_record(args, out) -> int:
+    demo = _record_demo(args)
+    demo.warmup(args.warmup)
+    demo.run(args.steps)
+    doc = {
+        "format": TRACE_DOC_FORMAT,
+        "topology": {"family": "star", "params": {"n_hosts": args.hosts}},
+        "period": args.period,
+        "duration": demo.feed.clock,
+        "traces": [trace.to_json() for trace in demo.measured_traces()],
+    }
+    text = json.dumps(doc, indent=1) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        out.write(f"recorded {len(doc['traces'])} link traces over "
+                  f"{demo.feed.clock:g}s to {args.output}\n")
+    else:
+        out.write(text)
+    return 0
+
+
+def _cmd_metrology_replay(args, out) -> int:
+    from repro.analysis.tables import render_table
+    from repro.scenarios import run_scenario
+    from repro.scenarios.spec import (
+        MeasuredTrace,
+        ScenarioSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    with open(args.input, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("format") != TRACE_DOC_FORMAT:
+        out.write(f"unsupported trace document format {doc.get('format')!r}\n")
+        return 2
+    traces = [
+        MeasuredTrace.from_json(trace_doc).rescaled(args.time_scale)
+        for trace_doc in doc["traces"]
+    ]
+    spec = ScenarioSpec(
+        name="measured-replay",
+        description=f"replay of {args.input}",
+        topology=TopologySpec.from_json(doc["topology"]),
+        workload=WorkloadSpec("all_to_all", size=args.size),
+        measured=tuple(traces),
+    )
+    result = run_scenario(spec, repetitions=args.reps,
+                          full_resolve=args.full_resolve)
+    if args.json:
+        out.write(json.dumps(result.to_json(), indent=1) + "\n")
+        return 0
+    out.write(render_table(
+        ["metric", "value"], list(result.summary().items()),
+        title=f"measured replay of {args.input} "
+              f"(time scale {args.time_scale:g})",
+    ) + "\n")
+    out.write(render_table(
+        ["t (s)", "link", "bandwidth (B/s)"],
+        [(e.time, e.link, e.bandwidth) for e in result.events_applied],
+        title="measured mutations applied (first repetition)",
+    ) + "\n")
+    return 0
+
+
+def _cmd_metrology_run(args, out) -> int:
+    from repro._util.stats import median
+    from repro.analysis.tables import render_table
+    from repro.serving.service import ForecastServingService
+
+    demo = _record_demo(args)
+    demo.warmup(args.warmup)
+    serving = ForecastServingService(demo.service).start()
+    rows = []
+    recalibrated_errors, static_errors = [], []
+    try:
+        for step in range(args.steps):
+            demo.step()
+            evaluation = demo.evaluate_step(
+                serving, demo.workload(args.size), seed_salt=step)
+            if evaluation.degraded:
+                recalibrated_errors.append(evaluation.err_recalibrated)
+                static_errors.append(evaluation.err_static)
+            rows.append((
+                f"{evaluation.time:g}",
+                f"{evaluation.true_factor:g}",
+                evaluation.epoch,
+                f"{evaluation.err_recalibrated:.3f}",
+                f"{evaluation.err_static:.3f}",
+            ))
+    finally:
+        serving.stop()
+    out.write(render_table(
+        ["t (s)", "true factor", "epoch", "|log2 err| recal",
+         "|log2 err| static"],
+        rows,
+        title=f"live metrology loop: star({args.hosts}), "
+              f"{demo.degraded_link} -> {args.factor:g}x at "
+              f"t={demo.degrade_at:g}s",
+    ) + "\n")
+    stats = demo.loop.stats.to_json()
+    out.write(f"loop: {stats['polls']} polls, "
+              f"{stats['updates_applied']} updates applied, "
+              f"{stats['updates_skipped']} skipped by hysteresis\n")
+    cache = serving.cache.info()
+    out.write(f"serving cache: {cache['hits']} hits, {cache['misses']} "
+              f"misses (epoch bumps invalidate implicitly)\n")
+    if recalibrated_errors:
+        recal, static = median(recalibrated_errors), median(static_errors)
+        out.write(f"degraded phase: median |log2 err| "
+                  f"recalibrated {recal:.3f} vs static {static:.3f}\n")
+        if recal >= static:
+            out.write("recalibration did NOT beat the static baseline\n")
+            return 1
+        out.write("recalibration beats the static baseline\n")
+    return 0
+
+
 def _cmd_report(args, out) -> int:
     from repro.analysis.report import build_report
     from repro.experiments.environment import forecast_service, testbed
@@ -306,6 +500,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_experiment(args, out)
     if args.command == "scenarios":
         return _cmd_scenarios(args, out)
+    if args.command == "metrology":
+        return _cmd_metrology(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

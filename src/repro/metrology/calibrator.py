@@ -1,0 +1,100 @@
+"""Turning per-link measurement series into link parameter estimates.
+
+A :class:`LinkCalibrator` consumes the RRD series a
+:class:`~repro.metrology.feed.MetrologyFeed` records and runs one
+:class:`~repro.nws.forecaster.AdaptiveForecaster` per link metric over
+them.  Every :meth:`estimates` call fetches the measurement window that
+arrived since the previous call (the §IV-C1 fetch contract: the finest
+retained data for the span), feeds the new points to the forecasters and
+returns one :class:`LinkEstimate` per monitored link.
+
+Estimates are *measured end-to-end* quantities (probe goodput, probe RTT),
+not raw link parameters: probes pay startup overhead and TCP ramp, so their
+absolute level sits below the link's nominal capacity.  The consumer
+(:class:`~repro.metrology.loop.RecalibrationLoop`) therefore recalibrates
+in relative terms against each link's first warm estimate.  A cold series
+(no usable probe yet) yields ``None`` fields — the explicit cold-start
+contract, no exceptions on the polling path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.metrology.collectors import MetricRegistry, MetrologyError
+from repro.metrology.feed import MetrologyFeed
+from repro.nws.forecaster import AdaptiveForecaster
+
+
+@dataclass(frozen=True)
+class LinkEstimate:
+    """Current measured state of one link (``None`` = series still cold)."""
+
+    link: str
+    #: Forecast probe goodput, bytes/s.
+    bandwidth: Optional[float]
+    #: Forecast probe round-trip time, seconds.
+    rtt: Optional[float]
+    #: Clock at which the estimate was produced.
+    time: float
+
+    @property
+    def ready(self) -> bool:
+        return self.bandwidth is not None
+
+
+class LinkCalibrator:
+    """Per-link adaptive forecasters over the feed's RRD series."""
+
+    #: The two metric series the feed records per link.
+    METRICS = ("bandwidth", "latency")
+
+    def __init__(self, registry: MetricRegistry, links: Sequence[str]) -> None:
+        if not links:
+            raise MetrologyError("at least one link is required")
+        self.registry = registry
+        self.links = tuple(links)
+        self._forecasters: dict[tuple[str, str], AdaptiveForecaster] = {
+            (link, metric): AdaptiveForecaster()
+            for link in self.links
+            for metric in self.METRICS
+        }
+        #: newest RRD timestamp already consumed, per (link, metric)
+        self._consumed: dict[tuple[str, str], float] = {
+            key: 0.0 for key in self._forecasters
+        }
+
+    @classmethod
+    def for_feed(cls, feed: MetrologyFeed) -> "LinkCalibrator":
+        return cls(feed.registry, [m.link for m in feed.monitors])
+
+    def _refresh(self, link: str, metric: str, now: float) -> None:
+        key = (link, metric)
+        rrd = self.registry.get(MetrologyFeed.metric_key(link, metric))
+        series = rrd.fetch(self._consumed[key], now)
+        forecaster = self._forecasters[key]
+        for ts, value in series:
+            forecaster.update(value)
+            self._consumed[key] = max(self._consumed[key], ts)
+
+    def estimate(self, link: str, now: float) -> LinkEstimate:
+        """The link's current estimate after consuming samples up to ``now``."""
+        if link not in self.links:
+            raise MetrologyError(f"link {link!r} is not calibrated")
+        for metric in self.METRICS:
+            self._refresh(link, metric, now)
+        return LinkEstimate(
+            link=link,
+            bandwidth=self._forecasters[(link, "bandwidth")].forecast(default=None),
+            rtt=self._forecasters[(link, "latency")].forecast(default=None),
+            time=now,
+        )
+
+    def estimates(self, now: float) -> list[LinkEstimate]:
+        """One estimate per calibrated link, in registration order."""
+        return [self.estimate(link, now) for link in self.links]
+
+    def observations(self, link: str, metric: str = "bandwidth") -> int:
+        """Samples consumed so far for one series (introspection)."""
+        return self._forecasters[(link, metric)].observations

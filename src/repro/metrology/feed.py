@@ -1,0 +1,129 @@
+"""The metrology feed: scheduled NWS probes recorded into per-link RRDs.
+
+A :class:`MetrologyFeed` owns one :class:`~repro.nws.sensors.BandwidthSensor`
+and one :class:`~repro.nws.sensors.LatencySensor` per *monitored link* and
+polls them on a fixed period, recording each measurement into that link's
+round-robin databases (one GAUGE data source per metric, the default RRA
+ladder).  This is the paper's §IV-C1 ingestion half made live: where the
+:class:`~repro.metrology.collectors.GangliaCollector` replays generic metric
+callables, the feed drives *active network probes* whose series the
+:mod:`~repro.metrology.calibrator` turns back into link parameters.
+
+A :class:`MonitoredLink` names the platform link being calibrated and the
+testbed node pair whose probe path isolates it (the pair's bottleneck must
+be that link — e.g. a host's access link probed host ↔ collector).  Probe
+measurements are end-to-end goodput/RTT, *not* raw link parameters; the
+calibrator works in relative terms for exactly that reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrology.collectors import MetricKey, MetricRegistry, MetrologyError
+from repro.nws.sensors import BandwidthSensor, LatencySensor
+from repro.rrd.database import RoundRobinDatabase
+from repro.testbed.fluid import TestbedNetwork
+
+#: Tool name the feed registers its RRDs under (URI layout: see MetricKey).
+FEED_TOOL = "nws"
+#: Site component of the feed's metric keys.
+FEED_SITE = "probe"
+
+
+@dataclass(frozen=True)
+class MonitoredLink:
+    """One link under metrology: the platform link name to calibrate and
+    the testbed probe pair whose path bottleneck is that link."""
+
+    link: str
+    src: str
+    dst: str
+
+    def __post_init__(self) -> None:
+        if not self.link or not self.src or not self.dst:
+            raise MetrologyError("monitored link needs link, src and dst names")
+
+
+class MetrologyFeed:
+    """Drives per-link probe sensors on a schedule into RRDs.
+
+    The clock is simulated (like :class:`GangliaCollector`): every
+    :meth:`poll_once` advances it by ``period`` and records one bandwidth
+    and one RTT sample per monitored link.  Degenerate bandwidth probes
+    (see :meth:`BandwidthSensor.probe_once`) record NaN, which the RRD
+    treats as an unknown sample — the calibrator simply sees a gap.
+    """
+
+    def __init__(
+        self,
+        network: TestbedNetwork,
+        monitors: Sequence[MonitoredLink],
+        registry: MetricRegistry | None = None,
+        period: float = 15.0,
+        seed: int = 0,
+        probe_bytes: float = BandwidthSensor.PROBE_BYTES,
+    ) -> None:
+        if period <= 0:
+            raise MetrologyError("period must be positive")
+        if not monitors:
+            raise MetrologyError("at least one monitored link is required")
+        names = [m.link for m in monitors]
+        if len(set(names)) != len(names):
+            raise MetrologyError(f"duplicate monitored links in {names}")
+        self.network = network
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.monitors = tuple(monitors)
+        self.period = float(period)
+        self.clock = 0.0
+        self._sensors: dict[str, tuple[BandwidthSensor, LatencySensor]] = {}
+        for monitor in self.monitors:
+            self._sensors[monitor.link] = (
+                BandwidthSensor(network, monitor.src, monitor.dst, seed=seed,
+                                probe_bytes=probe_bytes),
+                LatencySensor(network, monitor.src, monitor.dst, seed=seed),
+            )
+            for metric in ("bandwidth", "latency"):
+                key = self.metric_key(monitor.link, metric)
+                if key not in self.registry:
+                    self.registry.create(key, kind="GAUGE", step=self.period)
+                elif self.registry.get(key).step != self.period:
+                    # a reused RRD on a different PDP grid would silently
+                    # average this feed's probes away (or gap them)
+                    raise MetrologyError(
+                        f"metric {key.path()!r} exists with step "
+                        f"{self.registry.get(key).step:g}, but the feed "
+                        f"polls every {self.period:g}s"
+                    )
+
+    @staticmethod
+    def metric_key(link: str, metric: str) -> MetricKey:
+        """The RRD identity of one link metric series."""
+        return MetricKey(FEED_TOOL, FEED_SITE, link, metric)
+
+    def rrd(self, link: str, metric: str) -> RoundRobinDatabase:
+        """The RRD holding ``link``'s ``metric`` series."""
+        return self.registry.get(self.metric_key(link, metric))
+
+    # -- polling -----------------------------------------------------------
+
+    def poll_once(self) -> float:
+        """One probe cycle over every monitored link; returns the new clock."""
+        self.clock += self.period
+        for monitor in self.monitors:
+            bw_sensor, lat_sensor = self._sensors[monitor.link]
+            goodput = bw_sensor.probe_once()
+            rtt = lat_sensor.probe_once()
+            self.rrd(monitor.link, "bandwidth").update(self.clock, goodput)
+            self.rrd(monitor.link, "latency").update(self.clock, rtt)
+        return self.clock
+
+    def poll_for(self, duration: float) -> int:
+        """Probe cycles covering ``duration`` seconds; returns the count."""
+        cycles = 0
+        end = self.clock + duration
+        while self.clock + self.period <= end + 1e-12:
+            self.poll_once()
+            cycles += 1
+        return cycles

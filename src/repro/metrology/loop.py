@@ -1,0 +1,215 @@
+"""The recalibration loop: measured link state applied to a live platform.
+
+:class:`RecalibrationLoop` closes the paper's dynamic-forecasting cycle:
+each :meth:`step` polls the :class:`~repro.metrology.feed.MetrologyFeed`
+(probe → RRD), asks the :class:`~repro.metrology.calibrator.LinkCalibrator`
+for fresh per-link estimates, and applies significant changes to the live
+:class:`~repro.simgrid.platform.Platform` **through the links' property
+setters** — each write bumps the global link-mutation epoch, which is the
+single invalidation signal the whole stack already honours:
+
+- per-route model memos and the incremental solver's cached usages
+  re-derive at the next event (``Simulation._reshare``),
+- the serving :class:`~repro.serving.cache.ForecastCache` keys on the
+  epoch, so every cached answer silently becomes unreachable,
+- the :class:`~repro.serving.pool.WarmWorkerPool` recycles its workers on
+  the next batch (``ensure_epoch``).
+
+Nothing subscribes to the loop; recalibration happens while the serving
+stack answers traffic, and consistency is epoch-carried.
+
+Because probe measurements are end-to-end (startup overhead, TCP ramp),
+absolute levels under-estimate raw capacity.  The loop therefore captures a
+**reference estimate** per link — the first warm estimate, taken while the
+link is presumed healthy — plus the platform's nominal parameters, and
+applies *relative* updates::
+
+    link.bandwidth = nominal_bandwidth * estimate / reference
+    link.latency   = nominal_latency   * rtt_estimate / rtt_reference
+
+``min_rel_change`` hysteresis keeps probe noise from bumping the epoch
+(and emptying caches / recycling workers) every poll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrology.calibrator import LinkCalibrator, LinkEstimate
+from repro.metrology.collectors import MetrologyError
+from repro.metrology.feed import MetrologyFeed
+from repro.simgrid.platform import Platform, link_epoch
+
+
+@dataclass(frozen=True)
+class LinkUpdate:
+    """One applied recalibration: the link's parameters before/after."""
+
+    time: float
+    link: str
+    bandwidth_before: float
+    bandwidth_after: float
+    latency_before: float
+    latency_after: float
+
+    def to_json(self) -> dict:
+        return {
+            "time": self.time,
+            "link": self.link,
+            "bandwidth_before": self.bandwidth_before,
+            "bandwidth_after": self.bandwidth_after,
+            "latency_before": self.latency_before,
+            "latency_after": self.latency_after,
+        }
+
+
+@dataclass
+class _LinkState:
+    """Per-link calibration anchors captured at first warm estimate."""
+
+    nominal_bandwidth: float
+    nominal_latency: float
+    reference_bandwidth: float
+    reference_rtt: Optional[float]
+
+
+@dataclass
+class LoopStats:
+    """Counters of the recalibration loop (JSON-able)."""
+
+    polls: int = 0
+    estimates: int = 0
+    cold_estimates: int = 0
+    updates_applied: int = 0
+    updates_skipped: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "polls": self.polls,
+            "estimates": self.estimates,
+            "cold_estimates": self.cold_estimates,
+            "updates_applied": self.updates_applied,
+            "updates_skipped": self.updates_skipped,
+        }
+
+
+class RecalibrationLoop:
+    """Probe → RRD → forecast → platform mutation, one step at a time."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        feed: MetrologyFeed,
+        calibrator: Optional[LinkCalibrator] = None,
+        min_rel_change: float = 0.05,
+        calibrate_latency: bool = True,
+        min_observations: int = 3,
+    ) -> None:
+        if not 0.0 <= min_rel_change < 1.0:
+            raise MetrologyError(
+                f"min_rel_change must be in [0, 1), got {min_rel_change}"
+            )
+        if min_observations < 1:
+            raise MetrologyError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        self.platform = platform
+        self.feed = feed
+        self.calibrator = (calibrator if calibrator is not None
+                           else LinkCalibrator.for_feed(feed))
+        self.min_rel_change = float(min_rel_change)
+        self.calibrate_latency = bool(calibrate_latency)
+        self.min_observations = int(min_observations)
+        self.stats = LoopStats()
+        self._states: dict[str, _LinkState] = {}
+        for monitor in feed.monitors:
+            platform.link(monitor.link)  # fail fast on unknown links
+
+    # -- one loop iteration ------------------------------------------------
+
+    def step(self) -> list[LinkUpdate]:
+        """Poll once, refresh estimates, apply significant changes."""
+        now = self.feed.poll_once()
+        self.stats.polls += 1
+        return self.apply(self.calibrator.estimates(now))
+
+    def run(self, steps: int) -> list[LinkUpdate]:
+        """``steps`` loop iterations; returns every update applied."""
+        applied: list[LinkUpdate] = []
+        for _ in range(steps):
+            applied.extend(self.step())
+        return applied
+
+    # -- applying estimates ------------------------------------------------
+
+    def apply(self, estimates: list[LinkEstimate]) -> list[LinkUpdate]:
+        """Mutate platform links whose estimate moved beyond the hysteresis.
+
+        Cold estimates are skipped (the cold-start contract).  A link's
+        first usable estimate only anchors its reference and applies no
+        mutation — by construction the link is then exactly at nominal —
+        and anchoring waits for ``min_observations`` probe samples, so a
+        single noisy first probe cannot skew every later relative update.
+        """
+        applied: list[LinkUpdate] = []
+        for estimate in estimates:
+            self.stats.estimates += 1
+            if not estimate.ready:
+                self.stats.cold_estimates += 1
+                continue
+            state = self._states.get(estimate.link)
+            link = self.platform.link(estimate.link)
+            if state is None:
+                if (self.calibrator.observations(estimate.link)
+                        < self.min_observations):
+                    self.stats.cold_estimates += 1
+                    continue
+                self._states[estimate.link] = _LinkState(
+                    nominal_bandwidth=link.bandwidth,
+                    nominal_latency=link.latency,
+                    reference_bandwidth=estimate.bandwidth,
+                    reference_rtt=estimate.rtt,
+                )
+                continue
+            target_bw = (state.nominal_bandwidth
+                         * estimate.bandwidth / state.reference_bandwidth)
+            target_lat = link.latency
+            if (self.calibrate_latency and estimate.rtt is not None
+                    and state.reference_rtt):
+                target_lat = (state.nominal_latency
+                              * estimate.rtt / state.reference_rtt)
+            if not self._significant(link.bandwidth, target_bw,
+                                     state.nominal_bandwidth) and \
+                    not self._significant(link.latency, target_lat,
+                                          state.nominal_latency):
+                self.stats.updates_skipped += 1
+                continue
+            update = LinkUpdate(
+                time=estimate.time,
+                link=estimate.link,
+                bandwidth_before=link.bandwidth,
+                bandwidth_after=target_bw,
+                latency_before=link.latency,
+                latency_after=target_lat,
+            )
+            link.bandwidth = target_bw  # bumps the link-mutation epoch
+            if target_lat != update.latency_before:
+                link.latency = target_lat
+            self.stats.updates_applied += 1
+            applied.append(update)
+        return applied
+
+    def _significant(self, current: float, target: float, nominal: float) -> bool:
+        return abs(target - current) > self.min_rel_change * nominal
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The global link-mutation epoch (what caches key on)."""
+        return link_epoch()
+
+    def nominal(self, link: str) -> Optional[_LinkState]:
+        """The calibration anchors of ``link`` (None while cold)."""
+        return self._states.get(link)

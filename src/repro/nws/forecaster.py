@@ -13,9 +13,22 @@ from typing import Optional, Sequence
 
 from repro.nws.predictors import PREDICTOR_FACTORIES, Predictor
 
+#: Sentinel distinguishing "no default given" from ``default=None``.
+_NO_DEFAULT = object()
+
+
+class ColdSeriesError(ValueError):
+    """Forecast requested before the series has any usable observation."""
+
 
 class AdaptiveForecaster:
-    """Runs the battery on one series; forecasts with the current winner."""
+    """Runs the battery on one series; forecasts with the current winner.
+
+    Cold-start contract: :attr:`ready` is False until at least one
+    predictor can produce a forecast; until then :meth:`forecast` raises
+    :class:`ColdSeriesError` — unless a ``default`` is supplied, which is
+    returned instead.  Polling loops (the metrology calibrator) use
+    ``forecast(default=None)`` and skip the series rather than crash."""
 
     def __init__(self, factories: Optional[Sequence] = None) -> None:
         self.predictors: list[Predictor] = [
@@ -41,10 +54,17 @@ class AdaptiveForecaster:
             for err, cnt in zip(self._abs_error, self._error_count)
         ]
 
+    @property
+    def ready(self) -> bool:
+        """True once at least one predictor can produce a forecast."""
+        return self.observations > 0 and any(
+            p.predict() is not None for p in self.predictors
+        )
+
     def best_predictor(self) -> Predictor:
         """The predictor with the lowest mean absolute error so far."""
         if self.observations == 0:
-            raise ValueError("no observations yet")
+            raise ColdSeriesError("no observations yet")
         best_idx, best_err = 0, float("inf")
         for i, (err, cnt) in enumerate(zip(self._abs_error, self._error_count)):
             mean_err = err / cnt if cnt else float("inf")
@@ -52,9 +72,20 @@ class AdaptiveForecaster:
                 best_idx, best_err = i, mean_err
         return self.predictors[best_idx]
 
-    def forecast(self) -> float:
-        """One-step-ahead forecast from the current best predictor."""
+    def forecast(self, default: object = _NO_DEFAULT) -> Optional[float]:
+        """One-step-ahead forecast from the current best predictor.
+
+        On a cold series (no observation yet, or no predictor warm enough)
+        returns ``default`` when one was given, otherwise raises
+        :class:`ColdSeriesError`.
+        """
+        if self.observations == 0:
+            if default is not _NO_DEFAULT:
+                return default  # type: ignore[return-value]
+            raise ColdSeriesError("no observations yet")
         prediction = self.best_predictor().predict()
         if prediction is None:
-            raise ValueError("not enough data to forecast")
+            if default is not _NO_DEFAULT:
+                return default  # type: ignore[return-value]
+            raise ColdSeriesError("not enough data to forecast")
         return prediction

@@ -12,8 +12,10 @@ will create.  That asymmetry versus simulation is the point of the baseline.
 
 from __future__ import annotations
 
+import math
+
 from repro._util.rng import rng_for
-from repro.nws.forecaster import AdaptiveForecaster
+from repro.nws.forecaster import _NO_DEFAULT, AdaptiveForecaster
 from repro.testbed.fluid import FluidSimulator, TestbedNetwork
 
 
@@ -40,7 +42,13 @@ class BandwidthSensor:
         self._probe_index = 0
 
     def probe_once(self) -> float:
-        """One probe: measured goodput (bytes/s), fed to the forecaster."""
+        """One probe: measured goodput (bytes/s), fed to the forecaster.
+
+        A degenerate probe (non-positive or non-finite completion time —
+        a broken clock or an instantly-completing mock network) yields NaN
+        and is *not* fed to the forecaster: an infinite throughput sample
+        would poison every predictor in the battery.
+        """
         sim = FluidSimulator(
             self.network,
             seed=rng_for(self.seed, "bw-probe", self.src, self.dst,
@@ -51,15 +59,26 @@ class BandwidthSensor:
         self._probe_index += 1
         # NWS measures payload/transfer-time of the probe itself, startup
         # overhead included — small probes under-estimate the achievable rate
-        throughput = self.probe_bytes / flow.completion_time_raw
+        elapsed = flow.completion_time_raw
+        if not math.isfinite(elapsed) or elapsed <= 0.0:
+            return math.nan
+        throughput = self.probe_bytes / elapsed
         self.forecaster.update(throughput)
         return throughput
 
     def probe(self, count: int) -> list[float]:
         return [self.probe_once() for _ in range(count)]
 
-    def forecast_bandwidth(self) -> float:
-        return self.forecaster.forecast()
+    @property
+    def ready(self) -> bool:
+        """True once the forecaster has a usable probe history."""
+        return self.forecaster.ready
+
+    def forecast_bandwidth(self, default: object = _NO_DEFAULT) -> float:
+        """Bandwidth forecast; ``default`` is the cold-series answer (without
+        one a cold sensor raises
+        :class:`~repro.nws.forecaster.ColdSeriesError`)."""
+        return self.forecaster.forecast(default)
 
 
 class LatencySensor:
@@ -83,5 +102,13 @@ class LatencySensor:
     def probe(self, count: int) -> list[float]:
         return [self.probe_once() for _ in range(count)]
 
-    def forecast_rtt(self) -> float:
-        return self.forecaster.forecast()
+    @property
+    def ready(self) -> bool:
+        """True once the forecaster has a usable probe history."""
+        return self.forecaster.ready
+
+    def forecast_rtt(self, default: object = _NO_DEFAULT) -> float:
+        """RTT forecast; ``default`` is the cold-series answer (without one
+        a cold sensor raises
+        :class:`~repro.nws.forecaster.ColdSeriesError`)."""
+        return self.forecaster.forecast(default)

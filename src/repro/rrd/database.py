@@ -21,7 +21,12 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.rrd.rra import ConsolidationFunction, RoundRobinArchive, RraSpec
+from repro.rrd.rra import (
+    BOUNDARY_EPS,
+    ConsolidationFunction,
+    RoundRobinArchive,
+    RraSpec,
+)
 
 
 class RrdError(Exception):
@@ -43,6 +48,43 @@ class DataSourceSpec:
             raise RrdError(f"unknown data-source kind {self.kind!r}")
         if self.heartbeat <= 0:
             raise RrdError("heartbeat must be positive")
+
+
+def _merge_intervals(
+    intervals: list[tuple[float, float]], tol: float
+) -> list[tuple[float, float]]:
+    """Union of half-open ``(start, end]`` intervals (touching ones join)."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1] + tol:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _subtract_intervals(
+    span: tuple[float, float], covered: list[tuple[float, float]], tol: float
+) -> list[tuple[float, float]]:
+    """``span`` minus the (merged, sorted) ``covered`` intervals; fragments
+    shorter than ``tol`` are dropped."""
+    start, end = span
+    out: list[tuple[float, float]] = []
+    cursor = start
+    for c_start, c_end in covered:
+        if c_end <= cursor + tol:
+            continue
+        if c_start >= end - tol:
+            break
+        if c_start > cursor + tol:
+            out.append((cursor, min(c_start, end)))
+        cursor = max(cursor, c_end)
+        if cursor >= end - tol:
+            break
+    if cursor < end - tol:
+        out.append((cursor, end))
+    return out
 
 
 DEFAULT_RRAS = (
@@ -72,8 +114,6 @@ class RoundRobinDatabase:
         self.archives = [RoundRobinArchive(spec, self.step) for spec in rras]
         #: timestamp of the last processed sample
         self.last_update: float = float(start_time)
-        #: value (or rate) carried by the last sample, for interpolation
-        self._last_sample_value: float = math.nan
         self._last_raw: float = math.nan
         #: end of the last completed PDP interval
         self._pdp_end: float = math.floor(start_time / self.step) * self.step
@@ -98,7 +138,6 @@ class RoundRobinDatabase:
                 rate = math.nan
         self._fill(self.last_update, timestamp, rate)
         self.last_update = timestamp
-        self._last_sample_value = rate
 
     def _to_rate(self, timestamp: float, value: float) -> float:
         if self.ds.kind == "GAUGE":
@@ -124,7 +163,7 @@ class RoundRobinDatabase:
                 self._acc_seconds += seconds
                 self._acc_value += rate * seconds
             t = chunk_end
-            if t >= pdp_boundary - 1e-9:
+            if t >= pdp_boundary - BOUNDARY_EPS:
                 self._commit_pdp(pdp_boundary)
 
     def _commit_pdp(self, pdp_end: float) -> None:
@@ -153,6 +192,15 @@ class RoundRobinDatabase:
         is served by the finest archive that still retains it, so a span
         reaching into old history returns fine recent points and coarse old
         ones — the behaviour the paper's service hides behind its API.
+
+        The merge is *span-aware*: a CDP ending at ``ts`` with resolution
+        ``res`` represents the interval ``(ts - res, ts]``, and a coarser
+        CDP is suppressed only when finer points fully cover that interval.
+        A coarse CDP whose span is partially covered (the fine archive aged
+        out of part of it) is returned for the uncovered part, timestamped
+        at the uncovered sub-interval's end — deduplicating by exact
+        end-timestamp instead would silently drop the only source for the
+        early part of the coarse span.
         """
         if end < begin:
             raise RrdError(f"fetch with end < begin ({end} < {begin})")
@@ -162,19 +210,28 @@ class RoundRobinDatabase:
         )
         if not candidates:
             raise RrdError(f"no archive with consolidation {cf.value}")
-        points: dict[float, tuple[float, float]] = {}
+        tol = self.step * BOUNDARY_EPS
+        covered: list[tuple[float, float]] = []  # merged, sorted (start, end]
+        points: list[tuple[float, float]] = []
         for archive in candidates:
+            res = archive.resolution
+            spans: list[tuple[float, float]] = []
             for ts, value in archive.window(begin, end):
-                # keep the finest-resolution value for any timestamp bucket
-                bucket = ts
-                if bucket not in points:
-                    points[bucket] = (archive.resolution, value)
-        out = []
-        for ts in sorted(points):
-            _, value = points[ts]
-            if include_unknown or not math.isnan(value):
-                out.append((ts, value))
-        return out
+                span = (max(ts - res, begin), ts)
+                if span[1] - span[0] <= tol:
+                    continue
+                uncovered = _subtract_intervals(span, covered, tol)
+                for _, sub_end in uncovered:
+                    points.append((sub_end, value))
+                if uncovered:
+                    spans.append(span)
+            if spans:
+                covered = _merge_intervals(covered + spans, tol)
+        points.sort()
+        return [
+            (ts, value) for ts, value in points
+            if include_unknown or not math.isnan(value)
+        ]
 
     # -- introspection ------------------------------------------------------------
 

@@ -13,6 +13,13 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+#: Absolute tolerance for timestamp comparisons on PDP/CDP grid boundaries.
+#: Accumulated float drift from repeated step additions must not make a
+#: sample that lands exactly on a boundary miss (or double-count) its
+#: interval; shared by :meth:`RoundRobinArchive.window` and the database's
+#: PDP fill loop (:meth:`repro.rrd.database.RoundRobinDatabase._fill`).
+BOUNDARY_EPS = 1e-9
+
 
 class ConsolidationFunction(enum.Enum):
     AVERAGE = "AVERAGE"
@@ -109,7 +116,7 @@ class RoundRobinArchive:
         # iterate CDP end-times on the archive's grid
         first = math.ceil(max(lo, 0.0) / res) * res
         t = first
-        while t <= min(end, newest) + 1e-9:
+        while t <= min(end, newest) + BOUNDARY_EPS:
             if t > lo:
                 slot = int(round(t / res)) % self.spec.rows
                 out.append((t, self.values[slot]))

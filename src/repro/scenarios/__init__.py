@@ -4,7 +4,8 @@
   round-trip),
 - :mod:`repro.scenarios.topologies` — the topology generator registry,
 - :mod:`repro.scenarios.workloads` — the workload generator registry,
-- :mod:`repro.scenarios.dynamics` — timed link degradation/failure/recovery,
+- :mod:`repro.scenarios.dynamics` — timed link degradation/failure/recovery
+  plus measured-trace replays (:class:`MeasuredTrace`),
 - :mod:`repro.scenarios.registry` — named presets (`repro scenarios list`),
 - :mod:`repro.scenarios.runner` — :func:`run_scenario`.
 
@@ -15,6 +16,7 @@ from repro.scenarios.registry import DEFAULT_REGISTRY, ScenarioRegistry
 from repro.scenarios.runner import ScenarioResult, run_scenario
 from repro.scenarios.spec import (
     LinkEvent,
+    MeasuredTrace,
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
@@ -33,6 +35,7 @@ from repro.scenarios.workloads import (
 __all__ = [
     "DEFAULT_REGISTRY",
     "LinkEvent",
+    "MeasuredTrace",
     "ScenarioRegistry",
     "ScenarioResult",
     "ScenarioSpec",

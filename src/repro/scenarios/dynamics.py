@@ -18,9 +18,9 @@ recovery event still terminates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.scenarios.spec import LinkEvent
+from repro.scenarios.spec import LinkEvent, MeasuredTrace
 from repro.simgrid.engine import Simulation
 
 #: Bandwidth floor (bytes/s) modelling a failed link.
@@ -35,10 +35,15 @@ class AppliedEvent:
     link: str
     action: str
     bandwidth: float  # the bandwidth set, bytes/s
+    #: set only by measured latency replays: the latency applied, seconds
+    latency: Optional[float] = None
 
     def to_json(self) -> dict:
-        return {"time": self.time, "link": self.link,
-                "action": self.action, "bandwidth": self.bandwidth}
+        doc = {"time": self.time, "link": self.link,
+               "action": self.action, "bandwidth": self.bandwidth}
+        if self.latency is not None:
+            doc["latency"] = self.latency
+        return doc
 
 
 @dataclass
@@ -97,4 +102,55 @@ def schedule_dynamics(
 
     for event in sorted(events, key=lambda e: e.time):
         sim.schedule(event.time, lambda event=event: fire(event))
+    return log
+
+
+def schedule_measured(
+    sim: Simulation,
+    traces: Sequence[MeasuredTrace],
+    log: Optional[DynamicsLog] = None,
+) -> DynamicsLog:
+    """Schedule measured-trace replays on ``sim`` (call at clock 0).
+
+    Each trace sample becomes a timer setting the matched links' bandwidth
+    (or latency) to the recorded absolute value, through the same
+    epoch-bumping setters and :meth:`Simulation.touch_sharing` path as the
+    synthetic dynamics — in-flight transfers recalibrate identically
+    whether the mutation came from a what-if schedule or a recorded RRD
+    series.  Appends to ``log`` when given, so one
+    :class:`DynamicsLog` can carry both sources of a scenario.
+    """
+    if sim.clock != 0.0:
+        raise ValueError(
+            f"measured replays use absolute times; schedule at clock 0, "
+            f"not {sim.clock}"
+        )
+    for trace in traces:
+        if not sim.platform.links_matching(trace.link):
+            raise ValueError(
+                f"measured trace matches no link: pattern {trace.link!r}"
+            )
+    log = log if log is not None else DynamicsLog()
+
+    def fire(trace: MeasuredTrace, time: float, value: float) -> None:
+        for link in sim.platform.links_matching(trace.link):
+            if trace.metric == "bandwidth":
+                link.bandwidth = value
+                latency = None
+            else:
+                link.latency = value
+                latency = value
+            log.applied.append(AppliedEvent(
+                time=time, link=link.name, action="measured",
+                bandwidth=link.bandwidth, latency=latency,
+            ))
+        sim.touch_sharing()
+
+    for trace in traces:
+        for time, value in trace.samples:
+            sim.schedule(
+                time,
+                lambda trace=trace, time=time, value=value:
+                    fire(trace, time, value),
+            )
     return log

@@ -13,6 +13,7 @@ from typing import Iterator
 
 from repro.scenarios.spec import (
     LinkEvent,
+    MeasuredTrace,
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
@@ -139,6 +140,20 @@ DEFAULT_REGISTRY.register(ScenarioSpec(
         LinkEvent(time=0.75, link="dfly-global-0-1", action="recover"),
     ),
     seed=7,
+))
+
+DEFAULT_REGISTRY.register(ScenarioSpec(
+    name="star-measured-replay",
+    description="8-host star replaying a recorded bandwidth trace on one "
+                "access link (measured dynamics source): dip to half, then "
+                "30%, then recovery",
+    topology=TopologySpec("star", {"n_hosts": 8}),
+    workload=WorkloadSpec("all_to_all", size=4e7),
+    measured=(
+        MeasuredTrace(link="star-1-link", metric="bandwidth", samples=(
+            (0.15, 6.25e7), (0.45, 3.75e7), (0.9, 1.25e8),
+        )),
+    ),
 ))
 
 DEFAULT_REGISTRY.register(ScenarioSpec(

@@ -14,7 +14,7 @@ from typing import Optional
 
 from repro._util.rng import spawn_rngs
 from repro._util.stats import median
-from repro.scenarios.dynamics import schedule_dynamics
+from repro.scenarios.dynamics import schedule_dynamics, schedule_measured
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.topologies import build_topology
 from repro.scenarios.workloads import generate_workload
@@ -118,6 +118,7 @@ def run_scenario(
         transfers = generate_workload(spec.workload, hosts, streams[rep])
         sim = Simulation(platform, net_model, full_resolve=full_resolve)
         log = schedule_dynamics(sim, spec.dynamics)
+        schedule_measured(sim, spec.measured, log=log)
         comms = [sim.add_comm(src, dst, size) for src, dst, size in transfers]
         makespan = sim.run()
         result.makespans.append(makespan)

@@ -140,14 +140,101 @@ class LinkEvent:
                          action=doc["action"], factor=doc.get("factor", 1.0))
 
 
+#: Metrics a :class:`MeasuredTrace` may carry.
+TRACE_METRICS = ("bandwidth", "latency")
+
+
+@dataclass(frozen=True)
+class MeasuredTrace:
+    """A recorded measurement series replayed as timed link mutations.
+
+    This is the *measured* dynamics source: where :class:`LinkEvent`
+    describes synthetic what-if dynamics (degrade/fail/recover), a trace
+    carries absolute values recorded by the metrology pipeline — typically
+    an RRD series rescaled to platform units (see
+    :meth:`repro.metrology.demo.StarMetrologyDemo.measured_traces`).  Each
+    ``(time, value)`` sample sets the matched links' ``metric`` to
+    ``value`` at ``time`` (bandwidth in bytes/s, latency in seconds).
+
+    ``link`` is an :mod:`fnmatch` pattern like :attr:`LinkEvent.link`.
+    Sample times must be non-negative and strictly increasing; values must
+    be positive (the platform model rejects zero capacities).
+    """
+
+    link: str
+    samples: tuple[tuple[float, float], ...]
+    metric: str = "bandwidth"
+
+    def __post_init__(self) -> None:
+        if not self.link:
+            raise ValueError("trace link pattern must be non-empty")
+        if self.metric not in TRACE_METRICS:
+            raise ValueError(
+                f"unknown trace metric {self.metric!r} (have {TRACE_METRICS})"
+            )
+        samples = tuple(
+            (float(t), float(v)) for t, v in self.samples
+        )
+        if not samples:
+            raise ValueError("trace needs at least one sample")
+        import math
+
+        previous = -1.0
+        for t, v in samples:
+            if not math.isfinite(t) or t < 0:
+                raise ValueError(f"trace sample time must be >= 0, got {t}")
+            if t <= previous:
+                raise ValueError(
+                    f"trace sample times must strictly increase ({t} after "
+                    f"{previous})"
+                )
+            if (not math.isfinite(v) or v < 0
+                    or (self.metric == "bandwidth" and v == 0)):
+                raise ValueError(f"trace value must be positive, got {v}")
+            previous = t
+        object.__setattr__(self, "samples", samples)
+
+    def rescaled(self, time_scale: float) -> "MeasuredTrace":
+        """A copy with sample times multiplied by ``time_scale`` — replays
+        compress recorded metrology seconds onto the transfer timescale."""
+        if time_scale <= 0:
+            raise ValueError(f"time scale must be positive, got {time_scale}")
+        return MeasuredTrace(
+            link=self.link,
+            metric=self.metric,
+            samples=tuple((t * time_scale, v) for t, v in self.samples),
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "link": self.link,
+            "metric": self.metric,
+            "samples": [[t, v] for t, v in self.samples],
+        }
+
+    @staticmethod
+    def from_json(doc: dict) -> "MeasuredTrace":
+        return MeasuredTrace(
+            link=doc["link"],
+            metric=doc.get("metric", "bandwidth"),
+            samples=tuple((s[0], s[1]) for s in doc["samples"]),
+        )
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A complete declarative scenario: topology × workload × dynamics."""
+    """A complete declarative scenario: topology × workload × dynamics.
+
+    Dynamics come from two sources applied together: synthetic
+    :class:`LinkEvent` schedules and recorded :class:`MeasuredTrace`
+    replays (``measured``).
+    """
 
     name: str
     topology: TopologySpec
     workload: WorkloadSpec
     dynamics: tuple[LinkEvent, ...] = ()
+    measured: tuple[MeasuredTrace, ...] = ()
     seed: int = 0
     model: str = "LV08"
     description: str = ""
@@ -156,6 +243,7 @@ class ScenarioSpec:
         if not self.name:
             raise ValueError("scenario name must be non-empty")
         object.__setattr__(self, "dynamics", tuple(self.dynamics))
+        object.__setattr__(self, "measured", tuple(self.measured))
         object.__setattr__(self, "seed", int(self.seed))
 
     def to_json(self) -> dict:
@@ -165,6 +253,7 @@ class ScenarioSpec:
             "topology": self.topology.to_json(),
             "workload": self.workload.to_json(),
             "dynamics": [event.to_json() for event in self.dynamics],
+            "measured": [trace.to_json() for trace in self.measured],
             "seed": self.seed,
             "model": self.model,
         }
@@ -178,6 +267,9 @@ class ScenarioSpec:
             workload=WorkloadSpec.from_json(doc["workload"]),
             dynamics=tuple(
                 LinkEvent.from_json(e) for e in doc.get("dynamics", ())
+            ),
+            measured=tuple(
+                MeasuredTrace.from_json(t) for t in doc.get("measured", ())
             ),
             seed=doc.get("seed", 0),
             model=doc.get("model", "LV08"),

@@ -1,0 +1,190 @@
+"""MetrologyFeed → LinkCalibrator → RecalibrationLoop unit tests."""
+
+import pytest
+
+from repro.metrology.calibrator import LinkCalibrator
+from repro.metrology.collectors import MetrologyError
+from repro.metrology.demo import (
+    CapacityEvent,
+    CapacitySchedule,
+    StarMetrologyDemo,
+    build_star_testbed,
+)
+from repro.metrology.feed import MetrologyFeed, MonitoredLink
+from repro.metrology.loop import RecalibrationLoop
+from repro.simgrid.builder import build_star_cluster
+from repro.simgrid.platform import link_epoch
+
+
+def small_feed(n_hosts=2, period=10.0, seed=1):
+    testbed = build_star_testbed(n_hosts)
+    monitors = [
+        MonitoredLink(f"star-{i}-link", f"star-{i}", "star-collector")
+        for i in range(1, n_hosts + 1)
+    ]
+    return MetrologyFeed(testbed, monitors, period=period, seed=seed)
+
+
+class TestFeed:
+    def test_poll_records_both_metrics_per_link(self):
+        feed = small_feed()
+        feed.poll_once()
+        feed.poll_once()
+        for link in ("star-1-link", "star-2-link"):
+            bw = feed.rrd(link, "bandwidth").fetch(0.0, feed.clock)
+            lat = feed.rrd(link, "latency").fetch(0.0, feed.clock)
+            assert len(bw) == 2 and len(lat) == 2
+            assert all(v > 0 for _, v in bw)
+            assert all(v > 0 for _, v in lat)
+
+    def test_rrds_use_the_default_rra_ladder(self):
+        feed = small_feed()
+        info = feed.rrd("star-1-link", "bandwidth").describe()
+        assert len(info["rras"]) == 4  # DEFAULT_RRAS
+        assert info["ds"]["kind"] == "GAUGE"
+        assert info["step"] == 10.0
+
+    def test_poll_for_counts_cycles(self):
+        feed = small_feed(period=10.0)
+        assert feed.poll_for(35.0) == 3
+        assert feed.clock == pytest.approx(30.0)
+
+    def test_duplicate_monitors_rejected(self):
+        testbed = build_star_testbed(2)
+        monitor = MonitoredLink("star-1-link", "star-1", "star-collector")
+        with pytest.raises(MetrologyError):
+            MetrologyFeed(testbed, [monitor, monitor])
+
+    def test_reused_rrd_with_mismatched_step_rejected(self):
+        from repro.metrology.collectors import MetricRegistry
+
+        testbed = build_star_testbed(1)
+        registry = MetricRegistry()
+        registry.create(MetrologyFeed.metric_key("star-1-link", "bandwidth"),
+                        kind="GAUGE", step=5.0)
+        with pytest.raises(MetrologyError, match="step"):
+            MetrologyFeed(
+                testbed,
+                [MonitoredLink("star-1-link", "star-1", "star-collector")],
+                registry=registry, period=15.0,
+            )
+
+    def test_probe_goodput_tracks_capacity(self):
+        feed = small_feed(seed=5)
+        for _ in range(4):
+            feed.poll_once()
+        series = [v for _, v in
+                  feed.rrd("star-1-link", "bandwidth").fetch(0.0, feed.clock)]
+        # goodput sits below raw capacity (startup + ethernet efficiency)
+        # but within a plausible band of it
+        for v in series:
+            assert 0.5 * 1.25e8 < v < 1.25e8
+
+
+class TestCalibrator:
+    def test_cold_then_warm(self):
+        feed = small_feed()
+        calibrator = LinkCalibrator.for_feed(feed)
+        cold = calibrator.estimates(feed.clock)
+        assert all(not e.ready for e in cold)
+        assert all(e.bandwidth is None and e.rtt is None for e in cold)
+        feed.poll_once()
+        warm = calibrator.estimates(feed.clock)
+        assert all(e.ready for e in warm)
+        assert all(e.bandwidth > 0 and e.rtt > 0 for e in warm)
+
+    def test_samples_consumed_exactly_once(self):
+        feed = small_feed()
+        calibrator = LinkCalibrator.for_feed(feed)
+        feed.poll_once()
+        calibrator.estimates(feed.clock)
+        assert calibrator.observations("star-1-link") == 1
+        calibrator.estimates(feed.clock)  # no new samples
+        assert calibrator.observations("star-1-link") == 1
+        feed.poll_once()
+        calibrator.estimates(feed.clock)
+        assert calibrator.observations("star-1-link") == 2
+
+    def test_unknown_link_rejected(self):
+        feed = small_feed()
+        calibrator = LinkCalibrator.for_feed(feed)
+        with pytest.raises(MetrologyError):
+            calibrator.estimate("nope-link", feed.clock)
+
+
+class TestRecalibrationLoop:
+    def test_unknown_platform_link_fails_fast(self):
+        feed = small_feed(n_hosts=2)
+        platform = build_star_cluster("other", 2)
+        with pytest.raises(Exception):
+            RecalibrationLoop(platform, feed)
+
+    def test_first_estimates_anchor_without_mutation(self):
+        feed = small_feed()
+        platform = build_star_cluster("star", 2)
+        loop = RecalibrationLoop(platform, feed, min_observations=1)
+        before = link_epoch()
+        loop.step()
+        assert link_epoch() == before  # anchoring only
+        assert loop.nominal("star-1-link") is not None
+        assert platform.link("star-1-link").bandwidth == pytest.approx(1.25e8)
+
+    def test_min_observations_delays_anchoring(self):
+        feed = small_feed()
+        platform = build_star_cluster("star", 2)
+        loop = RecalibrationLoop(platform, feed, min_observations=3)
+        loop.step()
+        loop.step()
+        assert loop.nominal("star-1-link") is None
+        loop.step()
+        assert loop.nominal("star-1-link") is not None
+
+    def test_degradation_recalibrates_and_bumps_epoch(self):
+        demo = StarMetrologyDemo(n_hosts=2, period=15.0, seed=3,
+                                 degrade_factor=0.25)
+        demo.warmup(4)
+        before = link_epoch()
+        demo.run(8)
+        assert link_epoch() > before
+        recalibrated = demo.platform.link(demo.degraded_link).bandwidth
+        static = demo.static_platform.link(demo.degraded_link).bandwidth
+        assert static == pytest.approx(1.25e8)
+        # tracks the true degraded capacity within probe tolerance
+        assert recalibrated == pytest.approx(0.25 * 1.25e8, rel=0.25)
+
+    def test_hysteresis_skips_noise(self):
+        demo = StarMetrologyDemo(n_hosts=2, period=15.0, seed=3,
+                                 min_rel_change=0.2)
+        demo.warmup(4)
+        healthy = [m.link for m in demo.feed.monitors
+                   if m.link != demo.degraded_link]
+        demo.run(6)
+        for link in healthy:
+            assert demo.platform.link(link).bandwidth == pytest.approx(1.25e8)
+        assert demo.loop.stats.updates_skipped > 0
+
+
+class TestDemoValidation:
+    def test_single_host_demo_rejected(self):
+        with pytest.raises(MetrologyError, match=">= 2 hosts"):
+            StarMetrologyDemo(n_hosts=1)
+
+
+class TestCapacitySchedule:
+    def test_events_fire_in_order_and_track_factor(self):
+        testbed = build_star_testbed(2)
+        schedule = CapacitySchedule(testbed, [
+            CapacityEvent(20.0, "star-1-link", 0.5),
+            CapacityEvent(10.0, "star-1-link", 0.8),
+        ])
+        assert schedule.advance(5.0) == []
+        fired = schedule.advance(15.0)
+        assert [e.factor for e in fired] == [0.8]
+        assert schedule.true_factor("star-1-link") == pytest.approx(0.8)
+        schedule.advance(25.0)
+        assert schedule.true_factor("star-1-link") == pytest.approx(0.5)
+
+    def test_unknown_link_rejected(self):
+        testbed = build_star_testbed(2)
+        with pytest.raises(MetrologyError):
+            CapacitySchedule(testbed, [CapacityEvent(1.0, "nope", 0.5)])

@@ -1,0 +1,26 @@
+"""Tier-1 hook for the metrology smoke check.
+
+The live pipeline (probe → RRD → forecast → epoch bump → re-predict) must
+recalibrate a degrading link, keep serving answers consistent across the
+epoch bump, beat the static baseline and replay its recorded trace in both
+kernel modes — see ``tools/check_metrology_smoke.py``.  Like the scenario
+and serving smokes, this is sub-second and runs in-process on every tier-1
+pass.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_metrology_smoke  # noqa: E402
+
+
+def test_standalone_metrology_smoke_passes(capsys):
+    assert check_metrology_smoke.main() == 0
+    out = capsys.readouterr().out
+    assert "metrology smoke OK" in out
+    assert "FAIL" not in out

@@ -1,0 +1,91 @@
+"""Cold-start contract: ready/forecast(default=...) and degenerate probes."""
+
+import math
+
+import pytest
+
+from repro.nws.forecaster import AdaptiveForecaster, ColdSeriesError
+from repro.nws.sensors import BandwidthSensor, LatencySensor
+from repro.testbed.fluid import TestbedNetwork
+
+
+def tiny_network():
+    net = TestbedNetwork("cold")
+    net.add_node("a")
+    net.add_node("b")
+    link = net.add_link("ab", capacity=1.25e8, latency=1e-4)
+    from repro.testbed.fluid import Hop
+
+    net.add_route("a", "b", [Hop(link, 0)])
+    return net
+
+
+class TestForecasterColdStart:
+    def test_not_ready_without_observations(self):
+        forecaster = AdaptiveForecaster()
+        assert not forecaster.ready
+
+    def test_cold_forecast_raises_cold_series_error(self):
+        forecaster = AdaptiveForecaster()
+        with pytest.raises(ColdSeriesError):
+            forecaster.forecast()
+        # ColdSeriesError subclasses ValueError: pre-contract callers that
+        # caught ValueError keep working
+        with pytest.raises(ValueError):
+            forecaster.forecast()
+
+    def test_cold_forecast_returns_default(self):
+        forecaster = AdaptiveForecaster()
+        assert forecaster.forecast(default=None) is None
+        assert forecaster.forecast(default=42.0) == 42.0
+
+    def test_ready_after_one_observation(self):
+        forecaster = AdaptiveForecaster()
+        forecaster.update(10.0)
+        assert forecaster.ready
+        assert forecaster.forecast() == pytest.approx(10.0)
+        # the default is ignored once the series is warm
+        assert forecaster.forecast(default=None) == pytest.approx(10.0)
+
+
+class TestSensorColdStart:
+    def test_bandwidth_sensor_cold_contract(self):
+        sensor = BandwidthSensor(tiny_network(), "a", "b")
+        assert not sensor.ready
+        with pytest.raises(ColdSeriesError):
+            sensor.forecast_bandwidth()
+        assert sensor.forecast_bandwidth(default=None) is None
+        sensor.probe_once()
+        assert sensor.ready
+        assert sensor.forecast_bandwidth() > 0
+
+    def test_latency_sensor_cold_contract(self):
+        sensor = LatencySensor(tiny_network(), "a", "b")
+        assert not sensor.ready
+        with pytest.raises(ColdSeriesError):
+            sensor.forecast_rtt()
+        assert sensor.forecast_rtt(default=1.0) == 1.0
+        sensor.probe_once()
+        assert sensor.ready
+
+    def test_degenerate_probe_yields_nan_and_stays_cold(self, monkeypatch):
+        sensor = BandwidthSensor(tiny_network(), "a", "b")
+
+        class InstantFlow:
+            completion_time_raw = 0.0
+
+        class InstantSim:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def submit(self, *args, **kwargs):
+                return InstantFlow()
+
+            def run(self):
+                return []
+
+        monkeypatch.setattr("repro.nws.sensors.FluidSimulator", InstantSim)
+        assert math.isnan(sensor.probe_once())
+        # the poisoned sample must not have reached the forecaster
+        assert not sensor.ready
+        assert sensor.forecaster.observations == 0

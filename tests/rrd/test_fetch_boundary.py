@@ -1,0 +1,164 @@
+"""Regression: fetch must not drop history at the fine/coarse boundary.
+
+The historical ``fetch`` deduplicated archives by exact end-timestamp: a
+coarse CDP whose end collided with a fine point was suppressed even when it
+was the *only* source for the earlier part of its span.  With step=10 and
+RRAs (AVG,1,4)+(AVG,6,100), after 12 updates the fine archive retains CDPs
+ending at 90..120 and the coarse archive CDPs ending at 60 and 120; the
+coarse CDP at 120 spans (60, 120] but used to vanish behind the fine point
+at 120, so fetch(0, 120) returned ts 60, 90, 100, 110, 120 and the 60–90
+span had no data at all.  The span-aware merge keeps the coarse CDP for its
+uncovered part, surfacing it at the uncovered sub-interval's end (ts 80).
+"""
+
+import math
+
+import pytest
+
+from repro.rrd.database import (
+    DataSourceSpec,
+    RoundRobinDatabase,
+    _merge_intervals,
+    _subtract_intervals,
+)
+from repro.rrd.rra import ConsolidationFunction, RraSpec
+
+
+def boundary_rrd():
+    return RoundRobinDatabase(
+        DataSourceSpec(name="m", heartbeat=25.0),
+        step=10.0,
+        rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 4),
+              RraSpec(ConsolidationFunction.AVERAGE, 6, 100)),
+    )
+
+
+class TestBoundaryDropRegression:
+    def test_issue_repro_keeps_partially_covered_coarse_cdp(self):
+        rrd = boundary_rrd()
+        for i in range(1, 13):
+            rrd.update(i * 10.0, float(i))
+        series = rrd.fetch(0.0, 120.0)
+        timestamps = [ts for ts, _ in series]
+        # pre-fix output was [60, 90, 100, 110, 120]: the coarse CDP ending
+        # at 120 (sole source for the 60–80 span) was suppressed
+        assert timestamps == [60.0, 80.0, 90.0, 100.0, 110.0, 120.0]
+        by_ts = dict(series)
+        assert by_ts[60.0] == pytest.approx(3.5)   # avg of PDPs 1..6
+        assert by_ts[80.0] == pytest.approx(9.5)   # coarse avg of PDPs 7..12
+        assert by_ts[90.0] == pytest.approx(9.0)   # fine archive takes over
+        assert by_ts[120.0] == pytest.approx(12.0)
+
+    def test_no_span_gap_across_the_archive_boundary(self):
+        rrd = boundary_rrd()
+        for i in range(1, 13):
+            rrd.update(i * 10.0, float(i))
+        series = rrd.fetch(0.0, 120.0)
+        # every returned point (ts, v) at resolution r covers (ts - r, ts];
+        # stitched together the spans must tile (0, 120] without a hole
+        prev_end = 0.0
+        for ts, _ in series:
+            assert ts - prev_end <= 60.0 + 1e-9  # never wider than one CDP
+            prev_end = max(prev_end, ts)
+        assert prev_end == pytest.approx(120.0)
+
+    def test_fully_covered_coarse_cdp_still_suppressed(self):
+        # fine archive retains the whole window: coarse CDPs add nothing
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="m", heartbeat=25.0),
+            step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 100),
+                  RraSpec(ConsolidationFunction.AVERAGE, 6, 100)),
+        )
+        for i in range(1, 13):
+            rrd.update(i * 10.0, float(i))
+        series = rrd.fetch(0.0, 120.0)
+        assert [ts for ts, _ in series] == [10.0 * i for i in range(1, 13)]
+        assert [v for _, v in series] == [float(i) for i in range(1, 13)]
+
+    def test_three_archive_stitch_has_no_holes(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="m", heartbeat=25.0),
+            step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 6),
+                  RraSpec(ConsolidationFunction.AVERAGE, 3, 10),
+                  RraSpec(ConsolidationFunction.AVERAGE, 12, 100)),
+        )
+        for i in range(1, 61):
+            rrd.update(i * 10.0, float(i))
+        series = rrd.fetch(0.0, 600.0)
+        resolutions = (10.0, 30.0, 120.0)
+        prev_end = 0.0
+        for ts, _ in series:
+            assert ts - prev_end <= max(resolutions) + 1e-9
+            prev_end = max(prev_end, ts)
+        assert prev_end == pytest.approx(600.0)
+        # timestamps strictly increase (the merge never emits duplicates)
+        timestamps = [ts for ts, _ in series]
+        assert timestamps == sorted(set(timestamps))
+
+
+class TestIntervalHelpers:
+    def test_merge_joins_touching_intervals(self):
+        assert _merge_intervals([(0.0, 10.0), (10.0, 20.0), (30.0, 40.0)],
+                                1e-9) == [(0.0, 20.0), (30.0, 40.0)]
+
+    def test_subtract_middle_hole(self):
+        assert _subtract_intervals((0.0, 60.0), [(20.0, 40.0)], 1e-9) == [
+            (0.0, 20.0), (40.0, 60.0)]
+
+    def test_subtract_fully_covered(self):
+        assert _subtract_intervals((20.0, 40.0), [(0.0, 60.0)], 1e-9) == []
+
+    def test_subtract_drops_sub_tolerance_fragments(self):
+        out = _subtract_intervals((0.0, 10.0), [(5e-10, 10.0)], 1e-9)
+        assert out == []
+
+
+class TestFetchEdgeCases:
+    def test_begin_equals_end_is_empty(self):
+        rrd = boundary_rrd()
+        for i in range(1, 13):
+            rrd.update(i * 10.0, float(i))
+        assert rrd.fetch(60.0, 60.0) == []
+        assert rrd.fetch(60.0, 60.0, include_unknown=True) == []
+
+    def test_all_unknown_window(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="m", heartbeat=15.0),
+            step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 50),),
+        )
+        rrd.update(10.0, 1.0)
+        rrd.update(100.0, 1.0)  # 90 s gap > heartbeat: PDPs 20..100 unknown
+        assert rrd.fetch(20.0, 90.0) == []
+        unknown = rrd.fetch(20.0, 90.0, include_unknown=True)
+        assert len(unknown) == 7
+        assert all(math.isnan(v) for _, v in unknown)
+
+    def test_counter_wrap_spans_unknown_across_boundary(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="bytes", kind="COUNTER", heartbeat=25.0),
+            step=10.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 4, xff=0.0),
+                  RraSpec(ConsolidationFunction.AVERAGE, 6, 100, xff=0.0)),
+        )
+        counter = 0.0
+        for i in range(1, 7):
+            counter += 1000.0
+            rrd.update(i * 10.0, counter)
+        rrd.update(70.0, 100.0)  # wrap: the (60, 70] PDP is unknown
+        counter = 100.0
+        for i in range(8, 13):
+            counter += 1000.0
+            rrd.update(i * 10.0, counter)
+        series = rrd.fetch(0.0, 120.0, include_unknown=True)
+        by_ts = dict(series)
+        # the wrap poisons the coarse CDP covering (60, 120] (xff=0), which
+        # the span-aware merge surfaces for the fine-aged part at ts 80;
+        # the first counter sample likewise poisons the CDP ending at 60
+        assert math.isnan(by_ts[80.0])
+        assert math.isnan(by_ts[60.0])
+        known = rrd.fetch(0.0, 120.0)
+        assert [ts for ts, _ in known] == [90.0, 100.0, 110.0, 120.0]
+        assert all(v == pytest.approx(100.0) for _, v in known)

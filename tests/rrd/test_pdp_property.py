@@ -1,0 +1,112 @@
+"""Property tests: PDP accumulation vs a brute-force reference.
+
+``RoundRobinDatabase._fill`` spreads each sample over the PDP grid with
+running float accumulators and a boundary tolerance; drift there would
+silently corrupt every archive.  The reference below recomputes each PDP
+from the raw ``(timestamp, value)`` stream by exact interval overlap, and
+the property drives both with seeded irregular timestamp streams (sub-step
+bursts, multi-step jumps, heartbeat gaps, long runs).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rrd.database import DataSourceSpec, RoundRobinDatabase
+from repro.rrd.rra import ConsolidationFunction, RraSpec
+
+STEP = 10.0
+HEARTBEAT = 35.0
+
+
+def reference_pdps(samples, step, heartbeat, n_pdps):
+    """Brute-force PDPs for a GAUGE stream starting at t=0.
+
+    Each sample ``(t_i, v_i)`` covers ``(t_{i-1}, t_i]`` with ``v_i`` (NaN
+    when the gap exceeds the heartbeat); PDP ``k`` averages the covering
+    values over ``(k*step, (k+1)*step]`` weighted by overlap seconds, and is
+    unknown when less than half the interval is known.
+    """
+    pdps = []
+    for k in range(n_pdps):
+        lo, hi = k * step, (k + 1) * step
+        known_seconds = 0.0
+        weighted = 0.0
+        prev_t = 0.0
+        for t, v in samples:
+            seg_lo, seg_hi = max(lo, prev_t), min(hi, t)
+            if seg_hi > seg_lo and not math.isnan(v) and t - prev_t <= heartbeat:
+                known_seconds += seg_hi - seg_lo
+                weighted += v * (seg_hi - seg_lo)
+            prev_t = t
+        if known_seconds >= step * 0.5:
+            pdps.append(weighted / known_seconds)
+        else:
+            pdps.append(math.nan)
+    return pdps
+
+
+def fine_rrd():
+    return RoundRobinDatabase(
+        DataSourceSpec(name="m", heartbeat=HEARTBEAT),
+        step=STEP,
+        rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 4096, xff=0.0),),
+    )
+
+
+increments = st.lists(
+    st.one_of(
+        st.floats(0.3, 9.7),     # sub-step bursts
+        st.floats(10.0, 34.0),   # one-to-three step jumps within heartbeat
+        st.floats(36.0, 80.0),   # heartbeat gaps
+    ),
+    min_size=5,
+    max_size=120,
+)
+values = st.floats(0.1, 1e6)
+
+
+@given(increments=increments, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_pdp_accumulation_matches_brute_force(increments, data):
+    rrd = fine_rrd()
+    samples = []
+    t = 0.0
+    for dt in increments:
+        t += dt
+        v = data.draw(values)
+        samples.append((t, v))
+        rrd.update(t, v)
+    n_pdps = int(math.floor(t / STEP))
+    expected = reference_pdps(samples, STEP, HEARTBEAT, n_pdps)
+    got = dict(rrd.fetch(0.0, n_pdps * STEP, include_unknown=True))
+    assert len(got) == n_pdps
+    for k, ref in enumerate(expected):
+        ts = (k + 1) * STEP
+        actual = got[ts]
+        if math.isnan(ref):
+            assert math.isnan(actual), f"PDP ending {ts}: {actual} != NaN"
+        else:
+            assert actual == pytest.approx(ref, rel=1e-9, abs=1e-12), (
+                f"PDP ending {ts}: {actual} != {ref}"
+            )
+
+
+@given(increments=increments)
+@settings(max_examples=30, deadline=None)
+def test_long_runs_commit_every_boundary_exactly_once(increments):
+    # Scale the stream up to a long run: the boundary tolerance must not
+    # skip or double-commit PDPs as float drift accumulates.
+    rrd = fine_rrd()
+    t = 0.0
+    for _ in range(8):
+        for dt in increments:
+            t += dt
+            rrd.update(t, 1.0)
+    n_pdps = int(math.floor(t / STEP))
+    series = rrd.fetch(0.0, n_pdps * STEP, include_unknown=True)
+    timestamps = [ts for ts, _ in series]
+    assert timestamps == [(k + 1) * STEP for k in range(n_pdps)]
+    for _, v in series:
+        assert math.isnan(v) or v == pytest.approx(1.0)

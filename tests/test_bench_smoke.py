@@ -27,6 +27,7 @@ def test_bench_file_discovery():
     assert "bench_incremental_solver.py" in names
     assert "bench_fig05_sagittaire_30x30.py" in names
     assert "bench_serving_throughput.py" in names
+    assert "bench_metrology_loop.py" in names
     assert len(files) >= 20
 
 

@@ -151,3 +151,50 @@ class TestScenarios:
         code, text = run_cli("scenarios", "run", "warp-core")
         assert code == 2
         assert "unknown scenario" in text
+
+
+class TestMetrology:
+    def test_record_emits_trace_document(self):
+        code, text = run_cli("metrology", "record", "--hosts", "2",
+                             "--steps", "4", "--warmup", "2")
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["format"] == 1
+        assert doc["topology"] == {"family": "star",
+                                   "params": {"n_hosts": 2}}
+        assert len(doc["traces"]) == 2
+        for trace in doc["traces"]:
+            assert trace["metric"] == "bandwidth"
+            assert len(trace["samples"]) == 6  # warmup + steps polls
+
+    def test_record_then_replay_round_trip(self, tmp_path):
+        path = tmp_path / "traces.json"
+        code, text = run_cli("metrology", "record", "--hosts", "2",
+                             "--steps", "5", "--warmup", "2",
+                             "--output", str(path))
+        assert code == 0
+        assert "recorded 2 link traces" in text
+        code, text = run_cli("metrology", "replay", "--input", str(path),
+                             "--json")
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["name"] == "measured-replay"
+        # every recorded sample of every link replays as a mutation
+        assert doc["summary"]["events_applied"] == 2 * 7
+        assert all(e["action"] == "measured" for e in doc["events"])
+
+    def test_replay_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99, "traces": []}))
+        code, text = run_cli("metrology", "replay", "--input", str(path))
+        assert code == 2
+        assert "unsupported trace document format" in text
+
+    def test_run_beats_static_baseline(self):
+        # acceptance: the live loop's recalibrated forecasts beat the
+        # static platform on the degrading-link demo
+        code, text = run_cli("metrology", "run", "--hosts", "3",
+                             "--steps", "6", "--warmup", "2")
+        assert code == 0
+        assert "recalibration beats the static baseline" in text
+        assert "updates applied" in text

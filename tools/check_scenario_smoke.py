@@ -40,7 +40,8 @@ def smoke_preset(spec) -> tuple[float, int]:
                 f"{spec.name}: kernel modes disagree on {inc.src}->{inc.dst} "
                 f"({inc.duration} vs {ful.duration}, rel {drift:.2e})"
             )
-    if len(spec.dynamics) and not incremental.events_applied:
+    if ((len(spec.dynamics) or len(spec.measured))
+            and not incremental.events_applied):
         raise AssertionError(f"{spec.name}: dynamics schedule never fired")
     return max(incremental.makespans), len(incremental.transfers)
 
