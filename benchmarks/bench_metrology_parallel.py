@@ -1,0 +1,107 @@
+"""Serial vs. parallel probe fan-out in the metrology feed.
+
+A platform with hundreds of monitored links cannot afford serial probe
+cycles: each bandwidth probe is one fluid simulation, and the cycle's
+wall-clock is their sum.  ``MetrologyFeed(workers=N)`` fans the probes out
+over a pool of long-lived worker processes holding a resident testbed copy
+(per-chunk link-state overrides track mid-run mutations).  This bench runs
+the same probe cycles both ways on a large star testbed and asserts:
+
+- **determinism** — per-link RRD contents (both metric series) are
+  bit-identical between the serial and parallel feeds (always, including
+  smoke mode: probe-flow seeds derive from probe indices, not execution
+  order, and RRD writes stay in the parent);
+- **throughput** — ≥ 2x probe-cycle throughput on 4 workers (only on
+  machines with ≥ 4 cores and outside smoke mode, where wall-clock ratios
+  mean something).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis.tables import render_table
+from repro.metrology.demo import COLLECTOR, STAR_NAME, build_star_testbed
+from repro.metrology.feed import MetrologyFeed, MonitoredLink
+
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+#: The acceptance shape is a ≥200-link star; smoke keeps tier-1 fast.
+N_LINKS = 16 if SMOKE else 200
+WORKERS = 2 if SMOKE else 4
+CYCLES = 2 if SMOKE else 3
+MIN_SPEEDUP = 2.0
+SEED = 11
+PERIOD = 15.0
+#: Small probes keep the fluid simulations short but real.
+PROBE_BYTES = 2e6
+
+
+def build_feed(workers: int) -> MetrologyFeed:
+    testbed = build_star_testbed(N_LINKS)
+    monitors = [
+        MonitoredLink(f"{STAR_NAME}-{i}-link", f"{STAR_NAME}-{i}", COLLECTOR)
+        for i in range(1, N_LINKS + 1)
+    ]
+    return MetrologyFeed(testbed, monitors, period=PERIOD, seed=SEED,
+                         probe_bytes=PROBE_BYTES, workers=workers)
+
+
+def timed_cycles(feed: MetrologyFeed, cycles: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(cycles):
+        feed.poll_once()
+    return time.perf_counter() - t0
+
+
+def test_parallel_probe_fanout_speedup_and_bit_identity(console, benchmark):
+    serial = build_feed(0)
+    with build_feed(WORKERS) as parallel:
+        # one untimed cycle first: the parallel feed forks its pool lazily,
+        # and pool start-up is a one-time cost, not per-cycle throughput
+        serial.poll_once()
+        parallel.poll_once()
+        serial_dt = timed_cycles(serial, CYCLES)
+        parallel_dt = timed_cycles(parallel, CYCLES)
+
+        # bit-identical RRD contents, independent of worker count
+        assert serial.clock == parallel.clock
+        for monitor in serial.monitors:
+            for metric in ("bandwidth", "latency"):
+                ours = serial.rrd(monitor.link, metric)
+                theirs = parallel.rrd(monitor.link, metric)
+                assert ours.last_update == theirs.last_update
+                assert (ours.fetch(0.0, serial.clock)
+                        == theirs.fetch(0.0, parallel.clock)), (
+                    f"{monitor.link}/{metric} diverged between serial and "
+                    f"parallel probing"
+                )
+
+        speedup = serial_dt / parallel_dt
+        probes = N_LINKS * CYCLES
+        console(render_table(
+            ["metric", "serial", f"parallel ({WORKERS} workers)"],
+            [
+                ("wall time (s)", serial_dt, parallel_dt),
+                ("probe cycles/s", CYCLES / serial_dt, CYCLES / parallel_dt),
+                ("link probes/s", probes / serial_dt, probes / parallel_dt),
+                ("speedup", 1.0, speedup),
+            ],
+            title=f"probe fan-out over star({N_LINKS}): {speedup:.2f}x on "
+                  f"{WORKERS} workers ({os.cpu_count()} cores available)",
+        ))
+
+        cores = os.cpu_count() or 1
+        if SMOKE:
+            console(f"smoke mode — speedup {speedup:.2f}x reported, "
+                    f"≥{MIN_SPEEDUP}x not asserted")
+        elif cores < 4:
+            console(f"only {cores} cores — speedup {speedup:.2f}x reported, "
+                    f"≥{MIN_SPEEDUP}x needs ≥4 cores to be meaningful")
+        else:
+            assert speedup >= MIN_SPEEDUP, (
+                f"parallel probe cycles only {speedup:.2f}x faster than "
+                f"serial on {WORKERS} workers (required ≥{MIN_SPEEDUP}x)"
+            )
+
+        benchmark(parallel.poll_once)

@@ -116,6 +116,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="1-based index of the degrading host link")
     met_record.add_argument("--factor", type=float, default=0.3,
                             help="degraded capacity as a fraction of nominal")
+    met_record.add_argument("--latency-factor", type=float, default=1.0,
+                            help="degraded latency as a multiple of nominal "
+                                 "(bufferbloat; 1.0 = unchanged)")
+    met_record.add_argument("--combined", action="store_true",
+                            help="record latency traces alongside bandwidth "
+                                 "(replay then calibrates both)")
     met_record.add_argument("--seed", type=int, default=3)
     met_record.add_argument("--output", default=None,
                             help="write the trace document here "
@@ -149,6 +155,21 @@ def _build_parser() -> argparse.ArgumentParser:
     met_run.add_argument("--size", type=float, default=2e8,
                          help="per-transfer bytes of the evaluation workload")
     met_run.add_argument("--seed", type=int, default=3)
+    met_run.add_argument("--workers", type=int, default=0,
+                         help="warm forecast worker processes (0 = serve "
+                              "inline); exercises pool recycling under "
+                              "live recalibration")
+    met_run.add_argument("--feed-workers", type=int, default=0,
+                         help="probe worker processes fanning each poll "
+                              "cycle out (0 = serial probing)")
+    met_run.add_argument("--drift", type=float, default=0.0,
+                         help="per-cycle multiplicative bandwidth-sensor "
+                              "drift in [0, 1) (0 = unbiased sensors)")
+    met_run.add_argument("--anchor-alpha", type=float, default=0.0,
+                         help="EWMA re-anchoring rate for reference "
+                              "estimates (0 = frozen anchors)")
+    met_run.add_argument("--anchor-band", type=float, default=0.1,
+                         help="relative health gate for re-anchoring")
 
     report = sub.add_parser(
         "report", help="run the full validation campaign, emit markdown")
@@ -323,26 +344,29 @@ def _cmd_metrology(args, out) -> int:
     return _cmd_metrology_run(args, out)
 
 
-def _record_demo(args):
+def _record_demo(args, **extra):
     from repro.metrology.demo import StarMetrologyDemo
 
     return StarMetrologyDemo.for_run(
         n_hosts=args.hosts, period=args.period, seed=args.seed,
         warmup=args.warmup, steps=args.steps,
         degrade_link=args.link, degrade_factor=args.factor,
+        **extra,
     )
 
 
 def _cmd_metrology_record(args, out) -> int:
-    demo = _record_demo(args)
+    demo = _record_demo(args, degrade_latency_factor=args.latency_factor)
     demo.warmup(args.warmup)
     demo.run(args.steps)
+    traces = (demo.combined_traces() if args.combined
+              else demo.measured_traces())
     doc = {
         "format": TRACE_DOC_FORMAT,
         "topology": {"family": "star", "params": {"n_hosts": args.hosts}},
         "period": args.period,
         "duration": demo.feed.clock,
-        "traces": [trace.to_json() for trace in demo.measured_traces()],
+        "traces": [trace.to_json() for trace in traces],
     }
     text = json.dumps(doc, indent=1) + "\n"
     if args.output:
@@ -392,8 +416,11 @@ def _cmd_metrology_replay(args, out) -> int:
               f"(time scale {args.time_scale:g})",
     ) + "\n")
     out.write(render_table(
-        ["t (s)", "link", "bandwidth (B/s)"],
-        [(e.time, e.link, e.bandwidth) for e in result.events_applied],
+        ["t (s)", "link", "metric", "value"],
+        [(e.time, e.link,
+          "latency (s)" if e.latency is not None else "bandwidth (B/s)",
+          e.latency if e.latency is not None else e.bandwidth)
+         for e in result.events_applied],
         title="measured mutations applied (first repetition)",
     ) + "\n")
     return 0
@@ -404,9 +431,16 @@ def _cmd_metrology_run(args, out) -> int:
     from repro.analysis.tables import render_table
     from repro.serving.service import ForecastServingService
 
-    demo = _record_demo(args)
+    demo = _record_demo(args, sensor_drift=args.drift,
+                        anchor_alpha=args.anchor_alpha,
+                        anchor_health_band=args.anchor_band,
+                        feed_workers=args.feed_workers)
     demo.warmup(args.warmup)
-    serving = ForecastServingService(demo.service).start()
+    serving = ForecastServingService(
+        demo.service,
+        service_factory=(demo.service_factory() if args.workers else None),
+        workers=args.workers,
+    ).start()
     rows = []
     recalibrated_errors, static_errors = [], []
     try:
@@ -426,6 +460,7 @@ def _cmd_metrology_run(args, out) -> int:
             ))
     finally:
         serving.stop()
+        demo.close()
     out.write(render_table(
         ["t (s)", "true factor", "epoch", "|log2 err| recal",
          "|log2 err| static"],
@@ -437,10 +472,17 @@ def _cmd_metrology_run(args, out) -> int:
     stats = demo.loop.stats.to_json()
     out.write(f"loop: {stats['polls']} polls, "
               f"{stats['updates_applied']} updates applied, "
-              f"{stats['updates_skipped']} skipped by hysteresis\n")
+              f"{stats['updates_skipped']} skipped by hysteresis, "
+              f"{stats['reanchors']} reference re-anchors\n")
     cache = serving.cache.info()
     out.write(f"serving cache: {cache['hits']} hits, {cache['misses']} "
               f"misses (epoch bumps invalidate implicitly)\n")
+    if serving.pool is not None:
+        pool = serving.pool.stats()
+        out.write(f"warm pool: {pool['workers']} workers, "
+                  f"{pool['requests']} requests, {pool['recycles']} "
+                  f"recycles (epoch bumps re-fork the recalibrated "
+                  f"platform)\n")
     if recalibrated_errors:
         recal, static = median(recalibrated_errors), median(static_errors)
         out.write(f"degraded phase: median |log2 err| "

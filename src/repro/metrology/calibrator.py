@@ -19,6 +19,7 @@ contract, no exceptions on the polling path.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -70,13 +71,27 @@ class LinkCalibrator:
         return cls(feed.registry, [m.link for m in feed.monitors])
 
     def _refresh(self, link: str, metric: str, now: float) -> None:
+        """Consume the RRD window since the last refresh, span-aware.
+
+        The §IV-C1 fetch serves each time segment from the finest archive
+        retaining it, so after a long downtime the window mixes coarse
+        CDPs (old history the fine archive aged out of) with fine recent
+        points.  Replaying that mix one-update-per-point would weight a
+        144-step average like a single probe; instead each point is
+        replayed with the step count its span covers, in time order —
+        the coarse average stands in for the samples it consolidated.
+        """
         key = (link, metric)
         rrd = self.registry.get(MetrologyFeed.metric_key(link, metric))
-        series = rrd.fetch(self._consumed[key], now)
+        spans = rrd.fetch_spans(self._consumed[key], now)
         forecaster = self._forecasters[key]
-        for ts, value in series:
-            forecaster.update(value)
-            self._consumed[key] = max(self._consumed[key], ts)
+        for start, end, value in spans:  # sorted by (end, start)
+            if math.isnan(value):
+                self._consumed[key] = max(self._consumed[key], end)
+                continue
+            weight = max(1, int(round((end - start) / rrd.step)))
+            forecaster.update(value, weight=weight)
+            self._consumed[key] = max(self._consumed[key], end)
 
     def estimate(self, link: str, now: float) -> LinkEstimate:
         """The link's current estimate after consuming samples up to ``now``."""

@@ -49,7 +49,10 @@ class MetricRegistry:
         step: float = 15.0,
         heartbeat: Optional[float] = None,
         start_time: float = 0.0,
+        rras: Optional[tuple] = None,
     ) -> RoundRobinDatabase:
+        """Register a new RRD; ``rras`` overrides the default archive
+        ladder (e.g. a short fine archive for downtime-recovery tests)."""
         if key in self._rrds:
             raise MetrologyError(f"metric {key.path()!r} already exists")
         ds = DataSourceSpec(
@@ -57,7 +60,8 @@ class MetricRegistry:
             kind=kind,
             heartbeat=heartbeat if heartbeat is not None else step * 2.5,
         )
-        rrd = RoundRobinDatabase(ds, step=step, start_time=start_time)
+        extra = {"rras": tuple(rras)} if rras is not None else {}
+        rrd = RoundRobinDatabase(ds, step=step, start_time=start_time, **extra)
         self._rrds[key] = rrd
         return rrd
 

@@ -28,6 +28,7 @@ from repro.metrology.collectors import MetrologyError
 from repro.metrology.feed import MetrologyFeed, MonitoredLink
 from repro.metrology.loop import RecalibrationLoop
 from repro.scenarios.spec import MeasuredTrace
+from repro.serving.factories import live_platform_factory, register_live_platform
 from repro.simgrid.builder import build_star_cluster
 from repro.simgrid.platform import Platform
 from repro.testbed.fluid import Hop, TestbedNetwork
@@ -45,15 +46,22 @@ COLLECTOR = f"{STAR_NAME}-collector"
 @dataclass(frozen=True)
 class CapacityEvent:
     """One scheduled testbed mutation: at ``time``, set ``link`` to
-    ``factor`` × nominal capacity (1.0 = recover)."""
+    ``factor`` × nominal capacity (1.0 = recover) and, when
+    ``latency_factor != 1``, its latency to ``latency_factor`` × nominal
+    (a congested link buffers: bufferbloat raises RTTs as capacity drops)."""
 
     time: float
     link: str
     factor: float
+    latency_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.factor <= 0:
             raise MetrologyError(f"capacity factor must be positive: {self.factor}")
+        if self.latency_factor <= 0:
+            raise MetrologyError(
+                f"latency factor must be positive: {self.latency_factor}"
+            )
 
 
 class CapacitySchedule:
@@ -65,6 +73,8 @@ class CapacitySchedule:
         self._pending = sorted(events, key=lambda e: e.time)
         self._nominal = {name: link.capacity
                          for name, link in network.links.items()}
+        self._nominal_latency = {name: link.latency
+                                 for name, link in network.links.items()}
         for event in self._pending:
             if event.link not in network.links:
                 raise MetrologyError(f"schedule targets unknown link {event.link!r}")
@@ -77,6 +87,8 @@ class CapacitySchedule:
             event = self._pending.pop(0)
             link = self.network.links[event.link]
             link.capacity = self._nominal[event.link] * event.factor
+            link.latency = (self._nominal_latency[event.link]
+                            * event.latency_factor)
             self.applied.append(event)
             fired.append(event)
         return fired
@@ -85,16 +97,30 @@ class CapacitySchedule:
         """Current capacity / nominal for ``link``."""
         return self.network.links[link].capacity / self._nominal[link]
 
+    def true_latency_factor(self, link: str) -> float:
+        """Current latency / nominal for ``link``."""
+        return (self.network.links[link].latency
+                / self._nominal_latency[link])
+
 
 def build_star_testbed(
     n_hosts: int,
     capacity: float = 1.25e8,
     latency: float = 1e-4,
+    collector_latency: Optional[float] = None,
 ) -> TestbedNetwork:
     """The testbed twin of :func:`build_star_cluster`: same link names,
-    plus a collector behind a 16× link that is never the probe bottleneck."""
+    plus a collector behind a 16× link that is never the probe bottleneck.
+
+    ``collector_latency`` overrides the collector link's latency (default:
+    same as the host links).  Latency-calibration scenarios set it small so
+    a probe RTT is dominated by the monitored host link and relative RTT
+    scaling recovers the link's true latency factor.
+    """
     net = TestbedNetwork(f"{STAR_NAME}-testbed")
-    collector_link = net.add_link(f"{COLLECTOR}-link", capacity * 16.0, latency)
+    collector_link = net.add_link(
+        f"{COLLECTOR}-link", capacity * 16.0,
+        latency if collector_latency is None else collector_latency)
     net.add_node(COLLECTOR)
     host_links = []
     for i in range(1, n_hosts + 1):
@@ -129,8 +155,17 @@ class StarMetrologyDemo:
     """Testbed + live platform + static baseline + feed + loop, assembled.
 
     ``degrade_link`` (1-based host index) loses capacity at ``degrade_at``
-    down to ``degrade_factor``; ``warmup_cycles`` polls run before the
+    down to ``degrade_factor`` (and gains latency by
+    ``degrade_latency_factor``); ``warmup_cycles`` polls run before the
     loop anchors references (the links are healthy during warm-up).
+
+    ``sensor_drift`` injects per-cycle multiplicative bandwidth-sensor
+    drift (each :meth:`step` scales every bandwidth sensor's bias by
+    ``1 - sensor_drift``) — the slow measurement-bias failure mode the
+    loop's EWMA re-anchoring (``anchor_alpha`` / ``anchor_health_band``)
+    exists to absorb.  ``feed_workers`` fans probe cycles out over the
+    feed's process pool (bit-identical to serial; see
+    :class:`~repro.metrology.feed.MetrologyFeed`).
     """
 
     def __init__(
@@ -145,6 +180,12 @@ class StarMetrologyDemo:
         degrade_factor: float = 0.3,
         degrade_at: Optional[float] = None,
         min_rel_change: float = 0.05,
+        degrade_latency_factor: float = 1.0,
+        collector_latency: Optional[float] = None,
+        sensor_drift: float = 0.0,
+        anchor_alpha: float = 0.0,
+        anchor_health_band: float = 0.1,
+        feed_workers: int = 0,
     ) -> None:
         if n_hosts < 2:
             raise MetrologyError(
@@ -154,13 +195,19 @@ class StarMetrologyDemo:
             raise MetrologyError(
                 f"degrade_link must be in 1..{n_hosts}, got {degrade_link}"
             )
+        if not 0.0 <= sensor_drift < 1.0:
+            raise MetrologyError(
+                f"sensor_drift must be in [0, 1), got {sensor_drift}"
+            )
         self.n_hosts = n_hosts
         self.seed = seed
         self.degraded_link = f"{STAR_NAME}-{degrade_link}-link"
         self.degrade_factor = float(degrade_factor)
         self.degrade_at = (float(degrade_at) if degrade_at is not None
                            else 6.0 * period)
-        self.testbed = build_star_testbed(n_hosts, capacity, latency)
+        self.sensor_drift = float(sensor_drift)
+        self.testbed = build_star_testbed(n_hosts, capacity, latency,
+                                          collector_latency=collector_latency)
         self.platform = build_star_cluster(STAR_NAME, n_hosts,
                                            host_bandwidth=capacity,
                                            host_latency=latency)
@@ -170,19 +217,46 @@ class StarMetrologyDemo:
                                                   host_latency=latency)
         self.schedule = CapacitySchedule(self.testbed, [
             CapacityEvent(self.degrade_at, self.degraded_link,
-                          self.degrade_factor),
+                          self.degrade_factor,
+                          latency_factor=degrade_latency_factor),
         ])
         monitors = [
             MonitoredLink(f"{STAR_NAME}-{i}-link", f"{STAR_NAME}-{i}", COLLECTOR)
             for i in range(1, n_hosts + 1)
         ]
         self.feed = MetrologyFeed(self.testbed, monitors, period=period,
-                                  seed=seed, probe_bytes=probe_bytes)
+                                  seed=seed, probe_bytes=probe_bytes,
+                                  workers=feed_workers)
         self.loop = RecalibrationLoop(self.platform, self.feed,
-                                      min_rel_change=min_rel_change)
+                                      min_rel_change=min_rel_change,
+                                      anchor_alpha=anchor_alpha,
+                                      anchor_health_band=anchor_health_band)
         self.service = NetworkForecastService({DEMO_PLATFORM: self.platform})
         self.static_service = NetworkForecastService(
             {DEMO_PLATFORM: self.static_platform})
+        # pool workers forked by a warm serving pool rebuild their service
+        # over this exact (recalibrated) platform — see serving.factories
+        register_live_platform(DEMO_PLATFORM, self.platform)
+
+    def service_factory(self):
+        """A picklable factory for warm-pool workers serving this demo.
+
+        Workers fork from the demo's process, so the factory's service
+        wraps the *live* platform as recalibrated at fork time; every
+        ``ensure_epoch`` recycle after a loop update re-forks and picks up
+        the mutation.
+        """
+        return live_platform_factory(DEMO_PLATFORM)
+
+    def close(self) -> None:
+        """Release the feed's probe worker pool (if any)."""
+        self.feed.close()
+
+    def __enter__(self) -> "StarMetrologyDemo":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     @classmethod
     def for_run(cls, n_hosts: int, period: float, seed: int,
@@ -200,7 +274,9 @@ class StarMetrologyDemo:
 
     def step(self) -> list:
         """One loop iteration: advance the real world, probe, recalibrate."""
-        self.schedule.advance(self.feed.clock + self.feed.period)
+        self.schedule.advance(self.feed.next_deadline())
+        if self.sensor_drift:
+            self.feed.scale_bandwidth_sensors(1.0 - self.sensor_drift)
         return self.loop.step()
 
     def run(self, steps: int) -> list:
@@ -212,7 +288,7 @@ class StarMetrologyDemo:
     def warmup(self, cycles: int = 3) -> None:
         """Anchor every link's reference estimate while links are healthy."""
         for _ in range(cycles):
-            if self.schedule.advance(self.feed.clock + self.feed.period):
+            if self.schedule.advance(self.feed.next_deadline()):
                 raise MetrologyError(
                     "degradation fired during warm-up; raise degrade_at"
                 )
@@ -268,25 +344,54 @@ class StarMetrologyDemo:
 
     # -- recording ---------------------------------------------------------
 
-    def measured_traces(self) -> list[MeasuredTrace]:
-        """Recorded RRD series as platform-bandwidth traces for replay.
+    def _metric_traces(self, metric: str) -> list[MeasuredTrace]:
+        """One metric's RRD series as platform-unit traces for replay.
 
         Each link's series is fetched through the §IV-C1 contract and
-        rescaled from probe goodput to platform bandwidth against the
-        link's first sample (probes run while links were healthy), exactly
-        like the live loop's reference anchoring.
+        rescaled from probe units to platform units against a healthy
+        reference — the median of the first (up to) three samples, probes
+        taken while links were healthy, mirroring the live loop's
+        ``min_observations`` anchoring so one noisy first probe cannot
+        skew the whole trace.  Goodput rescales *multiplicatively* (probe
+        overhead is proportional); RTT rescales *additively*
+        (``L = nominal + (rtt − rtt_ref) / 2`` — an RTT is twice the path
+        latency plus constant stack overhead, so a ratio would dilute
+        every latency change against that overhead).
         """
+        from repro._util.stats import median
+
         traces = []
         for monitor in self.feed.monitors:
-            series = self.feed.rrd(monitor.link, "bandwidth").fetch(
+            series = self.feed.rrd(monitor.link, metric).fetch(
                 0.0, self.feed.clock)
             if not series:
                 continue
-            nominal = self.static_platform.link(monitor.link).bandwidth
-            reference = series[0][1]
-            samples = tuple(
-                (ts, nominal * value / reference) for ts, value in series
-            )
-            traces.append(MeasuredTrace(link=monitor.link, metric="bandwidth",
+            link = self.static_platform.link(monitor.link)
+            reference = median([value for _, value in series[:3]])
+            if metric == "bandwidth":
+                samples = tuple(
+                    (ts, link.bandwidth * value / reference)
+                    for ts, value in series
+                )
+            else:
+                samples = tuple(
+                    (ts, max(0.0, link.latency + 0.5 * (value - reference)))
+                    for ts, value in series
+                )
+            traces.append(MeasuredTrace(link=monitor.link, metric=metric,
                                         samples=samples))
         return traces
+
+    def measured_traces(self) -> list[MeasuredTrace]:
+        """Recorded bandwidth series as platform traces for replay."""
+        return self._metric_traces("bandwidth")
+
+    def combined_traces(self) -> list[MeasuredTrace]:
+        """Bandwidth *and* latency traces, one pair per monitored link.
+
+        The latency series comes from the feed's smokeping-style RTT
+        probes, rescaled to platform link latency relative to the healthy
+        reference — replaying the combined document calibrates both link
+        parameters from real series (the paper's §VI future work).
+        """
+        return self._metric_traces("bandwidth") + self._metric_traces("latency")

@@ -25,10 +25,28 @@ link is presumed healthy — plus the platform's nominal parameters, and
 applies *relative* updates::
 
     link.bandwidth = nominal_bandwidth * estimate / reference
-    link.latency   = nominal_latency   * rtt_estimate / rtt_reference
+    link.latency   = nominal_latency + (rtt_estimate - rtt_reference) / 2
+
+(bandwidth relatively — probe overhead scales with the rate; latency
+additively — an RTT is twice the path latency plus constant stack
+overhead, which a ratio would dilute every change against).
 
 ``min_rel_change`` hysteresis keeps probe noise from bumping the epoch
 (and emptying caches / recycling workers) every poll.
+
+References need not stay frozen at their first warm estimate: with
+``anchor_alpha > 0`` each reference is a :class:`ReferenceAnchor` that
+slowly tracks *healthy-phase* estimates through an EWMA.  The health gate
+(``anchor_health_band``) decides which estimates count as healthy — those
+within the band of the current reference.  Slow sensor drift (a bias
+creeping into the probes while the network itself is fine) then moves the
+reference along with the estimates and never becomes a permanent platform
+bias; a genuine degradation lands far outside the band, leaves the
+reference untouched, and is applied to the platform as before.  The
+tradeoff is explicit: drift slower than ``alpha × band`` per poll is
+absorbed as sensor error, so a *real* capacity loss that gradual would be
+tracked away too — pick the band below the smallest real change worth
+reacting to.
 """
 
 from __future__ import annotations
@@ -64,14 +82,60 @@ class LinkUpdate:
         }
 
 
+class ReferenceAnchor:
+    """A reference estimate that slowly re-anchors on healthy observations.
+
+    ``observe`` feeds one estimate: if it sits within ``band`` (relative)
+    of the current value — the health gate — the anchor moves toward it by
+    the EWMA step ``alpha``; otherwise (an unhealthy phase: degradation,
+    outage recovery) the anchor is left untouched.  ``alpha = 0`` freezes
+    the anchor at its initial value, the historical behavior.
+    """
+
+    __slots__ = ("value", "alpha", "band")
+
+    def __init__(self, value: float, alpha: float = 0.0,
+                 band: float = 0.1) -> None:
+        if value <= 0:
+            raise MetrologyError(
+                f"reference anchor needs a positive value, got {value}"
+            )
+        if not 0.0 <= alpha < 1.0:
+            raise MetrologyError(f"anchor alpha must be in [0, 1): {alpha}")
+        if band <= 0:
+            raise MetrologyError(f"anchor band must be positive: {band}")
+        self.value = float(value)
+        self.alpha = float(alpha)
+        self.band = float(band)
+
+    def healthy(self, estimate: float) -> bool:
+        """Whether ``estimate`` passes the health gate."""
+        return abs(estimate - self.value) <= self.band * self.value
+
+    def observe(self, estimate: float) -> bool:
+        """Feed one estimate; returns True when the anchor moved."""
+        if self.alpha == 0.0 or not self.healthy(estimate):
+            return False
+        self.value += self.alpha * (estimate - self.value)
+        return True
+
+
 @dataclass
 class _LinkState:
     """Per-link calibration anchors captured at first warm estimate."""
 
     nominal_bandwidth: float
     nominal_latency: float
-    reference_bandwidth: float
-    reference_rtt: Optional[float]
+    bandwidth_anchor: ReferenceAnchor
+    rtt_anchor: Optional[ReferenceAnchor]
+
+    @property
+    def reference_bandwidth(self) -> float:
+        return self.bandwidth_anchor.value
+
+    @property
+    def reference_rtt(self) -> Optional[float]:
+        return self.rtt_anchor.value if self.rtt_anchor is not None else None
 
 
 @dataclass
@@ -83,6 +147,8 @@ class LoopStats:
     cold_estimates: int = 0
     updates_applied: int = 0
     updates_skipped: int = 0
+    #: healthy-phase estimates that moved a reference anchor (EWMA)
+    reanchors: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -91,6 +157,7 @@ class LoopStats:
             "cold_estimates": self.cold_estimates,
             "updates_applied": self.updates_applied,
             "updates_skipped": self.updates_skipped,
+            "reanchors": self.reanchors,
         }
 
 
@@ -105,6 +172,8 @@ class RecalibrationLoop:
         min_rel_change: float = 0.05,
         calibrate_latency: bool = True,
         min_observations: int = 3,
+        anchor_alpha: float = 0.0,
+        anchor_health_band: float = 0.1,
     ) -> None:
         if not 0.0 <= min_rel_change < 1.0:
             raise MetrologyError(
@@ -114,6 +183,14 @@ class RecalibrationLoop:
             raise MetrologyError(
                 f"min_observations must be >= 1, got {min_observations}"
             )
+        if not 0.0 <= anchor_alpha < 1.0:
+            raise MetrologyError(
+                f"anchor_alpha must be in [0, 1), got {anchor_alpha}"
+            )
+        if anchor_health_band <= 0:
+            raise MetrologyError(
+                f"anchor_health_band must be positive, got {anchor_health_band}"
+            )
         self.platform = platform
         self.feed = feed
         self.calibrator = (calibrator if calibrator is not None
@@ -121,6 +198,8 @@ class RecalibrationLoop:
         self.min_rel_change = float(min_rel_change)
         self.calibrate_latency = bool(calibrate_latency)
         self.min_observations = int(min_observations)
+        self.anchor_alpha = float(anchor_alpha)
+        self.anchor_health_band = float(anchor_health_band)
         self.stats = LoopStats()
         self._states: dict[str, _LinkState] = {}
         for monitor in feed.monitors:
@@ -151,6 +230,9 @@ class RecalibrationLoop:
         mutation — by construction the link is then exactly at nominal —
         and anchoring waits for ``min_observations`` probe samples, so a
         single noisy first probe cannot skew every later relative update.
+        With ``anchor_alpha > 0`` every later healthy estimate re-anchors
+        the reference slightly (EWMA) before the relative update is
+        computed, so slow sensor drift never freezes in as bias.
         """
         applied: list[LinkUpdate] = []
         for estimate in estimates:
@@ -168,21 +250,39 @@ class RecalibrationLoop:
                 self._states[estimate.link] = _LinkState(
                     nominal_bandwidth=link.bandwidth,
                     nominal_latency=link.latency,
-                    reference_bandwidth=estimate.bandwidth,
-                    reference_rtt=estimate.rtt,
+                    bandwidth_anchor=ReferenceAnchor(
+                        estimate.bandwidth, self.anchor_alpha,
+                        self.anchor_health_band),
+                    rtt_anchor=(ReferenceAnchor(
+                        estimate.rtt, self.anchor_alpha,
+                        self.anchor_health_band)
+                        if estimate.rtt else None),
                 )
                 continue
+            if state.bandwidth_anchor.observe(estimate.bandwidth):
+                self.stats.reanchors += 1
+            if (state.rtt_anchor is not None and estimate.rtt is not None
+                    and state.rtt_anchor.observe(estimate.rtt)):
+                self.stats.reanchors += 1
             target_bw = (state.nominal_bandwidth
                          * estimate.bandwidth / state.reference_bandwidth)
             target_lat = link.latency
             if (self.calibrate_latency and estimate.rtt is not None
                     and state.reference_rtt):
-                target_lat = (state.nominal_latency
-                              * estimate.rtt / state.reference_rtt)
+                # additive, not a ratio: an RTT is twice the path latency
+                # plus constant stack overhead, so the overhead would
+                # dilute every relative latency change
+                target_lat = max(0.0, state.nominal_latency
+                                 + 0.5 * (estimate.rtt - state.reference_rtt))
+            # latency hysteresis gates on the measurement's noise scale:
+            # the additive estimate inherits the RTT's jitter, which dwarfs
+            # the nominal link latency when path overhead dominates the RTT
+            latency_scale = max(state.nominal_latency,
+                                (state.reference_rtt or 0.0) / 2.0)
             if not self._significant(link.bandwidth, target_bw,
                                      state.nominal_bandwidth) and \
                     not self._significant(link.latency, target_lat,
-                                          state.nominal_latency):
+                                          latency_scale):
                 self.stats.updates_skipped += 1
                 continue
             update = LinkUpdate(

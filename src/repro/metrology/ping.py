@@ -9,11 +9,14 @@ use for "automatic link latency measurements instead of arbitrary values"
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro._util.rng import rng_for
 from repro.metrology.collectors import GangliaCollector, MetricKey, MetricRegistry
 from repro.testbed.fluid import TestbedNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.spec import MeasuredTrace
 
 
 class LatencyProber:
@@ -68,3 +71,39 @@ class LatencyProber:
         if not series:
             raise ValueError(f"no probe data yet for {src!r} -> {dst!r}")
         return median([v for _, v in series])
+
+    def measured_trace(
+        self,
+        src: str,
+        dst: str,
+        link: str,
+        nominal_latency: Optional[float] = None,
+    ) -> "MeasuredTrace":
+        """The pair's recorded RTT series as a replayable latency trace.
+
+        This is the future-work half of §VI made concrete: smokeping series
+        become :class:`~repro.scenarios.spec.MeasuredTrace` latency
+        dynamics, so a replay calibrates link latency from *real* probe
+        series instead of arbitrary values.  ``link`` is the platform link
+        pattern the trace targets.  With ``nominal_latency`` each RTT is
+        converted to a link latency against the series' first sample
+        (``L = nominal + (rtt − rtt_ref) / 2`` — an RTT is twice the path
+        latency plus constant stack overhead, which a ratio would dilute
+        every change against); without it the raw RTT values replay as-is.
+        """
+        from repro.scenarios.spec import MeasuredTrace
+
+        key = self.metric_key(src, dst)
+        rrd = self.collector.registry.get(key)
+        series = rrd.fetch(0.0, rrd.last_update)
+        if not series:
+            raise ValueError(f"no probe data yet for {src!r} -> {dst!r}")
+        if nominal_latency is not None:
+            reference = series[0][1]
+            samples = tuple(
+                (ts, max(0.0, nominal_latency + 0.5 * (value - reference)))
+                for ts, value in series
+            )
+        else:
+            samples = tuple(series)
+        return MeasuredTrace(link=link, metric="latency", samples=samples)

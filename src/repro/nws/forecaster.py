@@ -38,15 +38,26 @@ class AdaptiveForecaster:
         self._error_count = [0] * len(self.predictors)
         self.observations = 0
 
-    def update(self, value: float) -> None:
-        """Feed one measurement; scores every predictor's postcast first."""
-        for i, predictor in enumerate(self.predictors):
-            postcast = predictor.predict()
-            if postcast is not None:
-                self._abs_error[i] += abs(postcast - value)
-                self._error_count[i] += 1
-            predictor.update(value)
-        self.observations += 1
+    def update(self, value: float, weight: int = 1) -> None:
+        """Feed one measurement; scores every predictor's postcast first.
+
+        ``weight > 1`` replays the value that many times — how a
+        consolidated archive point standing for ``weight`` primary samples
+        at their mean is consumed (the metrology calibrator's
+        coarse-archive recovery), so a downtime-spanning CDP moves the
+        predictors' windows like the samples it aggregated would have,
+        instead of counting as a single probe.
+        """
+        if weight < 1:
+            raise ValueError(f"update weight must be >= 1, got {weight}")
+        for _ in range(weight):
+            for i, predictor in enumerate(self.predictors):
+                postcast = predictor.predict()
+                if postcast is not None:
+                    self._abs_error[i] += abs(postcast - value)
+                    self._error_count[i] += 1
+                predictor.update(value)
+            self.observations += 1
 
     def mean_errors(self) -> list[Optional[float]]:
         return [

@@ -19,8 +19,31 @@ from repro.nws.forecaster import _NO_DEFAULT, AdaptiveForecaster
 from repro.testbed.fluid import FluidSimulator, TestbedNetwork
 
 
+def run_bandwidth_probe(
+    network: TestbedNetwork, src: str, dst: str, probe_bytes: float, seed: int
+) -> float:
+    """One probe transfer on ``network``; returns the raw elapsed seconds.
+
+    Module-level and free of sensor state so probe cycles can fan out over
+    pool workers (the parallel :class:`~repro.metrology.feed.MetrologyFeed`):
+    given the same network state and seed the result is bit-identical
+    wherever it runs.
+    """
+    sim = FluidSimulator(network, seed=seed)
+    flow = sim.submit(src, dst, probe_bytes)
+    sim.run()
+    return flow.completion_time_raw
+
+
 class BandwidthSensor:
-    """Periodic small-transfer throughput probe on one (src, dst) pair."""
+    """Periodic small-transfer throughput probe on one (src, dst) pair.
+
+    ``scale`` is a multiplicative measurement bias applied to every
+    recorded throughput (1.0 = unbiased).  Drift scenarios mutate it over
+    time to model a sensor whose readings slowly diverge from the truth —
+    the recalibration loop's EWMA re-anchoring exists to absorb exactly
+    that.
+    """
 
     #: NWS default probe payload: small, to limit perturbation.
     PROBE_BYTES = 1_000_000.0
@@ -38,33 +61,41 @@ class BandwidthSensor:
         self.dst = dst
         self.probe_bytes = probe_bytes
         self.seed = seed
+        self.scale = 1.0
         self.forecaster = AdaptiveForecaster()
         self._probe_index = 0
 
-    def probe_once(self) -> float:
-        """One probe: measured goodput (bytes/s), fed to the forecaster.
+    def flow_seed(self) -> int:
+        """The deterministic probe-flow seed for the *next* probe."""
+        return int(rng_for(self.seed, "bw-probe", self.src, self.dst,
+                           self._probe_index).integers(2**31))
 
+    def absorb(self, elapsed: float) -> float:
+        """Turn one probe's raw elapsed time into the measured goodput.
+
+        Advances the probe index and feeds the forecaster — the bookkeeping
+        half of :meth:`probe_once`, split out so a parallel feed can run
+        :func:`run_bandwidth_probe` elsewhere and absorb the result here.
         A degenerate probe (non-positive or non-finite completion time —
         a broken clock or an instantly-completing mock network) yields NaN
         and is *not* fed to the forecaster: an infinite throughput sample
         would poison every predictor in the battery.
         """
-        sim = FluidSimulator(
-            self.network,
-            seed=rng_for(self.seed, "bw-probe", self.src, self.dst,
-                         self._probe_index).integers(2**31),
-        )
-        flow = sim.submit(self.src, self.dst, self.probe_bytes)
-        sim.run()
         self._probe_index += 1
-        # NWS measures payload/transfer-time of the probe itself, startup
-        # overhead included — small probes under-estimate the achievable rate
-        elapsed = flow.completion_time_raw
         if not math.isfinite(elapsed) or elapsed <= 0.0:
             return math.nan
-        throughput = self.probe_bytes / elapsed
+        throughput = self.scale * self.probe_bytes / elapsed
         self.forecaster.update(throughput)
         return throughput
+
+    def probe_once(self) -> float:
+        """One probe: measured goodput (bytes/s), fed to the forecaster."""
+        # NWS measures payload/transfer-time of the probe itself, startup
+        # overhead included — small probes under-estimate the achievable rate
+        return self.absorb(run_bandwidth_probe(
+            self.network, self.src, self.dst, self.probe_bytes,
+            self.flow_seed(),
+        ))
 
     def probe(self, count: int) -> list[float]:
         return [self.probe_once() for _ in range(count)]

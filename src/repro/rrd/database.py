@@ -18,6 +18,7 @@ accurate data from the different round-robin archives available".
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -111,6 +112,11 @@ class RoundRobinDatabase:
             raise RrdError("at least one RRA is required")
         self.ds = ds
         self.step = float(step)
+        #: serializes update/record/fetch — one RRD may be hammered by
+        #: racing writers (parallel probe fan-out, concurrent collectors)
+        #: and a torn _fill/accumulator interleave would lose or duplicate
+        #: PDP updates.  Reentrant so record() can call update().
+        self._lock = threading.RLock()
         self.archives = [RoundRobinArchive(spec, self.step) for spec in rras]
         #: timestamp of the last processed sample
         self.last_update: float = float(start_time)
@@ -125,19 +131,38 @@ class RoundRobinDatabase:
 
     def update(self, timestamp: float, value: float) -> None:
         """Record one sample.  Timestamps must be strictly increasing."""
-        if timestamp <= self.last_update:
-            raise RrdError(
-                f"illegal update time {timestamp} (last was {self.last_update})"
-            )
-        rate = self._to_rate(timestamp, value)
-        elapsed = timestamp - self.last_update
-        if elapsed > self.ds.heartbeat:
-            rate = math.nan
-        if not math.isnan(rate):
-            if rate < self.ds.minimum or rate > self.ds.maximum:
+        with self._lock:
+            if timestamp <= self.last_update:
+                raise RrdError(
+                    f"illegal update time {timestamp} "
+                    f"(last was {self.last_update})"
+                )
+            rate = self._to_rate(timestamp, value)
+            elapsed = timestamp - self.last_update
+            if elapsed > self.ds.heartbeat:
                 rate = math.nan
-        self._fill(self.last_update, timestamp, rate)
-        self.last_update = timestamp
+            if not math.isnan(rate):
+                if rate < self.ds.minimum or rate > self.ds.maximum:
+                    rate = math.nan
+            self._fill(self.last_update, timestamp, rate)
+            self.last_update = timestamp
+
+    def record(self, value: float, advance: Optional[float] = None) -> float:
+        """Thread-safe append: allocate the next timestamp and update.
+
+        Atomically advances ``last_update`` by ``advance`` (default: the
+        primary step) and records ``value`` there, so any number of racing
+        writers can hammer one RRD without losing or duplicating PDP
+        updates — each call lands on its own slot of the PDP grid.
+        Returns the timestamp used.
+        """
+        if advance is not None and advance <= 0:
+            raise RrdError(f"record advance must be positive, got {advance}")
+        with self._lock:
+            timestamp = self.last_update + (advance if advance is not None
+                                            else self.step)
+            self.update(timestamp, value)
+            return timestamp
 
     def _to_rate(self, timestamp: float, value: float) -> float:
         if self.ds.kind == "GAUGE":
@@ -202,6 +227,34 @@ class RoundRobinDatabase:
         end-timestamp instead would silently drop the only source for the
         early part of the coarse span.
         """
+        points = [
+            (sub_end, value)
+            for _, sub_end, value in self.fetch_spans(begin, end, cf)
+        ]
+        points.sort()
+        return [
+            (ts, value) for ts, value in points
+            if include_unknown or not math.isnan(value)
+        ]
+
+    def fetch_spans(
+        self,
+        begin: float,
+        end: float,
+        cf: ConsolidationFunction = ConsolidationFunction.AVERAGE,
+    ) -> list[tuple[float, float, float]]:
+        """Like :meth:`fetch`, but keeping each point's covered span.
+
+        Returns ``(span_start, span_end, value)`` triples sorted by time:
+        each is the sub-interval of ``(begin, end]`` that one CDP is the
+        finest retained source for.  A fine PDP-resolution point spans one
+        step; a coarse CDP surviving a long downtime spans up to its full
+        resolution.  Span-aware consumers (the metrology calibrator's
+        recovery path) use the span length to weight coarse averages by
+        the step count they consolidated instead of treating them as
+        single samples.  Unknown (NaN) values are included — their spans
+        claim coverage exactly as :meth:`fetch` computes it.
+        """
         if end < begin:
             raise RrdError(f"fetch with end < begin ({end} < {begin})")
         candidates = sorted(
@@ -211,27 +264,25 @@ class RoundRobinDatabase:
         if not candidates:
             raise RrdError(f"no archive with consolidation {cf.value}")
         tol = self.step * BOUNDARY_EPS
-        covered: list[tuple[float, float]] = []  # merged, sorted (start, end]
-        points: list[tuple[float, float]] = []
-        for archive in candidates:
-            res = archive.resolution
-            spans: list[tuple[float, float]] = []
-            for ts, value in archive.window(begin, end):
-                span = (max(ts - res, begin), ts)
-                if span[1] - span[0] <= tol:
-                    continue
-                uncovered = _subtract_intervals(span, covered, tol)
-                for _, sub_end in uncovered:
-                    points.append((sub_end, value))
-                if uncovered:
-                    spans.append(span)
-            if spans:
-                covered = _merge_intervals(covered + spans, tol)
-        points.sort()
-        return [
-            (ts, value) for ts, value in points
-            if include_unknown or not math.isnan(value)
-        ]
+        with self._lock:
+            covered: list[tuple[float, float]] = []  # merged (start, end]
+            out: list[tuple[float, float, float]] = []
+            for archive in candidates:
+                res = archive.resolution
+                spans: list[tuple[float, float]] = []
+                for ts, value in archive.window(begin, end):
+                    span = (max(ts - res, begin), ts)
+                    if span[1] - span[0] <= tol:
+                        continue
+                    uncovered = _subtract_intervals(span, covered, tol)
+                    for sub_start, sub_end in uncovered:
+                        out.append((sub_start, sub_end, value))
+                    if uncovered:
+                        spans.append(span)
+                if spans:
+                    covered = _merge_intervals(covered + spans, tol)
+        out.sort(key=lambda s: (s[1], s[0]))
+        return out
 
     # -- introspection ------------------------------------------------------------
 

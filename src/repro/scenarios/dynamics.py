@@ -132,25 +132,32 @@ def schedule_measured(
             )
     log = log if log is not None else DynamicsLog()
 
-    def fire(trace: MeasuredTrace, time: float, value: float) -> None:
-        for link in sim.platform.links_matching(trace.link):
-            if trace.metric == "bandwidth":
-                link.bandwidth = value
-                latency = None
-            else:
-                link.latency = value
-                latency = value
-            log.applied.append(AppliedEvent(
-                time=time, link=link.name, action="measured",
-                bandwidth=link.bandwidth, latency=latency,
-            ))
+    def fire(time: float, updates: list[tuple[MeasuredTrace, float]]) -> None:
+        for trace, value in updates:
+            for link in sim.platform.links_matching(trace.link):
+                if trace.metric == "bandwidth":
+                    link.bandwidth = value
+                    latency = None
+                else:
+                    link.latency = value
+                    latency = value
+                log.applied.append(AppliedEvent(
+                    time=time, link=link.name, action="measured",
+                    bandwidth=link.bandwidth, latency=latency,
+                ))
         sim.touch_sharing()
 
+    # combined traces (bandwidth + latency per link, recorded on one probe
+    # grid) put many samples on the same instant — group them into one
+    # timer so each instant re-derives the sharing system once, not once
+    # per trace
+    by_time: dict[float, list[tuple[MeasuredTrace, float]]] = {}
     for trace in traces:
         for time, value in trace.samples:
-            sim.schedule(
-                time,
-                lambda trace=trace, time=time, value=value:
-                    fire(trace, time, value),
-            )
+            by_time.setdefault(time, []).append((trace, value))
+    for time in sorted(by_time):
+        sim.schedule(
+            time,
+            lambda time=time, updates=by_time[time]: fire(time, updates),
+        )
     return log

@@ -1,0 +1,102 @@
+"""Property tests for EWMA reference re-anchoring (drift scenarios).
+
+Hypothesis-style: each property runs over a battery of seeded random
+scenarios (step, ramp, noise-only) and pins the anchor's contract —
+references converge to the healthy-phase mean within tolerance, and never
+move on unhealthy observations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util.rng import rng_for
+from repro.metrology.collectors import MetrologyError
+from repro.metrology.loop import ReferenceAnchor
+
+SEEDS = range(10)
+ALPHA = 0.25
+BAND = 0.15
+
+
+class TestNoiseOnly:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_converges_to_the_healthy_mean(self, seed):
+        rng = rng_for(seed, "anchor-noise")
+        mean = float(rng.uniform(0.5, 200.0))
+        start = mean * float(1.0 + rng.uniform(-BAND / 2, BAND / 2))
+        anchor = ReferenceAnchor(start, alpha=ALPHA, band=BAND)
+        for _ in range(400):
+            anchor.observe(mean * float(1.0 + rng.normal(0.0, 0.02)))
+        # EWMA of unbiased noise around the mean settles on the mean
+        assert anchor.value == pytest.approx(mean, rel=0.05)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_alpha_zero_freezes_the_anchor(self, seed):
+        rng = rng_for(seed, "anchor-frozen")
+        start = float(rng.uniform(1.0, 100.0))
+        anchor = ReferenceAnchor(start, alpha=0.0, band=BAND)
+        for _ in range(100):
+            assert not anchor.observe(
+                start * float(1.0 + rng.normal(0.0, 0.02)))
+        assert anchor.value == start  # bitwise: never touched
+
+
+class TestStep:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_never_updates_during_the_unhealthy_phase(self, seed):
+        rng = rng_for(seed, "anchor-step")
+        mean = float(rng.uniform(1.0, 100.0))
+        anchor = ReferenceAnchor(mean, alpha=ALPHA, band=BAND)
+        for _ in range(50):
+            anchor.observe(mean * float(1.0 + rng.normal(0.0, 0.02)))
+        healthy_value = anchor.value
+        # a genuine degradation: estimates step far outside the band
+        degraded = mean * float(rng.uniform(0.2, 0.5))
+        for _ in range(200):
+            moved = anchor.observe(
+                degraded * float(1.0 + rng.normal(0.0, 0.02)))
+            assert not moved
+        assert anchor.value == healthy_value  # bitwise: gate held
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_recovery_resumes_anchoring(self, seed):
+        rng = rng_for(seed, "anchor-recover")
+        mean = float(rng.uniform(1.0, 100.0))
+        anchor = ReferenceAnchor(mean, alpha=ALPHA, band=BAND)
+        for _ in range(100):
+            anchor.observe(mean * 0.3)  # unhealthy: ignored
+        assert anchor.observe(mean * 1.01)  # healthy again: tracked
+
+
+class TestRamp:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_slow_drift_is_tracked_within_tolerance(self, seed):
+        rng = rng_for(seed, "anchor-ramp")
+        mean = float(rng.uniform(1.0, 100.0))
+        anchor = ReferenceAnchor(mean, alpha=ALPHA, band=BAND)
+        # drift per observation far below the band: always healthy
+        steps = 200
+        drift = 0.998
+        value = mean
+        moved = 0
+        for _ in range(steps):
+            value *= drift
+            moved += bool(anchor.observe(
+                value * float(1.0 + rng.normal(0.0, 0.01))))
+        assert moved > steps * 0.9  # virtually every observation anchored
+        # the anchor ends near the drifted level, not the original mean
+        assert anchor.value == pytest.approx(value, rel=0.05)
+        assert anchor.value < 0.8 * mean
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(MetrologyError):
+            ReferenceAnchor(0.0)
+        with pytest.raises(MetrologyError):
+            ReferenceAnchor(1.0, alpha=1.0)
+        with pytest.raises(MetrologyError):
+            ReferenceAnchor(1.0, alpha=-0.1)
+        with pytest.raises(MetrologyError):
+            ReferenceAnchor(1.0, band=0.0)

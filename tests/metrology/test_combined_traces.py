@@ -1,0 +1,88 @@
+"""Combined bandwidth+latency traces: recording, conversion, replay."""
+
+import pytest
+
+from repro.metrology.collectors import MetricRegistry
+from repro.metrology.demo import StarMetrologyDemo, build_star_testbed
+from repro.metrology.ping import LatencyProber
+from repro.scenarios.spec import MeasuredTrace
+
+
+class TestLatencyProberTrace:
+    def test_measured_trace_round_trips_and_scales_additively(self):
+        testbed = build_star_testbed(2)
+        prober = LatencyProber(testbed, MetricRegistry(), period=30.0, seed=4)
+        prober.add_pair("star-1", "star-collector")
+        prober.probe_for(200.0)
+        nominal = 1e-4
+        trace = prober.measured_trace("star-1", "star-collector",
+                                      link="star-1-link",
+                                      nominal_latency=nominal)
+        assert trace.metric == "latency"
+        assert trace.link == "star-1-link"
+        # healthy series: every converted latency sits near nominal (the
+        # additive form cancels the constant RTT overhead entirely)
+        for _, value in trace.samples:
+            assert value == pytest.approx(nominal, rel=0.25)
+        assert MeasuredTrace.from_json(trace.to_json()) == trace
+
+    def test_raw_trace_keeps_rtt_values(self):
+        testbed = build_star_testbed(2)
+        prober = LatencyProber(testbed, MetricRegistry(), period=30.0, seed=4)
+        prober.add_pair("star-1", "star-collector")
+        prober.probe_for(100.0)
+        trace = prober.measured_trace("star-1", "star-collector",
+                                      link="star-1-link")
+        rtt = testbed.rtt("star-1", "star-collector")
+        for _, value in trace.samples:
+            assert value == pytest.approx(rtt, rel=0.2)
+
+    def test_cold_series_rejected(self):
+        testbed = build_star_testbed(2)
+        prober = LatencyProber(testbed, MetricRegistry(), seed=4)
+        prober.add_pair("star-1", "star-collector")
+        with pytest.raises(ValueError, match="no probe data"):
+            prober.measured_trace("star-1", "star-collector", link="x")
+
+
+class TestDemoCombinedTraces:
+    def test_combined_traces_pair_bandwidth_and_latency_per_link(self):
+        demo = StarMetrologyDemo(n_hosts=2, period=15.0, seed=3,
+                                 degrade_latency_factor=2.0)
+        demo.warmup(3)
+        demo.run(6)
+        traces = demo.combined_traces()
+        assert len(traces) == 4
+        by_metric = {}
+        for trace in traces:
+            by_metric.setdefault(trace.metric, set()).add(trace.link)
+        assert by_metric["bandwidth"] == by_metric["latency"]
+        assert len(by_metric["bandwidth"]) == 2
+
+    def test_latency_degradation_lands_in_the_trace(self):
+        demo = StarMetrologyDemo(n_hosts=2, period=15.0, seed=3,
+                                 degrade_factor=0.5,
+                                 degrade_latency_factor=3.0)
+        demo.warmup(3)
+        demo.run(8)
+        latency = {t.link: t for t in demo.combined_traces()
+                   if t.metric == "latency"}
+        degraded = latency[demo.degraded_link].samples
+        truth = demo.testbed.links[demo.degraded_link].latency
+        assert degraded[-1][1] == pytest.approx(truth, rel=0.15)
+        # the untouched link's trace stays at nominal
+        other = next(link for link in latency if link != demo.degraded_link)
+        assert latency[other].samples[-1][1] == pytest.approx(1e-4, rel=0.25)
+
+    def test_loop_applies_additive_latency_calibration(self):
+        # the live loop shares the additive RTT model: a x3 latency
+        # degradation recalibrates the platform link to ~3x nominal even
+        # though the probe RTT carries constant stack overhead
+        demo = StarMetrologyDemo(n_hosts=2, period=15.0, seed=3,
+                                 degrade_factor=0.5,
+                                 degrade_latency_factor=3.0)
+        demo.warmup(4)
+        demo.run(8)
+        recalibrated = demo.platform.link(demo.degraded_link).latency
+        truth = demo.testbed.links[demo.degraded_link].latency
+        assert recalibrated == pytest.approx(truth, rel=0.2)

@@ -16,13 +16,13 @@ from repro.simgrid.builder import build_star_cluster
 from repro.simgrid.platform import link_epoch
 
 
-def small_feed(n_hosts=2, period=10.0, seed=1):
+def small_feed(n_hosts=2, period=10.0, seed=1, **kwargs):
     testbed = build_star_testbed(n_hosts)
     monitors = [
         MonitoredLink(f"star-{i}-link", f"star-{i}", "star-collector")
         for i in range(1, n_hosts + 1)
     ]
-    return MetrologyFeed(testbed, monitors, period=period, seed=seed)
+    return MetrologyFeed(testbed, monitors, period=period, seed=seed, **kwargs)
 
 
 class TestFeed:
@@ -79,6 +79,68 @@ class TestFeed:
         # but within a plausible band of it
         for v in series:
             assert 0.5 * 1.25e8 < v < 1.25e8
+
+
+class TestDeadlineGrid:
+    """poll_for must not drift: deadlines come from the original epoch."""
+
+    def test_slow_sensor_keeps_deadlines_on_the_epoch_grid(self):
+        # probes take ~12ms; a 5ms period means every cycle overruns.
+        # The next deadline must land on the epoch grid (k × period), not
+        # at completion + period — the drifting behavior this regresses.
+        period = 0.005
+        feed = small_feed(n_hosts=1, period=period)
+        cycles = feed.poll_for(0.2)
+        assert cycles >= 2
+        assert feed.missed_cycles > 0  # overruns skip grid points...
+        for link in ("star-1-link",):
+            series = feed.rrd(link, "bandwidth").fetch(
+                0.0, feed.clock, include_unknown=True)
+            for ts, _ in series:
+                k = ts / period
+                assert k == pytest.approx(round(k), abs=1e-6), (
+                    f"recorded timestamp {ts} drifted off the epoch grid"
+                )
+        assert feed.last_cycle_duration > period  # ...because probes overran
+
+    def test_fast_sensor_counts_match_and_clock_stays_exact(self):
+        # 300 polls of a non-representable period: an accumulated
+        # ``clock += period`` drifts by ~1e-14 and eventually miscounts;
+        # the epoch grid keeps the clock an exact multiple of the period
+        period = 0.1
+        feed = small_feed(n_hosts=1, period=period)
+        assert feed.poll_for(30.0) == 300
+        assert feed.clock == 300 * period  # bitwise, not approx
+        assert feed.missed_cycles == 0
+
+    def test_single_skipped_cycle_records_an_unknown_sample(self):
+        # probes take ~12ms; a 10ms period overruns by *less* than one
+        # period, skipping exactly one grid point per cycle.  The gap is
+        # then under the RRD heartbeat (2.5 x period), so without the
+        # explicit NaN record the next probe's value would back-fill the
+        # un-probed interval as if it had been measured.
+        import math
+
+        period = 0.010
+        feed = small_feed(n_hosts=1, period=period)
+        feed.poll_for(0.1)
+        assert feed.missed_cycles > 0
+        series = feed.rrd("star-1-link", "bandwidth").fetch(
+            0.0, feed.clock, include_unknown=True)
+        known = [ts for ts, v in series if not math.isnan(v)]
+        unknown = [ts for ts, v in series if math.isnan(v)]
+        assert unknown, "skipped cycles must surface as unknown PDPs"
+        assert len(known) <= len(series) - feed.missed_cycles
+
+    def test_overrun_skips_are_excluded_from_poll_for_count(self):
+        period = 0.005
+        feed = small_feed(n_hosts=1, period=period)
+        cycles = feed.poll_for(0.1)
+        # performed + skipped cycles account for every grid point up to
+        # the clock — nothing is double-counted or lost
+        assert (cycles + feed.missed_cycles
+                == pytest.approx(feed.clock / period))
+        assert 0 < cycles < 0.1 / period
 
 
 class TestCalibrator:

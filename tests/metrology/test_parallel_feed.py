@@ -1,0 +1,159 @@
+"""Concurrency suite: parallel probe fan-out and racing RRD writers.
+
+The parallel feed's contract is *bit-identical to serial*: fanning probe
+cycles out over worker processes is an execution strategy, not a model
+change.  The racing-writers stress test pins the RRD's own thread-safety —
+``record`` hammered from a pool must lose or duplicate no PDP update.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.metrology.collectors import MetrologyError
+from repro.metrology.demo import COLLECTOR, STAR_NAME, build_star_testbed
+from repro.metrology.feed import MetrologyFeed, MonitoredLink
+from repro.rrd.database import DataSourceSpec, RoundRobinDatabase
+from repro.rrd.rra import ConsolidationFunction, RraSpec
+
+N_LINKS = 64
+WORKERS = 8
+CYCLES = 2
+
+
+def build_feed(workers: int, n_links: int = N_LINKS,
+               seed: int = 5) -> MetrologyFeed:
+    testbed = build_star_testbed(n_links)
+    monitors = [
+        MonitoredLink(f"{STAR_NAME}-{i}-link", f"{STAR_NAME}-{i}", COLLECTOR)
+        for i in range(1, n_links + 1)
+    ]
+    return MetrologyFeed(testbed, monitors, period=15.0, seed=seed,
+                         probe_bytes=2e6, workers=workers)
+
+
+def rrd_contents(feed: MetrologyFeed) -> dict:
+    return {
+        (m.link, metric): (feed.rrd(m.link, metric).last_update,
+                           feed.rrd(m.link, metric).fetch(0.0, feed.clock))
+        for m in feed.monitors
+        for metric in ("bandwidth", "latency")
+    }
+
+
+class TestParallelFeedEquivalence:
+    def test_8_workers_bitwise_identical_to_serial_on_64_links(self):
+        serial = build_feed(0)
+        with build_feed(WORKERS) as parallel:
+            for _ in range(CYCLES):
+                serial.poll_once()
+                parallel.poll_once()
+            assert serial.clock == parallel.clock
+            assert rrd_contents(serial) == rrd_contents(parallel)
+
+    def test_mid_run_capacity_mutations_reach_the_workers(self):
+        # degrade a testbed link between cycles: the workers' resident
+        # network copies were forked before the mutation, so only the
+        # per-chunk overrides can make them see it
+        serial = build_feed(0, n_links=8)
+        with build_feed(3, n_links=8) as parallel:
+            serial.poll_once()
+            parallel.poll_once()
+            for feed in (serial, parallel):
+                feed.network.links[f"{STAR_NAME}-3-link"].capacity *= 0.25
+            serial.poll_once()
+            parallel.poll_once()
+            assert rrd_contents(serial) == rrd_contents(parallel)
+            # and the degradation is actually visible in the series
+            series = [v for _, v in
+                      parallel.rrd(f"{STAR_NAME}-3-link", "bandwidth")
+                      .fetch(0.0, parallel.clock)]
+            assert series[-1] < 0.5 * series[0]
+
+    def test_worker_pool_is_reused_and_closeable(self):
+        with build_feed(2, n_links=4) as feed:
+            feed.poll_once()
+            executor = feed._executor
+            assert executor is not None
+            feed.poll_once()
+            assert feed._executor is executor  # long-lived, not per-cycle
+        assert feed._executor is None
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(MetrologyError, match="workers"):
+            build_feed(-1, n_links=2)
+
+    def test_demo_with_feed_workers_matches_serial_demo(self):
+        # the full demo loop (schedule + recalibration) over a parallel
+        # feed: recalibrated platforms end bit-identical to the serial run
+        from repro.metrology.demo import StarMetrologyDemo
+
+        serial = StarMetrologyDemo(n_hosts=3, period=15.0, seed=3)
+        with StarMetrologyDemo(n_hosts=3, period=15.0, seed=3,
+                               feed_workers=2) as parallel:
+            for demo in (serial, parallel):
+                demo.warmup(3)
+                demo.run(5)
+            assert rrd_contents(serial.feed) == rrd_contents(parallel.feed)
+            for monitor in serial.feed.monitors:
+                ours = serial.platform.link(monitor.link)
+                theirs = parallel.platform.link(monitor.link)
+                assert ours.bandwidth == theirs.bandwidth
+                assert ours.latency == theirs.latency
+
+    def test_sensor_scale_applies_identically_in_both_paths(self):
+        serial = build_feed(0, n_links=4)
+        with build_feed(2, n_links=4) as parallel:
+            for feed in (serial, parallel):
+                feed.poll_once()
+                feed.scale_bandwidth_sensors(0.5)
+                feed.poll_once()
+            assert rrd_contents(serial) == rrd_contents(parallel)
+            series = [v for _, v in
+                      serial.rrd(f"{STAR_NAME}-1-link", "bandwidth")
+                      .fetch(0.0, serial.clock)]
+            assert series[1] == pytest.approx(0.5 * series[0], rel=0.1)
+
+
+class TestRacingWriters:
+    N_THREADS = 8
+    PER_THREAD = 200
+
+    def test_hammered_rrd_loses_and_duplicates_nothing(self):
+        total = self.N_THREADS * self.PER_THREAD
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="stress", kind="GAUGE"),
+            step=1.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, total + 8),),
+        )
+        submitted: list[list[float]] = [[] for _ in range(self.N_THREADS)]
+
+        def hammer(thread: int) -> None:
+            for i in range(self.PER_THREAD):
+                value = float(thread * 10_000 + i)
+                submitted[thread].append(value)
+                rrd.record(value)
+
+        with ThreadPoolExecutor(max_workers=self.N_THREADS) as pool:
+            for future in [pool.submit(hammer, t)
+                           for t in range(self.N_THREADS)]:
+                future.result()
+
+        # every record landed on its own PDP slot: exact count, exact
+        # last_update, and the recorded multiset is exactly what went in
+        assert rrd.last_update == pytest.approx(float(total))
+        series = rrd.fetch(0.0, rrd.last_update + 1.0)
+        assert len(series) == total
+        assert Counter(v for _, v in series) == Counter(
+            v for values in submitted for v in values
+        )
+        timestamps = [ts for ts, _ in series]
+        assert timestamps == sorted(set(timestamps))  # no duplicated slots
+
+    def test_record_rejects_non_positive_advance(self):
+        rrd = RoundRobinDatabase(DataSourceSpec(name="x"), step=1.0)
+        with pytest.raises(Exception, match="advance"):
+            rrd.record(1.0, advance=0.0)

@@ -1,0 +1,93 @@
+"""Span-aware fetch: fetch_spans() and its consistency with fetch()."""
+
+import math
+
+import pytest
+
+from repro.rrd.database import DataSourceSpec, RoundRobinDatabase, RrdError
+from repro.rrd.rra import ConsolidationFunction, RraSpec
+
+
+def build_rrd(rras, step=1.0):
+    return RoundRobinDatabase(DataSourceSpec(name="m"), step=step, rras=rras)
+
+
+def fill(rrd, n, value=lambda i: float(i)):
+    for i in range(1, n + 1):
+        rrd.update(i * rrd.step, value(i))
+
+
+class TestFetchSpans:
+    def test_fine_only_spans_cover_one_step_each(self):
+        rrd = build_rrd((RraSpec(ConsolidationFunction.AVERAGE, 1, 100),))
+        fill(rrd, 10)
+        spans = rrd.fetch_spans(0.0, 10.0)
+        assert len(spans) == 10
+        for start, end, _ in spans:
+            assert end - start == pytest.approx(rrd.step)
+
+    def test_fetch_is_exactly_the_span_ends(self):
+        rrd = build_rrd((
+            RraSpec(ConsolidationFunction.AVERAGE, 1, 4),
+            RraSpec(ConsolidationFunction.AVERAGE, 6, 100),
+        ))
+        fill(rrd, 30)
+        spans = rrd.fetch_spans(0.0, 30.0)
+        fetched = rrd.fetch(0.0, 30.0, include_unknown=True)
+        assert sorted(fetched) == sorted(
+            (end, value) for _, end, value in spans
+        )
+
+    def test_spans_are_time_ordered_and_disjoint(self):
+        rrd = build_rrd((
+            RraSpec(ConsolidationFunction.AVERAGE, 1, 4),
+            RraSpec(ConsolidationFunction.AVERAGE, 6, 100),
+        ))
+        fill(rrd, 30)
+        spans = rrd.fetch_spans(0.0, 30.0)
+        for (s1, e1, _), (s2, e2, _) in zip(spans, spans[1:]):
+            assert e1 <= e2
+            assert s2 >= e1 - 1e-9  # no overlap: each instant served once
+
+    def test_coarse_span_weight_reflects_consolidated_steps(self):
+        rrd = build_rrd((
+            RraSpec(ConsolidationFunction.AVERAGE, 1, 4),
+            RraSpec(ConsolidationFunction.AVERAGE, 6, 100),
+        ))
+        fill(rrd, 30)
+        spans = rrd.fetch_spans(0.0, 30.0)
+        widths = {round((end - start) / rrd.step) for start, end, _ in spans}
+        assert 6 in widths  # full coarse CDPs survive where fine aged out
+        assert 1 in widths  # fine resolution for the recent window
+
+    def test_partially_covered_coarse_span_is_clipped(self):
+        # the boundary-drop regression shape: (AVG,1,4) + (AVG,6,100) —
+        # the coarse CDP overlapping the fine window must be returned only
+        # for its uncovered early part
+        rrd = build_rrd((
+            RraSpec(ConsolidationFunction.AVERAGE, 1, 4),
+            RraSpec(ConsolidationFunction.AVERAGE, 6, 100),
+        ))
+        fill(rrd, 30)
+        spans = rrd.fetch_spans(0.0, 30.0)
+        partial = [s for s in spans
+                   if 1e-9 < round((s[1] - s[0]) / rrd.step) not in (1, 6)]
+        for start, end, _ in partial:
+            assert 1 <= round((end - start) / rrd.step) < 6
+
+    def test_rejects_inverted_window(self):
+        rrd = build_rrd((RraSpec(ConsolidationFunction.AVERAGE, 1, 10),))
+        with pytest.raises(RrdError):
+            rrd.fetch_spans(5.0, 1.0)
+
+    def test_unknown_values_keep_their_spans(self):
+        rrd = RoundRobinDatabase(
+            DataSourceSpec(name="m", heartbeat=2.0), step=1.0,
+            rras=(RraSpec(ConsolidationFunction.AVERAGE, 1, 100),),
+        )
+        rrd.update(1.0, 1.0)
+        rrd.update(10.0, 2.0)  # gap > heartbeat: unknown PDPs in between
+        spans = rrd.fetch_spans(0.0, 10.0)
+        assert any(math.isnan(value) for _, _, value in spans)
+        known = rrd.fetch(0.0, 10.0)
+        assert all(not math.isnan(v) for _, v in known)

@@ -14,7 +14,13 @@ The metrology sibling of ``tools/check_scenario_smoke.py`` and
 - recalibrated forecasts beat the static-platform baseline on the
   degraded phase,
 - a recorded trace replays as measured scenario dynamics with both kernel
-  modes agreeing.
+  modes agreeing,
+- the warm-pool serving path (``--workers`` in `repro metrology run`)
+  recycles workers on recalibration epoch bumps and keeps answering
+  bit-identically to serial ground truth,
+- a combined bandwidth+latency recording round-trips through JSON and
+  replays latency within tolerance of the recorded testbed (both kernel
+  modes agreeing).
 
 Used standalone::
 
@@ -38,6 +44,99 @@ STEPS = 5
 SIZE = 2e8
 #: Both kernel modes must agree on every replayed duration to this.
 REL_TOL = 1e-9
+
+
+def check_warm_pool_path() -> list[str]:
+    """The `repro metrology run --workers` path: warm-pool serving under
+    live recalibration must recycle on epoch bumps and stay bit-identical
+    to a fresh serial simulation."""
+    from repro.metrology.demo import DEMO_PLATFORM, StarMetrologyDemo
+    from repro.serving.service import ForecastServingService
+
+    failures: list[str] = []
+    demo = StarMetrologyDemo.for_run(
+        n_hosts=2, period=PERIOD, seed=5,
+        warmup=WARMUP, steps=4, degrade_factor=0.3,
+    )
+    demo.warmup(WARMUP)
+    transfers = demo.workload(SIZE)
+    with ForecastServingService(
+            demo.service, service_factory=demo.service_factory(),
+            workers=1) as serving:
+        for _ in range(4):
+            demo.step()
+            served = serving.predict(DEMO_PLATFORM, transfers)
+            direct = demo.service.predict_transfers(DEMO_PLATFORM, transfers)
+            if [f.to_json() for f in served] != [f.to_json() for f in direct]:
+                failures.append(
+                    "warm-pool serving answer differs from serial ground "
+                    "truth under live recalibration"
+                )
+                break
+        pool = serving.pool.stats()
+        if demo.loop.stats.updates_applied >= 1 and pool["recycles"] < 1:
+            failures.append(
+                "recalibration bumped the epoch but the warm pool never "
+                "recycled (ensure_epoch path broken)"
+            )
+    return failures
+
+
+def check_combined_trace_round_trip() -> list[str]:
+    """Combined bandwidth+latency recording → JSON → measured replay."""
+    from repro.metrology.demo import StarMetrologyDemo
+    from repro.scenarios.runner import run_scenario
+    from repro.scenarios.spec import (
+        MeasuredTrace,
+        ScenarioSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    failures: list[str] = []
+    demo = StarMetrologyDemo.for_run(
+        n_hosts=2, period=PERIOD, seed=5,
+        warmup=WARMUP, steps=5, degrade_factor=0.5,
+        degrade_latency_factor=3.0,
+    )
+    demo.warmup(WARMUP)
+    demo.run(5)
+    traces = demo.combined_traces()
+    if len(traces) != 4:
+        return [f"expected 4 combined traces (2 links x 2 metrics), "
+                f"got {len(traces)}"]
+    round_tripped = [MeasuredTrace.from_json(t.to_json()).rescaled(0.01)
+                     for t in traces]
+    spec = ScenarioSpec(
+        name="metrology-smoke-combined",
+        topology=TopologySpec("star", {"n_hosts": 2}),
+        workload=WorkloadSpec("all_to_all", size=4e7),
+        measured=tuple(round_tripped),
+    )
+    incremental = run_scenario(spec, full_resolve=False)
+    full = run_scenario(spec, full_resolve=True)
+    for inc, ful in zip(incremental.transfers, full.transfers):
+        drift = (abs(inc.duration - ful.duration)
+                 / max(inc.duration, ful.duration))
+        if drift > REL_TOL:
+            failures.append(
+                f"kernel modes disagree on combined replay "
+                f"{inc.src}->{inc.dst} (rel {drift:.2e})"
+            )
+    latency_events = [e for e in incremental.events_applied
+                      if e.latency is not None
+                      and e.link == demo.degraded_link]
+    if not latency_events:
+        failures.append("combined replay applied no latency mutations")
+    else:
+        truth = demo.testbed.links[demo.degraded_link].latency
+        replayed = latency_events[-1].latency
+        if abs(replayed - truth) / truth > 0.15:
+            failures.append(
+                f"combined replay latency {replayed:.3e} diverges from the "
+                f"recorded testbed's {truth:.3e} beyond 15%"
+            )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -119,6 +218,9 @@ def main(argv: list[str] | None = None) -> int:
                     f"({inc.duration} vs {ful.duration}, rel {drift:.2e})"
                 )
                 break
+
+    failures.extend(check_warm_pool_path())
+    failures.extend(check_combined_trace_round_trip())
 
     if failures:
         for failure in failures:
