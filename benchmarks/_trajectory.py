@@ -1,0 +1,159 @@
+"""Machine-readable bench trajectory: one ``BENCH_<name>.json`` per bench.
+
+Every ``benchmarks/bench_*.py`` module that runs (even in smoke mode) emits a
+JSON file recording where and when it ran (machine, git revision, python),
+which tests ran and how long they took, and any named metrics the bench
+recorded through the ``trajectory`` fixture (event-loop timings, speedup
+ratios).  The files accumulate in ``benchmarks/results/`` — committed per PR,
+they form the performance trajectory of the kernel across the repo's history,
+and ``tools/check_bench_trajectory.py`` gates schema, presence and speedup
+regressions against them.
+
+Output directory: ``benchmarks/results`` by default, overridden by the
+``REPRO_BENCH_OUT`` environment variable (the smoke runner points it at a
+scratch directory so tier-1 never dirties the committed trajectory).
+
+Schema (``"schema": 1``)::
+
+    {
+      "schema": 1,
+      "bench": "incremental_solver",        # module name minus bench_/.py
+      "machine": "<hostname>",
+      "platform": "<platform.platform()>",
+      "python": "3.12.1",
+      "git_rev": "<commit sha or null>",
+      "smoke": false,                       # REPRO_SMOKE was set
+      "created_unix": 1720000000.0,
+      "cases": [                            # every test in the module
+        {"name": "test_x", "outcome": "passed", "duration_s": 1.25}
+      ],
+      "metrics": {                          # bench-recorded measurements
+        "fig5": {"full_ms": 91.2, "incremental_ms": 24.8,
+                 "speedup": 3.67, "transfers": 30}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+SCHEMA_VERSION = 1
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_OUT = BENCH_DIR / "results"
+FILE_PREFIX = "BENCH_"
+
+
+def output_dir() -> Path:
+    """Where trajectory files go: ``REPRO_BENCH_OUT`` or the committed dir."""
+    override = os.environ.get("REPRO_BENCH_OUT")
+    return Path(override) if override else DEFAULT_OUT
+
+
+def bench_name(module_filename: str) -> Optional[str]:
+    """``bench_incremental_solver.py`` → ``incremental_solver``.
+
+    Returns ``None`` for files that are not bench modules (conftest,
+    helpers), so callers can skip them."""
+    stem = Path(module_filename).name
+    if not (stem.startswith("bench_") and stem.endswith(".py")):
+        return None
+    return stem[len("bench_"):-len(".py")]
+
+
+def bench_name_from_nodeid(nodeid: str) -> Optional[str]:
+    """The bench name of a pytest nodeid (``.../bench_x.py::test_y``)."""
+    return bench_name(nodeid.split("::", 1)[0])
+
+
+def trajectory_filename(name: str) -> str:
+    return f"{FILE_PREFIX}{name}.json"
+
+
+def git_rev() -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=BENCH_DIR,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+class TrajectoryRecorder:
+    """Collects per-bench cases and metrics; flushes one JSON per bench."""
+
+    def __init__(self, out_dir: Optional[Path] = None) -> None:
+        self.out_dir = Path(out_dir) if out_dir is not None else output_dir()
+        self._cases: dict[str, list[dict]] = {}
+        self._metrics: dict[str, dict[str, dict]] = {}
+
+    def add_case(self, bench: str, test_name: str, outcome: str,
+                 duration_s: float) -> None:
+        self._cases.setdefault(bench, []).append({
+            "name": test_name,
+            "outcome": outcome,
+            "duration_s": float(duration_s),
+        })
+
+    def add_metric(self, bench: str, name: str, values: dict) -> None:
+        """Record one named measurement (timings, ratios, counts)."""
+        self._metrics.setdefault(bench, {})[name] = dict(values)
+
+    def harvest_benchmarks(self, benchmark_session: object) -> None:
+        """Fold pytest-benchmark stats (when timing ran) into the metrics."""
+        benchmarks = getattr(benchmark_session, "benchmarks", None) or ()
+        for bench_info in benchmarks:
+            fullname = getattr(bench_info, "fullname", "") or ""
+            module = bench_name_from_nodeid(fullname)
+            stats = getattr(bench_info, "stats", None)
+            if module is None or stats is None:
+                continue
+            try:
+                self.add_metric(module, f"timing:{bench_info.name}", {
+                    "mean_s": float(stats.mean),
+                    "min_s": float(stats.min),
+                    "rounds": int(stats.rounds),
+                })
+            except (AttributeError, TypeError, ValueError):
+                continue  # timing disabled or partial stats: nothing to record
+
+    def payload(self, bench: str) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "bench": bench,
+            "machine": socket.gethostname(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "git_rev": git_rev(),
+            "smoke": bool(os.environ.get("REPRO_SMOKE")),
+            "created_unix": time.time(),
+            "cases": self._cases.get(bench, []),
+            "metrics": self._metrics.get(bench, {}),
+        }
+
+    def flush(self) -> list[Path]:
+        """Write one ``BENCH_<name>.json`` per bench seen; returns the paths."""
+        benches = sorted(set(self._cases) | set(self._metrics))
+        if not benches:
+            return []
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        written = []
+        for bench in benches:
+            path = self.out_dir / trajectory_filename(bench)
+            path.write_text(
+                json.dumps(self.payload(bench), indent=1, sort_keys=True)
+                + "\n"
+            )
+            written.append(path)
+        return written

@@ -49,6 +49,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="rebuild the whole sharing system at every "
                               "simulation event (slow verification mode) "
                               "instead of incremental component re-solves")
+    predict.add_argument("--scalar-solve", action="store_true",
+                         help="route incremental re-solves through the "
+                              "scalar arena path instead of the batched "
+                              "numpy kernel (verification mode)")
 
     serve = sub.add_parser("serve", help="run the Pilgrim HTTP services")
     serve.add_argument("--host", default="127.0.0.1")
@@ -94,6 +98,9 @@ def _build_parser() -> argparse.ArgumentParser:
     scen_run.add_argument("--full-resolve", action="store_true",
                           help="verification mode: rebuild the sharing "
                                "system at every event")
+    scen_run.add_argument("--scalar-solve", action="store_true",
+                          help="verification mode: scalar arena re-solves "
+                               "instead of the batched numpy kernel")
     scen_run.add_argument("--json", action="store_true",
                           help="emit the full result as JSON")
 
@@ -140,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "transfer timescale)")
     met_replay.add_argument("--reps", type=int, default=1)
     met_replay.add_argument("--full-resolve", action="store_true")
+    met_replay.add_argument("--scalar-solve", action="store_true")
     met_replay.add_argument("--json", action="store_true",
                             help="emit the full scenario result as JSON")
 
@@ -222,6 +230,7 @@ def _cmd_predict(args, out) -> int:
     forecasts = service.predict_transfers(
         args.platform, transfers, model=model_by_name(args.model),
         ongoing=ongoing, full_resolve=args.full_resolve,
+        vectorized=not args.scalar_solve,
     )
     out.write(json.dumps([f.to_json() for f in forecasts], indent=1) + "\n")
     return 0
@@ -313,7 +322,8 @@ def _cmd_scenarios(args, out) -> int:
     if args.seed is not None:
         spec = spec.replace(seed=args.seed)
     result = run_scenario(spec, repetitions=args.reps,
-                          full_resolve=args.full_resolve)
+                          full_resolve=args.full_resolve,
+                          vectorized=not args.scalar_solve)
     if args.json:
         out.write(json.dumps(result.to_json(), indent=1) + "\n")
         return 0
@@ -406,7 +416,8 @@ def _cmd_metrology_replay(args, out) -> int:
         measured=tuple(traces),
     )
     result = run_scenario(spec, repetitions=args.reps,
-                          full_resolve=args.full_resolve)
+                          full_resolve=args.full_resolve,
+                          vectorized=not args.scalar_solve)
     if args.json:
         out.write(json.dumps(result.to_json(), indent=1) + "\n")
         return 0

@@ -3,7 +3,8 @@
 A bounded LRU over complete PNFS answers.  The key is the full identity of
 a forecast::
 
-    (platform name, link-mutation epoch, model id, transfers, ongoing, mode)
+    (platform name, link-mutation epoch, model id, transfers, ongoing,
+    full-resolve mode, vectorized mode)
 
 where ``transfers``/``ongoing`` are canonicalized tuples of
 ``(src, dst, size-in-bytes)`` — unit strings and :class:`TransferSpec`
@@ -59,6 +60,7 @@ def forecast_cache_key(
     transfers: Sequence[TransferSpec] | Iterable[tuple[str, str, float]],
     ongoing: Sequence[TransferSpec] | Iterable[tuple[str, str, float]] = (),
     full_resolve: bool = False,
+    vectorized: bool = True,
     epoch: Optional[int] = None,
 ) -> tuple:
     """The cache key for one forecast request.
@@ -73,6 +75,7 @@ def forecast_cache_key(
         canonical_transfers(transfers),
         canonical_transfers(ongoing),
         bool(full_resolve),
+        bool(vectorized),
     )
 
 

@@ -46,11 +46,11 @@ def _warm_worker_init(service_factory: Callable[[], NetworkForecastService]) -> 
 
 def _warm_worker_task(payload: tuple) -> list[TransferForecast]:
     """One forecast request against the worker's resident service."""
-    platform_name, transfers, model, full_resolve, ongoing = payload
+    platform_name, transfers, model, full_resolve, vectorized, ongoing = payload
     service: NetworkForecastService = _WORKER_STATE["service"]
     return service.predict_transfers(
         platform_name, transfers, model=model, full_resolve=full_resolve,
-        ongoing=ongoing,
+        vectorized=vectorized, ongoing=ongoing,
     )
 
 
@@ -155,6 +155,7 @@ class WarmWorkerPool:
         requests: Sequence[Sequence[TransferSpec] | Sequence[tuple[str, str, float]]],
         model: Optional[object] = None,
         full_resolve: bool = False,
+        vectorized: bool = True,
         ongoing: Optional[Sequence[Sequence]] = None,
     ) -> list[list[TransferForecast]]:
         """Fan one batch of independent requests out over the warm workers.
@@ -173,7 +174,7 @@ class WarmWorkerPool:
             )
         payloads = [
             (platform_name, canonical_transfers(transfers), model, full_resolve,
-             canonical_transfers(flight))
+             vectorized, canonical_transfers(flight))
             for transfers, flight in zip(requests, flights)
         ]
         if not payloads:

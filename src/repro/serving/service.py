@@ -123,6 +123,7 @@ class ForecastServingService:
         model: Optional[object] = None,
         ongoing: Sequence[TransferSpec] | Iterable[tuple[str, str, float]] = (),
         full_resolve: bool = False,
+        vectorized: bool = True,
         timeout: Optional[float] = None,
     ) -> list[TransferForecast]:
         """One PNFS answer through the serving path (cache → batch → pool).
@@ -136,14 +137,15 @@ class ForecastServingService:
         specs = canonical_transfers(transfers)
         ongoing_specs = canonical_transfers(ongoing)
         key = forecast_cache_key(
-            platform_name, request_model, specs, ongoing_specs, full_resolve)
+            platform_name, request_model, specs, ongoing_specs, full_resolve,
+            vectorized)
         cached = self.cache.get(key)
         if cached is not None:
             self.latency.record(time.perf_counter() - t0)
             return cached
         future = self.batcher.submit(
             platform_name, specs, request_model, full_resolve=full_resolve,
-            ongoing=ongoing_specs,
+            ongoing=ongoing_specs, vectorized=vectorized,
         )
         forecasts = future.result(timeout=timeout)
         self.cache.put(key, forecasts)
@@ -179,6 +181,7 @@ class ForecastServingService:
                     [list(ongoing) for _, ongoing in keys],
                     first.model,
                     first.full_resolve,
+                    first.vectorized,
                 )
             except BaseException as exc:  # noqa: BLE001 - per-group isolation
                 for pending in group:
@@ -197,16 +200,19 @@ class ForecastServingService:
         ongoing: list,
         model: object,
         full_resolve: bool,
+        vectorized: bool = True,
     ) -> list[list[TransferForecast]]:
         if self.pool is not None:
             return self.pool.predict_many(
                 platform_name, requests, model=model,
-                full_resolve=full_resolve, ongoing=ongoing,
+                full_resolve=full_resolve, vectorized=vectorized,
+                ongoing=ongoing,
             )
         return [
             self.service.predict_transfers(
                 platform_name, transfers, model=model,
                 ongoing=flight, full_resolve=full_resolve,
+                vectorized=vectorized,
             )
             for transfers, flight in zip(requests, ongoing)
         ]

@@ -30,6 +30,17 @@ class ActivityState(enum.Enum):
     CANCELED = "canceled"
 
 
+# global cancellation counter: bumped by every Activity.cancel() so engines
+# can tell in O(1) whether any user code canceled an activity behind their
+# back (the only external state change possible) instead of sweeping every
+# live activity after each callback
+_cancel_epoch = 0
+
+
+def cancel_epoch() -> int:
+    return _cancel_epoch
+
+
 class Waitable:
     """Anything a process can wait on: completion flag + callbacks + result."""
 
@@ -63,7 +74,7 @@ class Activity(Waitable):
     """Base class for resource-consuming activities."""
 
     __slots__ = ("name", "state", "start_time", "finish_time", "remaining",
-                 "rate", "usages", "scale")
+                 "rate", "usages", "scale", "_slot")
 
     def __init__(self, name: str) -> None:
         super().__init__()
@@ -81,6 +92,9 @@ class Activity(Waitable):
         #: 1), precomputed so the event loop's finish check is a single
         #: comparison per activity per event
         self.scale = 1.0
+        #: index into the owning engine's progress slot arrays; -1 while the
+        #: activity is not registered with any engine
+        self._slot = -1
 
     # -- engine protocol ---------------------------------------------------
 
@@ -108,6 +122,8 @@ class Activity(Waitable):
     def cancel(self, now: float) -> None:
         if self.state in (ActivityState.DONE, ActivityState.CANCELED):
             return
+        global _cancel_epoch
+        _cancel_epoch += 1
         self.state = ActivityState.CANCELED
         self.finish_time = now
         self._fire()

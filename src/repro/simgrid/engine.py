@@ -17,6 +17,14 @@ Concretely, each loop iteration:
 Same-host communications bypass sharing through a configurable loopback
 (SimGrid models these with a dedicated loopback link as well).
 
+Activity progress state (remaining work, allocated rate) lives in flat numpy
+slot arrays owned by the engine: the next-event search, the progress drain and
+the completion scan of steps 3–4 are whole-array passes instead of per-object
+Python loops.  Object attributes (``activity.remaining``/``rate``) are flushed
+from the arrays lazily — only before user code can observe them (timer
+callbacks, MSG process steps, completion callbacks, ``run()`` returning) — so
+a large steady-state simulation never pays per-event attribute traffic.
+
 Resource sharing is *incremental* by default: a persistent
 :class:`~repro.simgrid.maxmin.SharingSystem` arena lives across events,
 activities are added when they enter their transfer/compute phase and removed
@@ -25,7 +33,8 @@ touched since the previous event (see ``docs/ARCHITECTURE.md``).  Pass
 ``full_resolve=True`` to rebuild the whole bounded max-min system from
 scratch at every event instead — the historical behavior, kept as a
 verification escape hatch (``tests/simgrid/test_incremental_equivalence.py``
-asserts both modes agree within 1e-9).
+asserts both modes agree within 1e-9).  ``vectorized=False`` similarly forces
+the arena's scalar per-component solve path (the second escape hatch).
 """
 
 from __future__ import annotations
@@ -33,7 +42,9 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
+
+import numpy as np
 
 from repro.simgrid.activities import (
     Activity,
@@ -41,6 +52,7 @@ from repro.simgrid.activities import (
     CommActivity,
     ExecActivity,
     SleepActivity,
+    cancel_epoch,
 )
 from repro.simgrid.maxmin import MaxMinSystem, SharingSystem
 from repro.simgrid.models import LV08, NetworkModel
@@ -49,6 +61,9 @@ from repro.simgrid.trace import Trace
 
 #: Completion tolerance relative to the activity's total amount of work.
 _REL_EPS = 1e-9
+
+_DONE = ActivityState.DONE
+_CANCELED = ActivityState.CANCELED
 
 
 class SimulationError(Exception):
@@ -67,6 +82,7 @@ class Simulation:
         trace: Optional[Trace] = None,
         capacity_factors: Optional[dict[str, float]] = None,
         full_resolve: bool = False,
+        vectorized: bool = True,
     ) -> None:
         self.platform = platform
         self.model = model if model is not None else LV08()
@@ -76,6 +92,9 @@ class Simulation:
         #: when True, rebuild the whole max-min system at every event (the
         #: historical behavior) instead of incremental component re-solves
         self.full_resolve = bool(full_resolve)
+        #: solve-path default of the incremental arena (False forces the
+        #: scalar per-component walk — the kernel verification escape hatch)
+        self.vectorized = bool(vectorized)
         #: per-link capacity scaling in [0, 1], keyed by link name — the
         #: coarse background-traffic model of §VI (bandwidth consumed by
         #: traffic outside this simulation)
@@ -86,29 +105,131 @@ class Simulation:
                     f"capacity factor for {name!r} must be in (0, 1]: {factor}"
                 )
         self.clock = 0.0
-        self._activities: list[Activity] = []
         self._timers: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._runnable: list[tuple[object, object]] = []  # (process, send_value)
         self._share_dirty = True
         self._comm_counter = itertools.count()
+        # activity slot arrays: remaining work, allocated rate, absolute
+        # completion tolerance, liveness, comm-typed flag.  Dead slots keep
+        # rate=0 / remaining=inf so whole-array scans skip them for free.
+        cap = 64
+        self._a_rem = np.full(cap, np.inf, dtype=float)
+        self._a_rate = np.zeros(cap, dtype=float)
+        self._a_eps = np.zeros(cap, dtype=float)
+        self._a_live = np.zeros(cap, dtype=bool)
+        self._a_is_comm = np.zeros(cap, dtype=bool)
+        self._a_obj: list[Optional[Activity]] = [None] * cap
+        self._a_free: list[int] = list(range(cap - 1, -1, -1))
+        self._a_scratch = np.empty(cap, dtype=float)
+        self._a_bool = np.empty(cap, dtype=bool)
+        self._a_bool2 = np.empty(cap, dtype=bool)
+        self._a_count = 0
+        # object attributes (activity.remaining / .rate) lag the arrays; set
+        # whenever the arrays move, cleared by _sync_objects()
+        self._attrs_stale = False
         # incremental sharing state: the persistent arena, activity -> variable
-        # id handles, and the activities that entered/left their resource
-        # phase since the last re-share
-        self._sharing = SharingSystem()
+        # id handles, the arena-vid -> engine-slot scatter map, and the
+        # activities that entered/left their resource phase since the last
+        # re-share
+        self._sharing = SharingSystem(vectorized=self.vectorized)
         self._handles: dict[Activity, int] = {}
+        self._vid_slot = np.full(64, -1, dtype=np.intp)
         self._started: list[Activity] = []
         self._finished: list[Activity] = []
         self._rebuild_sharing = True
-        # set when a process step ran: a process can cancel activities the
-        # event loop hasn't noticed yet, so the next incremental re-share
-        # must sweep the whole arena instead of trusting the delta lists
-        self._sweep_stale = False
+        # set when user code ran (timer callbacks, MSG process steps): it may
+        # have canceled activities behind the event loop's back, so the next
+        # iteration must sweep live objects for externally-changed states —
+        # unless the global cancel epoch proves nothing was canceled
+        self._user_code_ran = False
+        self._cancel_seen = cancel_epoch()
         # link-mutation epoch and capacity factors at which cached activity
         # usages were computed; a change means every cached
         # (key, capacity, coefficient) triple must be re-derived
         self._usage_epoch = link_epoch()
         self._factors_seen = dict(self.capacity_factors)
+
+    # -- activity slot arena -------------------------------------------------
+
+    def _grow_slots(self) -> None:
+        old = self._a_rem.size
+        new = old * 2
+
+        def widen(arr: np.ndarray, fill) -> np.ndarray:
+            out = np.full(new, fill, dtype=arr.dtype)
+            out[:old] = arr
+            return out
+
+        self._a_rem = widen(self._a_rem, np.inf)
+        self._a_rate = widen(self._a_rate, 0.0)
+        self._a_eps = widen(self._a_eps, 0.0)
+        self._a_live = widen(self._a_live, False)
+        self._a_is_comm = widen(self._a_is_comm, False)
+        self._a_obj.extend([None] * (new - old))
+        self._a_free.extend(range(new - 1, old - 1, -1))
+        self._a_scratch = np.empty(new, dtype=float)
+        self._a_bool = np.empty(new, dtype=bool)
+        self._a_bool2 = np.empty(new, dtype=bool)
+
+    def _register(self, activity: Activity) -> None:
+        if not self._a_free:
+            self._grow_slots()
+        slot = self._a_free.pop()
+        activity._slot = slot
+        self._a_obj[slot] = activity
+        self._a_rem[slot] = activity.remaining
+        self._a_rate[slot] = activity.rate
+        self._a_eps[slot] = _REL_EPS * activity.scale
+        self._a_live[slot] = True
+        self._a_is_comm[slot] = isinstance(activity, CommActivity)
+        self._a_count += 1
+
+    def _unregister(self, activity: Activity, slot: int) -> None:
+        self._a_live[slot] = False
+        self._a_rem[slot] = np.inf
+        self._a_rate[slot] = 0.0
+        self._a_eps[slot] = 0.0
+        self._a_is_comm[slot] = False
+        self._a_obj[slot] = None
+        self._a_free.append(slot)
+        activity._slot = -1
+        self._a_count -= 1
+
+    def _live_activities(self) -> Iterator[Activity]:
+        for slot in np.nonzero(self._a_live)[0].tolist():
+            yield self._a_obj[slot]
+
+    def sync_activities(self) -> None:
+        """Flush array-held progress onto ``activity.remaining``/``.rate``.
+
+        Process steps, completion callbacks, and ``run()`` returns flush
+        automatically.  Timer callbacks do *not* — a timer callback that
+        reads activity progress attributes must call this first (in-tree
+        timer users only schedule new work, so the common case pays
+        nothing)."""
+        self._sync_objects()
+
+    def _sync_objects(self) -> None:
+        """Flush array-held progress state back onto the activity objects.
+
+        Called before any user code can observe ``activity.remaining`` or
+        ``activity.rate`` (process steps, completion callbacks) and when
+        ``run()`` returns; timer callbacks opt in via
+        :meth:`sync_activities`."""
+        if not self._attrs_stale:
+            return
+        rem = self._a_rem
+        rate = self._a_rate
+        objs = self._a_obj
+        for slot in np.nonzero(self._a_live)[0].tolist():
+            activity = objs[slot]
+            # _advance lets the completing slot dip epsilon-negative; clamp
+            # here so user code never observes it
+            r = rem[slot]
+            activity.remaining = r if r > 0.0 else 0.0
+            activity.rate = rate[slot]
+        self._attrs_stale = False
 
     # -- public construction API -------------------------------------------
 
@@ -143,7 +264,7 @@ class Simulation:
             )
             comm.usages = self._scaled_usages(usages)
         comm.start_time = self.clock
-        self._activities.append(comm)
+        self._register(comm)
         self._started.append(comm)
         self._share_dirty = True
         if self.trace is not None:
@@ -159,7 +280,7 @@ class Simulation:
         activity = ExecActivity(name, host_obj, flops)
         activity.usages = self._exec_usages(host_obj)
         activity.start_time = self.clock
-        self._activities.append(activity)
+        self._register(activity)
         self._started.append(activity)
         self._share_dirty = True
         if self.trace is not None:
@@ -171,7 +292,7 @@ class Simulation:
         """Start a pure delay of ``duration`` simulated seconds."""
         activity = SleepActivity(name or f"sleep-{next(self._comm_counter)}", duration)
         activity.start_time = self.clock
-        self._activities.append(activity)
+        self._register(activity)
         return activity
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
@@ -199,11 +320,32 @@ class Simulation:
 
     def _drain_runnable(self) -> None:
         if self._runnable:
-            # a process step may cancel activities without telling us
-            self._sweep_stale = True
+            # a process step is user code: it reads activity attributes and
+            # may cancel activities without telling us
+            self._sync_objects()
+            self._user_code_ran = True
         while self._runnable:
             process, value = self._runnable.pop(0)
             process._step(value)  # type: ignore[attr-defined]
+
+    def _sweep_external_states(self) -> None:
+        """Evict activities whose state user code changed behind our back.
+
+        ``Activity.cancel`` is the only API that moves an activity to a
+        terminal state outside the event loop, and it bumps the global cancel
+        epoch — an unchanged epoch makes this sweep O(1)."""
+        epoch = cancel_epoch()
+        if epoch == self._cancel_seen:
+            return
+        self._cancel_seen = epoch
+        objs = self._a_obj
+        for slot in np.nonzero(self._a_live)[0].tolist():
+            activity = objs[slot]
+            state = activity.state
+            if state is _DONE or state is _CANCELED:
+                self._unregister(activity, slot)
+                self._finished.append(activity)
+                self._share_dirty = True
 
     # -- resource sharing ----------------------------------------------------
 
@@ -234,18 +376,11 @@ class Simulation:
         """The sharing usages of a computation: the host's core pool."""
         return ((("host", host.name), host.speed * host.cores, 1.0),)
 
-    def _apply_rate(self, activity: Activity, value: float) -> None:
-        if isinstance(activity, CommActivity) and not math.isfinite(value):
-            # no constraint and no bound anywhere on the route: treat as
-            # the loopback rate to keep time finite
-            value = self.loopback_bandwidth
-        activity.rate = value
-
     def _refresh_usages(self) -> None:
         """Re-derive every activity's cached sharing usages after in-place
         link mutation (latency feed recalibration, bandwidth edits) or a
         capacity-factor change."""
-        for activity in self._activities:
+        for activity in self._live_activities():
             if isinstance(activity, CommActivity):
                 if activity.route:
                     activity.usages = self._scaled_usages(
@@ -281,7 +416,7 @@ class Simulation:
         constraints: dict[object, object] = {}
         pairs: list[tuple[Activity, object]] = []
 
-        for activity in self._activities:
+        for activity in self._live_activities():
             if (
                 isinstance(activity, (CommActivity, ExecActivity))
                 and activity.state is ActivityState.RUNNING
@@ -297,52 +432,98 @@ class Simulation:
                 pairs.append((activity, var))
 
         system.solve()
+        rates = self._a_rate
         for activity, var in pairs:
-            self._apply_rate(activity, var.value)
+            value = var.value
+            if isinstance(activity, CommActivity) and not math.isfinite(value):
+                # no constraint and no bound anywhere on the route: treat as
+                # the loopback rate to keep time finite
+                value = self.loopback_bandwidth
+            activity.rate = value
+            rates[activity._slot] = value
         # the incremental delta lists are not consumed in this mode — drop
         # them so completed activities don't accumulate for the run's life
         self._started.clear()
         self._finished.clear()
         self._rebuild_sharing = True
 
+    def _ensure_vid_slot(self) -> None:
+        cap = self._sharing.variable_capacity
+        if self._vid_slot.size < cap:
+            grown = np.full(cap, -1, dtype=np.intp)
+            grown[: self._vid_slot.size] = self._vid_slot
+            self._vid_slot = grown
+
     def _reshare_incremental(self) -> None:
         if self._rebuild_sharing:
             # external mutations (cancel between runs, link edits) are
             # untracked: rebuild the arena from the live activity set
             if self._handles:
-                self._sharing = SharingSystem()
+                self._sharing = SharingSystem(vectorized=self.vectorized)
+                self._vid_slot = np.full(64, -1, dtype=np.intp)
                 self._handles.clear()
             self._finished.clear()
-            self._started = list(self._activities)
+            self._started = list(self._live_activities())
             self._rebuild_sharing = False
         handles = self._handles
-        for activity in self._finished:
-            vid = handles.pop(activity, None)
-            if vid is not None:
-                self._sharing.remove_variable(vid)
-        self._finished.clear()
-        if self._sweep_stale:
-            # a process stepped since the last re-share and may have canceled
-            # activities the event loop hasn't completed yet: evict anything
-            # no longer RUNNING (full mode filters by state too, and the two
-            # modes must agree)
-            self._sweep_stale = False
-            stale = [a for a in handles if a.state is not ActivityState.RUNNING]
-            for activity in stale:
-                self._sharing.remove_variable(handles.pop(activity))
-        for activity in self._started:
-            if (
-                activity.state is ActivityState.RUNNING
-                and isinstance(activity, (CommActivity, ExecActivity))
-                and activity not in handles
-            ):
-                weight, bound = self._sharing_spec(activity)
-                handles[activity] = self._sharing.add_variable_unchecked(
-                    weight, bound, activity, activity.usages
+        sharing = self._sharing
+        if self._finished:
+            for activity in self._finished:
+                vid = handles.pop(activity, None)
+                if vid is not None:
+                    sharing.remove_variable(vid)
+            self._finished.clear()
+            remap = sharing.maybe_compact()
+            if remap is not None:
+                # arena defragmentation renumbered every live vid
+                for activity, vid in handles.items():
+                    handles[activity] = remap[vid]
+                self._vid_slot = np.full(
+                    sharing.variable_capacity, -1, dtype=np.intp
                 )
-        self._started.clear()
-        for activity, value in self._sharing.solve():
-            self._apply_rate(activity, value)
+                for activity, vid in handles.items():
+                    self._vid_slot[vid] = activity._slot
+        if self._started:
+            for activity in self._started:
+                if (
+                    activity.state is ActivityState.RUNNING
+                    and isinstance(activity, (CommActivity, ExecActivity))
+                    and activity not in handles
+                ):
+                    weight, bound = self._sharing_spec(activity)
+                    vid = sharing.add_variable_unchecked(
+                        weight, bound, activity, activity.usages
+                    )
+                    handles[activity] = vid
+                    if vid >= self._vid_slot.size:
+                        # the arena grew its slot buffers mid-batch
+                        self._ensure_vid_slot()
+                    self._vid_slot[vid] = activity._slot
+            self._started.clear()
+        vids, values = sharing.solve_raw()
+        if vids.size:
+            if vids.size <= 8:
+                # tiny delta (the steady-state case): scalar scatter beats
+                # the fancy-indexing round trip
+                vid_slot = self._vid_slot
+                rate = self._a_rate
+                is_comm = self._a_is_comm
+                for vid, value in zip(vids.tolist(), values.tolist()):
+                    slot = vid_slot[vid]
+                    if not math.isfinite(value) and is_comm[slot]:
+                        value = self.loopback_bandwidth
+                    rate[slot] = value
+            else:
+                slots = self._vid_slot[vids]
+                if not np.isfinite(values).all():
+                    bad = self._a_is_comm[slots] & ~np.isfinite(values)
+                    if bad.any():
+                        # no constraint and no bound anywhere on the route:
+                        # treat as the loopback rate to keep time finite
+                        # (same as full mode)
+                        values = np.where(bad, self.loopback_bandwidth, values)
+                self._a_rate[slots] = values
+            self._attrs_stale = True
 
     @property
     def sharing_stats(self) -> dict:
@@ -352,21 +533,16 @@ class Simulation:
     # -- main loop -----------------------------------------------------------
 
     def _next_event_time(self) -> float:
-        # inlined hot loop: equivalent to min over Activity.time_to_completion
-        t = math.inf
-        done = ActivityState.DONE
-        canceled = ActivityState.CANCELED
-        for activity in self._activities:
-            rate = activity.rate
-            if rate <= 0.0:
-                continue
-            state = activity.state
-            if state is done or state is canceled:
-                continue
-            remaining = activity.remaining
-            t_act = self.clock + remaining / rate if remaining > 0.0 else self.clock
-            if t_act < t:
-                t = t_act
+        # whole-array equivalent of min over Activity.time_to_completion:
+        # dead slots hold rate=0 and keep the scratch's inf through the
+        # masked divide (no errstate needed — zero rates are never divided)
+        rate = self._a_rate
+        ttc = self._a_scratch
+        ttc.fill(np.inf)
+        mask = np.greater(rate, 0.0, out=self._a_bool)
+        np.divide(self._a_rem, rate, out=ttc, where=mask)
+        dt = float(ttc.min())
+        t = self.clock + dt if dt != math.inf else math.inf
         if self._timers and self._timers[0][0] < t:
             t = self._timers[0][0]
         return t
@@ -377,38 +553,53 @@ class Simulation:
         Returns the final simulated clock.
         """
         # external mutations (cancel, link edits) between runs are untracked:
-        # force a re-share and a full arena rebuild
+        # force a re-share, a sweep and a full arena rebuild
         self._share_dirty = True
         self._rebuild_sharing = True
+        self._user_code_ran = True
         for _ in range(max_iterations):
             self._drain_runnable()
+            if self._user_code_ran:
+                self._user_code_ran = False
+                self._sweep_external_states()
             if self._share_dirty:
                 self._reshare()
             t_next = self._next_event_time()
-            if t_next is math.inf or t_next > until:
+            if t_next == math.inf or t_next > until:
                 if math.isfinite(until) and until > self.clock:
                     # drain partial progress up to the stop point
-                    dt = until - self.clock
-                    for activity in self._activities:
-                        activity.advance(dt)
+                    self._advance(until - self.clock)
                     self.clock = until
+                self._sync_objects()
                 self._drop_sharing_deltas()
                 return self.clock
             dt = t_next - self.clock
             if dt > 0:
-                # inlined Activity.advance over all activities
-                for activity in self._activities:
-                    rate = activity.rate
-                    if rate > 0.0 and activity.remaining > 0.0:
-                        left = activity.remaining - rate * dt
-                        activity.remaining = left if left > 0.0 else 0.0
+                self._advance(dt)
             self.clock = t_next
-            self._fire_due_timers()
+            if self._timers and self._timers[0][0] <= self.clock + 1e-15:
+                # timer callbacks that read activity progress attributes must
+                # call sync_activities(); the engine does not flush here
+                self._user_code_ran = True
+                self._fire_due_timers()
             self._complete_finished()
-            if not self._activities and not self._timers and not self._runnable:
+            if not self._a_count and not self._timers and not self._runnable:
+                self._sync_objects()
                 self._drop_sharing_deltas()
                 return self.clock
         raise SimulationError("max_iterations exceeded; livelocked simulation?")
+
+    def _advance(self, dt: float) -> None:
+        # whole-array progress drain; dead slots (rate 0, remaining inf) are
+        # untouched by construction
+        # remaining may dip epsilon-negative for the completing slot; it is
+        # unregistered by _complete_finished in this same iteration, and
+        # _sync_objects clamps what user code sees, so no extra pass here
+        rem = self._a_rem
+        step = self._a_scratch
+        np.multiply(self._a_rate, dt, out=step)
+        np.subtract(rem, step, out=rem)
+        self._attrs_stale = True
 
     def _drop_sharing_deltas(self) -> None:
         """Forget the started/finished tracking lists at run() exit.
@@ -426,36 +617,70 @@ class Simulation:
             callback()
 
     def _complete_finished(self) -> None:
-        still_active: list[Activity] = []
+        # dead slots fail both terms (remaining inf, eps 0, rate 0), so the
+        # liveness array stays out of the mask
+        mask = np.less_equal(self._a_rem, self._a_eps, out=self._a_bool)
+        np.logical_and(mask, np.greater(self._a_rate, 0.0, out=self._a_bool2),
+                       out=mask)
+        hits = np.nonzero(mask)[0]
+        if not hits.size:
+            return
+        objs = self._a_obj
+        rate_arr = self._a_rate
+        clock = self.clock
         finished: list[Activity] = []
-        for activity in self._activities:
-            if (
-                activity.state is not ActivityState.DONE
-                and activity.state is not ActivityState.CANCELED
-                and activity.rate > 0.0
-                and activity.remaining <= _REL_EPS * activity.scale
-            ):
-                activity.remaining = 0.0
-                if activity.phase_complete(self.clock):
-                    finished.append(activity)
-                    self._finished.append(activity)
-                else:
-                    # phase transition (latency -> transfer): the activity now
-                    # enters the sharing system
-                    still_active.append(activity)
-                    self._started.append(activity)
-                self._share_dirty = True
-            elif activity.state in (ActivityState.DONE, ActivityState.CANCELED):
+        dead: list[int] = []
+        for slot in hits.tolist():
+            activity = objs[slot]
+            state = activity.state
+            if state is _DONE or state is _CANCELED:
+                # a timer at this same event canceled/completed it already
+                dead.append(slot)
+                objs[slot] = None
+                activity._slot = -1
                 self._finished.append(activity)
-                self._share_dirty = True
+                continue
+            activity.remaining = 0.0
+            if activity.phase_complete(clock):
+                activity.rate = float(rate_arr[slot])
+                dead.append(slot)
+                objs[slot] = None
+                activity._slot = -1
+                finished.append(activity)
+                self._finished.append(activity)
             else:
-                still_active.append(activity)
-        self._activities = still_active
-        for activity in finished:
-            if self.trace is not None:
-                self.trace.record(self.clock, "activity_end", name=activity.name,
-                                  duration=activity.duration)
-            activity._fire()
+                # phase transition (latency -> transfer): the activity now
+                # enters the sharing system
+                self._a_rem[slot] = activity.remaining
+                rate_arr[slot] = activity.rate
+                self._started.append(activity)
+        if dead:
+            # batched _unregister: one fancy write per array for the whole
+            # completion batch instead of six scalar writes per activity
+            # (a single completion — the common steady-state case — takes
+            # the cheaper scalar writes)
+            idx = dead[0] if len(dead) == 1 else dead
+            self._a_live[idx] = False
+            self._a_rem[idx] = np.inf
+            rate_arr[idx] = 0.0
+            self._a_eps[idx] = 0.0
+            self._a_is_comm[idx] = False
+            self._a_free.extend(dead)
+            self._a_count -= len(dead)
+        self._share_dirty = True
+        if finished:
+            if any(a._callbacks for a in finished):
+                # completion callbacks are user code: they may read any
+                # activity's progress attributes
+                self._sync_objects()
+                self._user_code_ran = True
+            trace = self.trace
+            for activity in finished:
+                if trace is not None:
+                    trace.record(clock, "activity_end",
+                                 name=activity.name,
+                                 duration=activity.duration)
+                activity._fire()
 
     # -- convenience ---------------------------------------------------------
 

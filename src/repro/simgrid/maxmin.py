@@ -19,20 +19,39 @@ Solved instances hold:
 - ``Variable.value`` — the allocated rate,
 - ``Constraint.usage`` — the total consumption on the constraint.
 
-The solver is numpy-vectorised over constraints and variables; each iteration
-freezes at least one variable or constraint, so at most ``n + m`` passes run.
-
-Two front-ends share the same progressive-filling kernel:
+Two front-ends share the progressive-filling kernels:
 
 - :class:`MaxMinSystem` — build once, solve once (the historical API, kept as
   the ``full_resolve`` verification path),
 - :class:`SharingSystem` — a *persistent arena* for the event loop: variables
   come and go as activities start and finish, coefficient buffers stay alive
-  across events (grow-only, free-list slot reuse), and :meth:`SharingSystem.
-  solve` only re-solves the connected components touched since the last call
-  (dirty-set tracking).  Untouched components keep their previous allocation,
-  which is exact: progressive filling never moves rate between disconnected
-  components.
+  across events (grow-only, free-list slot reuse, periodic compaction), and
+  :meth:`SharingSystem.solve` only re-solves the connected components touched
+  since the last call (dirty-set tracking).  Untouched components keep their
+  previous allocation, which is exact: progressive filling never moves rate
+  between disconnected components.
+
+``SharingSystem.solve`` runs one of two equivalent paths:
+
+- the **batched vectorized kernel** (default): all valid coefficients live in
+  flat COO triplet arrays (constraint slot, variable slot, coefficient) with a
+  per-variable *generation* stamp — removing a variable bumps its generation,
+  invalidating its triplets in O(1) without touching the arrays.  A solve
+  discovers connected components by whole-array label propagation over the
+  triplets, picks the components containing dirty slots, solves every
+  single-variable component in one scalar-free bulk pass, and runs all
+  remaining components through :func:`progressive_fill_batched` — one
+  progressive-filling iteration advances *every* component simultaneously
+  (per-constraint drains via ``np.bincount`` segment sums, per-component
+  levels via ``np.minimum.reduceat``),
+- the **scalar path** (``solve(vectorized=False)``): the PR-1 per-component
+  Python walk, retained as the verification escape hatch exactly the way
+  ``full_resolve`` was retained for the engine.
+
+Long-lived arenas (days-long metrology loops) call :meth:`SharingSystem.
+compact` — or let :meth:`maybe_compact` decide — to defragment the free lists
+and drop stale triplets; live variables get new contiguous ids (the returned
+remap), and ``allocations()`` order is preserved.
 """
 
 from __future__ import annotations
@@ -43,6 +62,9 @@ from typing import Iterable, Optional
 import numpy as np
 
 _EPS = 1e-12
+
+_EMPTY_IDS = np.zeros(0, dtype=np.intp)
+_EMPTY_VALS = np.zeros(0, dtype=float)
 
 
 class MaxMinError(Exception):
@@ -180,10 +202,24 @@ class MaxMinSystem:
     # -- diagnostics --------------------------------------------------------
 
     def is_feasible(self, tolerance: float = 1e-6) -> bool:
-        """True when no constraint is over-consumed (relative tolerance)."""
-        return all(
-            cons.usage <= cons.capacity * (1.0 + tolerance) for cons in self.constraints
-        )
+        """True when no constraint is over-consumed.
+
+        The slack is *relative to each constraint's capacity*
+        (``usage - capacity <= tolerance * capacity``), so a near-zero-capacity
+        constraint gets a proportionally tiny allowance instead of inheriting
+        slack sized for big links.  A variable that touches any constraint yet
+        holds an infinite allocation is reported infeasible regardless of the
+        usage sums: ``inf`` rates are excluded from usage accounting, so they
+        would otherwise pass silently.
+        """
+        for cons in self.constraints:
+            if cons.usage - cons.capacity > tolerance * cons.capacity:
+                return False
+        constrained = {vi for (_ci, vi) in self._coeffs}
+        for var in self.variables:
+            if var.index in constrained and not math.isfinite(var.value):
+                return False
+        return True
 
 
 def progressive_fill(
@@ -214,9 +250,13 @@ def progressive_fill(
         if not active.any():
             break
         active_inv_w = np.where(active, inv_w, 0.0)
-        # consumption per unit of additional level, per constraint
+        # consumption per unit of additional level, per constraint.  Any
+        # strictly positive drain keeps the constraint relevant: comparing
+        # against an absolute epsilon here would let a huge-weight variable
+        # (drain underflowing the epsilon) sail past its capacity to an
+        # unbounded allocation.
         drain = incidence @ active_inv_w if m else np.zeros(0)
-        relevant = cons_active & (drain > _EPS)
+        relevant = cons_active & (drain > 0.0)
         # level increase that saturates each relevant constraint
         with np.errstate(divide="ignore", invalid="ignore"):
             dphi_cons = np.where(relevant, remaining / np.where(drain > 0, drain, 1.0), np.inf)
@@ -262,6 +302,151 @@ def progressive_fill(
     return values, usage
 
 
+def progressive_fill_batched(
+    weights: np.ndarray,
+    bounds: np.ndarray,
+    capacities: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    coeffs: np.ndarray,
+    comp_of_var: np.ndarray,
+    comp_of_cons: np.ndarray,
+    n_comps: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Progressive filling over many *independent* components at once.
+
+    The coefficient matrix arrives as COO triplets (``rows`` into
+    ``capacities``, ``cols`` into ``weights``/``bounds``), and every variable
+    and constraint carries a component id (``comp_of_var``/``comp_of_cons``).
+    Each iteration advances *all* components by their own level increment:
+    per-constraint drains are segment sums (``np.bincount``), per-component
+    level increments are segment minima (``np.minimum.reduceat``), and the
+    freeze decisions (bound hit, constraint saturated, per-component forced
+    freeze) are taken simultaneously across components — each component makes
+    exactly the choices the scalar kernel would make for it alone.
+
+    Preconditions (the :class:`SharingSystem` gather guarantees them):
+    variables and constraints are grouped by component id (non-decreasing),
+    and every component has at least one variable and one constraint.
+    Returns ``(values, usage)`` in the given variable/constraint order.
+    """
+    n = int(weights.size)
+    m = int(capacities.size)
+    inv_w = 1.0 / weights
+    remaining = capacities.astype(float, copy=True)
+
+    active = np.ones(n, dtype=bool)
+    cons_active = np.ones(m, dtype=bool)
+    values = np.zeros(n, dtype=float)
+    phi = np.zeros(n_comps, dtype=float)
+
+    # segment starts for reduceat (components are contiguous and non-empty)
+    comp_ids = np.arange(n_comps)
+    var_starts = np.searchsorted(comp_of_var, comp_ids)
+    cons_starts = np.searchsorted(comp_of_cons, comp_ids)
+    bw = bounds * weights
+
+    for _ in range(n + m + 1):
+        if not active.any():
+            break
+        active_inv_w = np.where(active, inv_w, 0.0)
+        # segment-summed drains; strictly positive keeps a constraint relevant
+        # (same absolute-epsilon fix as the scalar kernel)
+        drain = np.bincount(rows, weights=coeffs * active_inv_w[cols], minlength=m)
+        relevant = cons_active & (drain > 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dphi_cons = np.where(relevant, remaining / np.where(drain > 0, drain, 1.0), np.inf)
+        phi_v = phi[comp_of_var]
+        dphi_vars = np.where(active, bw - phi_v, np.inf)
+        dphi_vars = np.where(dphi_vars < 0, 0.0, dphi_vars)
+
+        # per-component level increment: min over the component's constraints
+        # and bounded variables
+        dphi = np.minimum(
+            np.minimum.reduceat(dphi_cons, cons_starts),
+            np.minimum.reduceat(dphi_vars, var_starts),
+        )
+        act_per_comp = np.bincount(comp_of_var, weights=active, minlength=n_comps)
+        comp_active = act_per_comp > 0
+        unbounded = comp_active & ~np.isfinite(dphi)
+        if unbounded.any():
+            # components with no applicable constraint or bound left
+            ub_vars = active & unbounded[comp_of_var]
+            values[ub_vars] = np.inf
+            active &= ~ub_vars
+        dphi_eff = np.where(comp_active & np.isfinite(dphi), dphi, 0.0)
+
+        phi += dphi_eff
+        remaining -= dphi_eff[comp_of_cons] * drain
+        phi_v = phi[comp_of_var]
+        hit_bound = active & (bw - phi_v <= _EPS * np.maximum(phi_v, 1.0))
+        saturated = relevant & (remaining <= _EPS * capacities)
+        if saturated.any():
+            involved = np.zeros(n, dtype=bool)
+            involved[cols[saturated[rows]]] = True
+            hit_bound |= active & involved
+            cons_active &= ~saturated
+        # per-component numerical safety: a component whose iteration froze
+        # nothing force-freezes all its active variables (scalar kernel's
+        # "if not hit_bound.any()" taken component-wise)
+        frozen = np.bincount(comp_of_var, weights=hit_bound, minlength=n_comps)
+        stuck = comp_active & ~unbounded & (frozen == 0)
+        if stuck.any():
+            hit_bound |= active & stuck[comp_of_var]
+        values[hit_bound] = np.minimum(phi_v[hit_bound] * inv_w[hit_bound], bounds[hit_bound])
+        active &= ~hit_bound
+
+    finite = np.where(np.isfinite(values), values, 0.0)
+    usage = np.bincount(rows, weights=coeffs * finite[cols], minlength=m)
+    return values, usage
+
+
+def _pow2_at_least(n: int) -> int:
+    size = 1
+    while size < n:
+        size *= 2
+    return size
+
+
+def _label_components_bfs(n_vars: int, n_cons: int,
+                          iv: np.ndarray, ic: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Exact bipartite component labels by Python BFS (fallback for graphs
+    whose diameter defeats the bounded label-propagation loop)."""
+    var_adj: list[list[int]] = [[] for _ in range(n_vars)]
+    cons_adj: list[list[int]] = [[] for _ in range(n_cons)]
+    for v, c in zip(iv.tolist(), ic.tolist()):
+        var_adj[v].append(c)
+        cons_adj[c].append(v)
+    lab_v = np.full(n_vars, -1, dtype=np.intp)
+    lab_c = np.full(n_cons, -1, dtype=np.intp)
+    label = 0
+    for start in range(n_vars):
+        if lab_v[start] >= 0:
+            continue
+        lab_v[start] = label
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for c in var_adj[v]:
+                if lab_c[c] < 0:
+                    lab_c[c] = label
+                    for v2 in cons_adj[c]:
+                        if lab_v[v2] < 0:
+                            lab_v[v2] = label
+                            stack.append(v2)
+        label += 1
+    return lab_v, lab_c
+
+
+def _positions_in(sorted_arr: np.ndarray, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(positions, found)`` of ``queries`` in a sorted unique array."""
+    if sorted_arr.size == 0:
+        return np.zeros(queries.size, dtype=np.intp), np.zeros(queries.size, dtype=bool)
+    pos = np.searchsorted(sorted_arr, queries)
+    pos = np.minimum(pos, sorted_arr.size - 1)
+    return pos, sorted_arr[pos] == queries
+
+
 class SharingSystem:
     """Persistent incremental arena for event-loop resource sharing.
 
@@ -272,44 +457,65 @@ class SharingSystem:
       start and finish; constraints are *interned* by an opaque key (a link
       direction, a host) and reference-counted, disappearing with their last
       variable,
-    - numpy buffers (weights, bounds, values, capacities, the dense
-      coefficient matrix) are grow-only with geometric doubling; freed slots
-      go to a free list and are reused,
+    - numpy slot buffers (weights, bounds, values, capacities) and the flat
+      COO triplet store are grow-only with geometric doubling; freed slots go
+      to free lists and are reused, and :meth:`compact` defragments after long
+      churn,
     - every mutation marks the touched constraints/variables *dirty*; a
       :meth:`solve` call re-runs progressive filling only on the connected
-      components reachable from the dirty set, one component at a time, in
-      canonical (slot-sorted) order.  Untouched components keep their
-      previous allocation — exact, since max-min allocations of disconnected
-      components are independent.
+      components reachable from the dirty set.  Untouched components keep
+      their previous allocation — exact, since max-min allocations of
+      disconnected components are independent.
 
     ``solve`` returns the ``(payload, value)`` pairs of every re-solved
     variable, which is exactly the set of activities whose rate may have
-    changed.
+    changed; :meth:`solve_raw` returns the same information as flat
+    ``(vid, value)`` arrays for callers that keep their own vid maps.
     """
 
-    def __init__(self, initial_variables: int = 64, initial_constraints: int = 64) -> None:
+    def __init__(self, initial_variables: int = 64, initial_constraints: int = 64,
+                 vectorized: bool = True) -> None:
         n = max(1, int(initial_variables))
         m = max(1, int(initial_constraints))
-        # per-variable slot buffers (plain lists: scalar access dominates the
-        # event loop, and Python lists beat numpy scalar indexing there)
-        self._weights: list[float] = [1.0] * n
-        self._bounds: list[float] = [math.inf] * n
-        self._values: list[float] = [0.0] * n
-        self._var_live: list[bool] = [False] * n
+        #: default solve path; ``solve(vectorized=...)`` overrides per call
+        self.vectorized = bool(vectorized)
+        #: smallest dirty set worth routing through the batched kernel when
+        #: the caller leaves the path choice to the instance default: the
+        #: kernel's fixed cost (triplet compression, whole-graph component
+        #: labeling) beats the scalar walk only on wide re-solves
+        self.vectorize_min_dirty = 128
+        # per-variable slot buffers
+        self._weights = np.ones(n, dtype=float)
+        self._bounds = np.full(n, np.inf, dtype=float)
+        self._values = np.zeros(n, dtype=float)
+        self._var_live = np.zeros(n, dtype=bool)
+        # generation stamp per slot: bumped on removal, so triplets recorded
+        # for a previous occupant of the slot are invalid by comparison
+        self._var_gen = np.zeros(n, dtype=np.int64)
         self._var_payload: list[object] = [None] * n
         self._var_uses: list[list[tuple[int, float]]] = [[] for _ in range(n)]
         self._var_free: list[int] = list(range(n - 1, -1, -1))
         # per-constraint slot buffers
-        self._capacities: list[float] = [0.0] * m
-        self._usages: list[float] = [0.0] * m
-        self._cons_live: list[bool] = [False] * m
+        self._capacities = np.zeros(m, dtype=float)
+        self._usages = np.zeros(m, dtype=float)
+        self._cons_live = np.zeros(m, dtype=bool)
         self._cons_key: list[object] = [None] * m
         self._cons_vars: list[set[int]] = [set() for _ in range(m)]
         self._cons_free: list[int] = list(range(m - 1, -1, -1))
         self._key_to_slot: dict[object, int] = {}
-        # dense numpy coefficient matrix, (constraint slots × variable slots),
-        # kept alive across events and sliced per component at solve time
-        self._coeffs = np.zeros((m, n), dtype=float)
+        # coefficients live in the per-variable uses lists (and the triplet
+        # store below) — there is no dense matrix, so arena memory stays
+        # O(variables + uses) regardless of shape
+        # COO triplet store for the vectorized path: committed numpy arrays
+        # plus a staging tail of ``(vid, generation, uses)`` records — one
+        # cheap append per added variable; expansion into flat triplets is
+        # amortised into the next vectorized solve
+        self._tr_var = np.zeros(0, dtype=np.intp)
+        self._tr_cons = np.zeros(0, dtype=np.intp)
+        self._tr_coeff = np.zeros(0, dtype=float)
+        self._tr_gen = np.zeros(0, dtype=np.int64)
+        self._pend: list[tuple[int, int, list[tuple[int, float]]]] = []
+        self._tr_dead = 0
         # dirty sets: slots whose component must be re-solved
         self._dirty_vars: set[int] = set()
         self._dirty_cons: set[int] = set()
@@ -320,6 +526,8 @@ class SharingSystem:
             "components_solved": 0,
             "variables_resolved": 0,
             "peak_variables": 0,
+            "vectorized_solves": 0,
+            "compactions": 0,
         }
 
     # -- introspection -------------------------------------------------------
@@ -336,6 +544,16 @@ class SharingSystem:
     def constraint_count(self) -> int:
         """Number of live (interned) constraints."""
         return len(self._key_to_slot)
+
+    @property
+    def variable_capacity(self) -> int:
+        """Allocated variable slots (live + free), for arena diagnostics."""
+        return int(self._weights.size)
+
+    @property
+    def constraint_capacity_slots(self) -> int:
+        """Allocated constraint slots (live + free), for arena diagnostics."""
+        return int(self._capacities.size)
 
     def value(self, vid: int) -> float:
         """Current allocation of variable ``vid``."""
@@ -361,51 +579,62 @@ class SharingSystem:
 
     def allocations(self) -> list[tuple[object, float]]:
         """``(payload, value)`` for every live variable (slot order)."""
+        payloads = self._var_payload
+        values = self._values
         return [
-            (self._var_payload[v], self._values[v])
-            for v, live in enumerate(self._var_live)
-            if live
+            (payloads[int(v)], float(values[v]))
+            for v in np.nonzero(self._var_live)[0]
         ]
 
     def is_feasible(self, tolerance: float = 1e-6) -> bool:
-        """True when no live constraint is over-consumed."""
-        return all(
-            self._usages[c] <= self._capacities[c] * (1.0 + tolerance)
-            for c, live in enumerate(self._cons_live)
-            if live
-        )
+        """True when no live constraint is over-consumed.
+
+        The slack is relative to each constraint's own capacity
+        (``usage - capacity <= tolerance * capacity``): a near-zero-capacity
+        constraint only tolerates a proportionally tiny overshoot.  An
+        infinite allocation on a variable that touches any constraint is
+        always infeasible — ``inf`` rates are excluded from usage sums, so
+        without this check an underflowed drain could report a saturated
+        link as unused.
+        """
+        live = self._cons_live
+        if live.any():
+            caps = self._capacities[live]
+            if np.any(self._usages[live] - caps > tolerance * caps):
+                return False
+        bad = self._var_live & ~np.isfinite(self._values)
+        if bad.any():
+            for v in np.nonzero(bad)[0]:
+                if self._var_uses[int(v)]:
+                    return False
+        return True
 
     def _check_live(self, vid: int) -> None:
-        if not (0 <= vid < len(self._var_live)) or not self._var_live[vid]:
+        if not (0 <= vid < self._var_live.size) or not self._var_live[vid]:
             raise MaxMinError(f"variable #{vid} is not live in this system")
 
     # -- growth --------------------------------------------------------------
 
     def _grow_vars(self) -> None:
-        old = len(self._weights)
+        old = self._weights.size
         new = old * 2
-        self._weights.extend([1.0] * (new - old))
-        self._bounds.extend([math.inf] * (new - old))
-        self._values.extend([0.0] * (new - old))
-        self._var_live.extend([False] * (new - old))
-        self._var_payload.extend([None] * (new - old))
-        self._var_uses.extend([] for _ in range(new - old))
-        coeffs = np.zeros((self._coeffs.shape[0], new), dtype=float)
-        coeffs[:, :old] = self._coeffs
-        self._coeffs = coeffs
+        self._weights = np.concatenate([self._weights, np.ones(old)])
+        self._bounds = np.concatenate([self._bounds, np.full(old, np.inf)])
+        self._values = np.concatenate([self._values, np.zeros(old)])
+        self._var_live = np.concatenate([self._var_live, np.zeros(old, dtype=bool)])
+        self._var_gen = np.concatenate([self._var_gen, np.zeros(old, dtype=np.int64)])
+        self._var_payload.extend([None] * old)
+        self._var_uses.extend([] for _ in range(old))
         self._var_free.extend(range(new - 1, old - 1, -1))
 
     def _grow_cons(self) -> None:
-        old = len(self._capacities)
+        old = self._capacities.size
         new = old * 2
-        self._capacities.extend([0.0] * (new - old))
-        self._usages.extend([0.0] * (new - old))
-        self._cons_live.extend([False] * (new - old))
-        self._cons_key.extend([None] * (new - old))
-        self._cons_vars.extend(set() for _ in range(new - old))
-        coeffs = np.zeros((new, self._coeffs.shape[1]), dtype=float)
-        coeffs[:old, :] = self._coeffs
-        self._coeffs = coeffs
+        self._capacities = np.concatenate([self._capacities, np.zeros(old)])
+        self._usages = np.concatenate([self._usages, np.zeros(old)])
+        self._cons_live = np.concatenate([self._cons_live, np.zeros(old, dtype=bool)])
+        self._cons_key.extend([None] * old)
+        self._cons_vars.extend(set() for _ in range(old))
         self._cons_free.extend(range(new - 1, old - 1, -1))
 
     # -- mutation ------------------------------------------------------------
@@ -507,17 +736,19 @@ class SharingSystem:
         self._values[vid] = 0.0
         self._var_live[vid] = True
         self._var_payload[vid] = payload
-        uses = self._var_uses[vid]
-        uses.clear()
+        # fresh list: staged triplet records may still reference the previous
+        # occupant's uses, so the old list must never be mutated in place
+        uses: list[tuple[int, float]] = []
+        self._var_uses[vid] = uses
         cons_vars = self._cons_vars
         dirty_cons = self._dirty_cons
         for key, capacity, coefficient in usages:
             slot = self._intern_constraint(key, capacity)
-            # note: _intern_constraint may grow (and replace) _coeffs
-            self._coeffs[slot, vid] = coefficient
             cons_vars[slot].add(vid)
             uses.append((slot, coefficient))
             dirty_cons.add(slot)
+        if uses:
+            self._pend.append((vid, int(self._var_gen[vid]), uses))
         self._dirty_vars.add(vid)
         self._live_count += 1
         if self._live_count > self.stats["peak_variables"]:
@@ -528,8 +759,8 @@ class SharingSystem:
         """Withdraw a flow; its constraints' components become dirty and
         constraints left without any variable are freed."""
         self._check_live(vid)
-        for slot, _coeff in self._var_uses[vid]:
-            self._coeffs[slot, vid] = 0.0
+        uses = self._var_uses[vid]
+        for slot, _coeff in uses:
             members = self._cons_vars[slot]
             members.discard(vid)
             if members:
@@ -542,13 +773,157 @@ class SharingSystem:
                 self._cons_key[slot] = None
                 self._dirty_cons.discard(slot)
                 self._cons_free.append(slot)
-        self._var_uses[vid].clear()
+        self._tr_dead += len(uses)
+        # replace (don't clear): a staged triplet record may still hold this
+        # list; the generation bump below is what invalidates it
+        self._var_uses[vid] = []
+        # invalidate this slot's triplets in O(1): their recorded generation
+        # no longer matches
+        self._var_gen[vid] += 1
         self._var_live[vid] = False
         self._var_payload[vid] = None
         self._values[vid] = 0.0
         self._dirty_vars.discard(vid)
         self._var_free.append(vid)
         self._live_count -= 1
+
+    # -- arena hygiene -------------------------------------------------------
+
+    def _commit_triplets(self) -> None:
+        if not self._pend:
+            return
+        pend_var: list[int] = []
+        pend_cons: list[int] = []
+        pend_coeff: list[float] = []
+        pend_gen: list[int] = []
+        var_gen = self._var_gen
+        for vid, gen, uses in self._pend:
+            if gen != var_gen[vid]:
+                # added and removed between two vectorized solves: never
+                # enters the committed store (it was pre-counted dead)
+                self._tr_dead -= len(uses)
+                continue
+            for slot, coeff in uses:
+                pend_var.append(vid)
+                pend_cons.append(slot)
+                pend_coeff.append(coeff)
+                pend_gen.append(gen)
+        self._pend.clear()
+        if not pend_var:
+            return
+        self._tr_var = np.concatenate(
+            [self._tr_var, np.array(pend_var, dtype=np.intp)])
+        self._tr_cons = np.concatenate(
+            [self._tr_cons, np.array(pend_cons, dtype=np.intp)])
+        self._tr_coeff = np.concatenate(
+            [self._tr_coeff, np.array(pend_coeff, dtype=float)])
+        self._tr_gen = np.concatenate(
+            [self._tr_gen, np.array(pend_gen, dtype=np.int64)])
+
+    def _prune_triplets(self) -> None:
+        """Drop triplets whose variable generation went stale."""
+        self._commit_triplets()
+        valid = self._tr_gen == self._var_gen[self._tr_var]
+        self._tr_var = self._tr_var[valid]
+        self._tr_cons = self._tr_cons[valid]
+        self._tr_coeff = self._tr_coeff[valid]
+        self._tr_gen = self._tr_gen[valid]
+        self._tr_dead = 0
+
+    def compact(self, min_capacity: int = 64) -> dict[int, int]:
+        """Defragment the arena; returns the ``{old vid: new vid}`` remap.
+
+        Live variables and constraints are renumbered onto contiguous slots
+        (ascending old-slot order, so :meth:`allocations` order is stable),
+        buffers shrink to the next power of two that holds them (at least
+        ``min_capacity``), stale triplets are dropped, and all generations
+        reset.  Values, usages, capacities, payloads, dirty marks and interned
+        keys are preserved exactly — only the ids change.  Callers holding
+        vids must apply the returned remap.
+        """
+        live_v = np.nonzero(self._var_live)[0]
+        live_c = np.nonzero(self._cons_live)[0]
+        nv = int(live_v.size)
+        nc = int(live_c.size)
+        ncap = _pow2_at_least(max(int(min_capacity), nv, 1))
+        mcap = _pow2_at_least(max(int(min_capacity), nc, 1))
+        vmap = np.full(self._weights.size, -1, dtype=np.intp)
+        vmap[live_v] = np.arange(nv)
+        cmap = np.full(self._capacities.size, -1, dtype=np.intp)
+        cmap[live_c] = np.arange(nc)
+
+        # python-side structures first (they read the old buffers)
+        new_payload = [self._var_payload[int(v)] for v in live_v] + [None] * (ncap - nv)
+        new_uses = [
+            [(int(cmap[slot]), coeff) for slot, coeff in self._var_uses[int(v)]]
+            for v in live_v
+        ] + [[] for _ in range(ncap - nv)]
+        new_cons_key = [self._cons_key[int(c)] for c in live_c] + [None] * (mcap - nc)
+        new_cons_vars = [
+            {int(vmap[v]) for v in self._cons_vars[int(c)]} for c in live_c
+        ] + [set() for _ in range(mcap - nc)]
+        new_key_to_slot = {key: int(cmap[slot]) for key, slot in self._key_to_slot.items()}
+        new_dirty_vars = {int(vmap[v]) for v in self._dirty_vars if self._var_live[v]}
+        new_dirty_cons = {int(cmap[c]) for c in self._dirty_cons if self._cons_live[c]}
+
+        def packed(src: np.ndarray, idx: np.ndarray, size: int, fill, dtype) -> np.ndarray:
+            out = np.full(size, fill, dtype=dtype)
+            out[: idx.size] = src[idx]
+            return out
+
+        self._weights = packed(self._weights, live_v, ncap, 1.0, float)
+        self._bounds = packed(self._bounds, live_v, ncap, np.inf, float)
+        self._values = packed(self._values, live_v, ncap, 0.0, float)
+        self._var_live = np.zeros(ncap, dtype=bool)
+        self._var_live[:nv] = True
+        self._var_gen = np.zeros(ncap, dtype=np.int64)
+        self._var_payload = new_payload
+        self._var_uses = new_uses
+        self._var_free = list(range(ncap - 1, nv - 1, -1))
+        self._capacities = packed(self._capacities, live_c, mcap, 0.0, float)
+        self._usages = packed(self._usages, live_c, mcap, 0.0, float)
+        self._cons_live = np.zeros(mcap, dtype=bool)
+        self._cons_live[:nc] = True
+        self._cons_key = new_cons_key
+        self._cons_vars = new_cons_vars
+        self._cons_free = list(range(mcap - 1, nc - 1, -1))
+        self._key_to_slot = new_key_to_slot
+        self._dirty_vars = new_dirty_vars
+        self._dirty_cons = new_dirty_cons
+
+        # rebuild the triplet store from the (remapped) uses
+        tr_var: list[int] = []
+        tr_cons: list[int] = []
+        tr_coeff: list[float] = []
+        for new_vid in range(nv):
+            for slot, coeff in self._var_uses[new_vid]:
+                tr_var.append(new_vid)
+                tr_cons.append(slot)
+                tr_coeff.append(coeff)
+        self._tr_var = np.array(tr_var, dtype=np.intp)
+        self._tr_cons = np.array(tr_cons, dtype=np.intp)
+        self._tr_coeff = np.array(tr_coeff, dtype=float)
+        self._tr_gen = np.zeros(len(tr_var), dtype=np.int64)
+        self._pend.clear()
+        self._tr_dead = 0
+
+        self.stats["compactions"] += 1
+        return {int(old): int(new) for old, new in zip(live_v, vmap[live_v])}
+
+    def maybe_compact(self, min_capacity: int = 64) -> Optional[dict[int, int]]:
+        """Compact when the arena is badly fragmented; None when left alone.
+
+        Triggers once allocated slots exceed 256 *and* at least 8x the live
+        population — steady-state simulations never pay for it, while a
+        long-running metrology arena that ballooned during a burst shrinks
+        back after the burst drains.
+        """
+        cap = int(self._weights.size)
+        if cap <= 256:
+            return None
+        if cap < 8 * max(self._live_count, min_capacity // 2):
+            return None
+        return self.compact(min_capacity)
 
     # -- solving -------------------------------------------------------------
 
@@ -586,52 +961,140 @@ class SharingSystem:
             # is the common case on clusters where concurrent flows touch
             # disjoint NIC links (every flow is its own component).
             vid = comp_vars[0]
-            value = self._bounds[vid]
+            value = float(self._bounds[vid])
             uses = self._var_uses[vid]
             for slot, coeff in uses:
-                capacity = self._capacities[slot] / coeff
+                capacity = float(self._capacities[slot]) / coeff
                 if capacity < value:
                     value = capacity
             self._values[vid] = value
             for slot, coeff in uses:
                 self._usages[slot] = value * coeff
             return
-        comp_vars = sorted(comp_vars)
-        weights = np.array([self._weights[v] for v in comp_vars], dtype=float)
-        bounds = np.array([self._bounds[v] for v in comp_vars], dtype=float)
+        if len(comp_vars) <= 8:
+            self._solve_component_small(sorted(comp_vars), sorted(comp_cons))
+            return
+        vi = np.array(sorted(comp_vars), dtype=np.intp)
+        weights = self._weights[vi]
+        bounds = self._bounds[vi]
         if comp_cons:
-            comp_cons = sorted(comp_cons)
-            vi = np.array(comp_vars, dtype=np.intp)
-            ci = np.array(comp_cons, dtype=np.intp)
-            incidence = self._coeffs[np.ix_(ci, vi)]
-            capacities = np.array([self._capacities[c] for c in comp_cons], dtype=float)
+            ci = np.array(sorted(comp_cons), dtype=np.intp)
+            cons_index = {int(c): i for i, c in enumerate(ci)}
+            incidence = np.zeros((ci.size, vi.size), dtype=float)
+            for j, vid in enumerate(vi.tolist()):
+                for slot, coefficient in self._var_uses[vid]:
+                    incidence[cons_index[slot], j] = coefficient
+            capacities = self._capacities[ci]
         else:
-            incidence = np.zeros((0, len(comp_vars)), dtype=float)
+            ci = _EMPTY_IDS
+            incidence = np.zeros((0, vi.size), dtype=float)
             capacities = np.zeros(0, dtype=float)
         values, usage = progressive_fill(weights, bounds, incidence, capacities)
-        for v, value in zip(comp_vars, values.tolist()):
-            self._values[v] = value
-        for c, used in zip(comp_cons, usage.tolist()):
-            self._usages[c] = used
+        self._values[vi] = values
+        if ci.size:
+            self._usages[ci] = usage
 
-    def solve(self, full: bool = False) -> list[tuple[object, float]]:
-        """Re-solve every dirty connected component (all of them if ``full``).
+    def _solve_component_small(self, vids: list[int], cons: list[int]) -> None:
+        """Pure-python :func:`progressive_fill` for components of a few
+        variables, where array dispatch costs more than the arithmetic.
 
-        Returns ``(payload, value)`` for each re-solved variable; variables in
-        untouched components are not listed (their allocation is unchanged).
-        """
-        if full:
-            dirty_vars = [v for v, live in enumerate(self._var_live) if live]
-            dirty_cons = [c for c, live in enumerate(self._cons_live) if live]
-        else:
-            dirty_vars = sorted(v for v in self._dirty_vars if self._var_live[v])
-            dirty_cons = sorted(c for c in self._dirty_cons if self._cons_live[c])
-        self._dirty_vars.clear()
-        self._dirty_cons.clear()
-        if not dirty_vars and not dirty_cons:
-            self.stats["solves"] += 1
-            return []
+        Mirrors the numpy kernel's operation order element-for-element, so
+        results agree with it to the last bits of float noise (well inside
+        the 1e-9 equivalence budget pinned by the tests and benches)."""
+        n = len(vids)
+        m = len(cons)
+        weights = [float(self._weights[v]) for v in vids]
+        bounds = [float(self._bounds[v]) for v in vids]
+        inv_w = [1.0 / w for w in weights]
+        # coefficient rows come from the per-variable uses lists: for a
+        # component this small, scanning them beats dense-matrix gathers
+        cons_index = {c: i for i, c in enumerate(cons)}
+        coeff = [[0.0] * n for _ in range(m)]
+        for j, vid in enumerate(vids):
+            for slot, coefficient in self._var_uses[vid]:
+                coeff[cons_index[slot]][j] = coefficient
+        capacities = [float(self._capacities[c]) for c in cons]
+        remaining = list(capacities)
+        active = [True] * n
+        cons_active = [True] * m
+        values = [0.0] * n
+        n_active = n
+        phi = 0.0
+        drain = [0.0] * m
+        hit = [False] * n
+        for _ in range(n + m + 1):
+            if not n_active:
+                break
+            dphi = math.inf
+            for c in range(m):
+                row = coeff[c]
+                d = 0.0
+                for v in range(n):
+                    if active[v]:
+                        d += row[v] * inv_w[v]
+                drain[c] = d
+                if cons_active[c] and d > 0.0:
+                    step = remaining[c] / d
+                    if step < dphi:
+                        dphi = step
+            for v in range(n):
+                if active[v]:
+                    d = bounds[v] * weights[v] - phi
+                    if d < 0.0:
+                        d = 0.0
+                    if d < dphi:
+                        dphi = d
+            if not math.isfinite(dphi):
+                # no constraint and no bound applies: unbounded variables
+                for v in range(n):
+                    if active[v]:
+                        values[v] = math.inf
+                        active[v] = False
+                n_active = 0
+                break
+            phi += dphi
+            freeze_eps = _EPS * (phi if phi > 1.0 else 1.0)
+            any_hit = False
+            for v in range(n):
+                if active[v] and bounds[v] * weights[v] - phi <= freeze_eps:
+                    hit[v] = True
+                    any_hit = True
+                else:
+                    hit[v] = False
+            for c in range(m):
+                d = drain[c]
+                remaining[c] -= dphi * d
+                if (cons_active[c] and d > 0.0
+                        and remaining[c] <= _EPS * capacities[c]):
+                    cons_active[c] = False
+                    row = coeff[c]
+                    for v in range(n):
+                        if active[v] and row[v] > 0.0:
+                            hit[v] = True
+                            any_hit = True
+            if not any_hit:
+                # numerical safety: force-freeze to guarantee progress
+                hit = list(active)
+            for v in range(n):
+                if hit[v]:
+                    value = phi * inv_w[v]
+                    if bounds[v] < value:
+                        value = bounds[v]
+                    values[v] = value
+                    active[v] = False
+                    n_active -= 1
+        for v, vid in enumerate(vids):
+            self._values[vid] = values[v]
+        for c, cid in enumerate(cons):
+            row = coeff[c]
+            total = 0.0
+            for v in range(n):
+                value = values[v]
+                if value < math.inf:
+                    total += row[v] * value
+            self._usages[cid] = total
 
+    def _solve_scalar(self, dirty_vars: list[int], dirty_cons: list[int]) -> np.ndarray:
         seen_vars: set[int] = set()
         seen_cons: set[int] = set()
         resolved: list[int] = []
@@ -662,7 +1125,206 @@ class SharingSystem:
             resolved.extend(comp_vars)
             n_components += 1
 
-        self.stats["solves"] += 1
         self.stats["components_solved"] += n_components
         self.stats["variables_resolved"] += len(resolved)
-        return [(self._var_payload[v], self._values[v]) for v in sorted(resolved)]
+        resolved.sort()
+        return np.array(resolved, dtype=np.intp)
+
+    def _solve_vectorized(self, dirty_vars: list[int], dirty_cons: list[int]) -> np.ndarray:
+        self._commit_triplets()
+        length = self._tr_var.size
+        if self._tr_dead and length > 256 and self._tr_dead * 2 > length:
+            self._prune_triplets()
+            length = self._tr_var.size
+
+        dv = np.array(dirty_vars, dtype=np.intp)
+        dc = np.array(dirty_cons, dtype=np.intp)
+
+        if length:
+            tv_all = self._tr_var
+            valid = self._tr_gen == self._var_gen[tv_all]
+            tv = tv_all[valid]
+            tc = self._tr_cons[valid]
+            tw = self._tr_coeff[valid]
+        else:
+            tv = tc = _EMPTY_IDS
+            tw = _EMPTY_VALS
+
+        n_components = 0
+        resolved_parts: list[np.ndarray] = []
+
+        if tv.size == 0:
+            # no live coefficients anywhere: every dirty variable is
+            # unconstrained and takes its bound
+            if dv.size:
+                self._values[dv] = self._bounds[dv]
+                resolved_parts.append(dv)
+                n_components += int(dv.size)
+            resolved = dv
+            self.stats["components_solved"] += n_components
+            self.stats["variables_resolved"] += int(resolved.size)
+            return resolved
+
+        # compress the live graph: positions 0..nV-1 / 0..nC-1 in slot order
+        u_v, iv = np.unique(tv, return_inverse=True)
+        u_c, ic = np.unique(tc, return_inverse=True)
+        n_v = int(u_v.size)
+        n_c = int(u_c.size)
+        ord_c = np.argsort(ic, kind="stable")
+        ord_v = np.argsort(iv, kind="stable")
+        ic_of_ordv = ic[ord_v]
+        iv_of_ordc = iv[ord_c]
+        c_starts = np.searchsorted(ic[ord_c], np.arange(n_c))
+        v_starts = np.searchsorted(iv[ord_v], np.arange(n_v))
+
+        # connected components by label propagation (bounded rounds; exact
+        # BFS fallback for pathological diameters)
+        lab_v = np.arange(n_v, dtype=np.intp)
+        for _ in range(32):
+            lab_c = np.maximum.reduceat(lab_v[iv_of_ordc], c_starts)
+            new_v = np.maximum(lab_v, np.maximum.reduceat(lab_c[ic_of_ordv], v_starts))
+            if np.array_equal(new_v, lab_v):
+                break
+            lab_v = new_v
+        else:
+            lab_v, _ = _label_components_bfs(n_v, n_c, iv, ic)
+        lab_c = np.maximum.reduceat(lab_v[iv_of_ordc], c_starts)
+
+        roots, comp_v = np.unique(lab_v, return_inverse=True)
+        comp_c = np.searchsorted(roots, lab_c)
+        n_comp = int(roots.size)
+
+        # select the components containing a dirty variable or constraint
+        dirty_comp = np.zeros(n_comp, dtype=bool)
+        if dv.size:
+            pos, found = _positions_in(u_v, dv)
+            dirty_comp[comp_v[pos[found]]] = True
+            off_vars = dv[~found]  # live but without any use: value = bound
+        else:
+            off_vars = dv
+        if dc.size:
+            pos, found = _positions_in(u_c, dc)
+            dirty_comp[comp_c[pos[found]]] = True
+
+        if off_vars.size:
+            self._values[off_vars] = self._bounds[off_vars]
+            resolved_parts.append(off_vars)
+            n_components += int(off_vars.size)
+
+        var_counts = np.bincount(comp_v, minlength=n_comp)
+        sel_single = dirty_comp & (var_counts == 1)
+        sel_multi = dirty_comp & (var_counts > 1)
+
+        if sel_single.any():
+            # bulk scalar-free fast path: each selected component is a lone
+            # variable; its rate is min(bound, capacity/coefficient) over its
+            # constraints, all computed in whole-array passes
+            vmask = sel_single[comp_v]
+            vpos = np.nonzero(vmask)[0]
+            slots = u_v[vpos]
+            ratio = self._capacities[tc] / tw
+            per_var_min = np.minimum.reduceat(ratio[ord_v], v_starts)
+            vals = np.minimum(self._bounds[slots], per_var_min[vpos])
+            self._values[slots] = vals
+            tmask = vmask[iv]
+            tsel = np.nonzero(tmask)[0]
+            val_at = np.zeros(n_v, dtype=float)
+            val_at[vpos] = vals
+            self._usages[tc[tsel]] = val_at[iv[tsel]] * tw[tsel]
+            resolved_parts.append(slots)
+            n_components += int(vpos.size)
+
+        if sel_multi.any():
+            # gather the multi-variable components into one contiguous
+            # component-grouped layout and run them through the batched kernel
+            vmask = sel_multi[comp_v]
+            cmask = sel_multi[comp_c]
+            vpos = np.nonzero(vmask)[0]
+            cpos = np.nonzero(cmask)[0]
+            vpos = vpos[np.argsort(comp_v[vpos], kind="stable")]
+            cpos = cpos[np.argsort(comp_c[cpos], kind="stable")]
+            ucomp = np.unique(comp_v[vpos])
+            cov = np.searchsorted(ucomp, comp_v[vpos])
+            coc = np.searchsorted(ucomp, comp_c[cpos])
+            loc_v = np.full(n_v, -1, dtype=np.intp)
+            loc_v[vpos] = np.arange(vpos.size)
+            loc_c = np.full(n_c, -1, dtype=np.intp)
+            loc_c[cpos] = np.arange(cpos.size)
+            tsel = np.nonzero(vmask[iv])[0]
+            rows = loc_c[ic[tsel]]
+            cols = loc_v[iv[tsel]]
+            vslots = u_v[vpos]
+            cslots = u_c[cpos]
+            values, usage = progressive_fill_batched(
+                self._weights[vslots], self._bounds[vslots],
+                self._capacities[cslots],
+                rows, cols, tw[tsel], cov, coc, int(ucomp.size),
+            )
+            self._values[vslots] = values
+            self._usages[cslots] = usage
+            resolved_parts.append(vslots)
+            n_components += int(ucomp.size)
+
+        if resolved_parts:
+            resolved = np.concatenate(resolved_parts)
+            resolved.sort()
+        else:
+            resolved = _EMPTY_IDS
+        self.stats["components_solved"] += n_components
+        self.stats["variables_resolved"] += int(resolved.size)
+        return resolved
+
+    def solve_raw(self, full: bool = False,
+                  vectorized: Optional[bool] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Re-solve dirty components; returns ``(vids, values)`` arrays.
+
+        The flat-array twin of :meth:`solve` for callers (the engine) that
+        keep their own vid maps and don't want per-variable tuples.
+        """
+        if full:
+            dirty_vars = [int(v) for v in np.nonzero(self._var_live)[0]]
+            dirty_cons = [int(c) for c in np.nonzero(self._cons_live)[0]]
+        else:
+            # dirty sets never hold dead slots: every removal path discards
+            dirty_vars = sorted(self._dirty_vars)
+            dirty_cons = sorted(self._dirty_cons)
+        self._dirty_vars.clear()
+        self._dirty_cons.clear()
+        self.stats["solves"] += 1
+        if not dirty_vars and not dirty_cons:
+            return _EMPTY_IDS, _EMPTY_VALS
+        if vectorized is None:
+            # adaptive dispatch: the batched kernel's fixed per-solve cost
+            # (triplet compression + component labeling over the whole live
+            # graph) only amortizes once the dirty set is wide enough; tiny
+            # deltas go through the scalar walk even in vectorized mode.
+            # An explicit ``vectorized=True/False`` always forces its path.
+            use_vectorized = (
+                self.vectorized
+                and len(dirty_vars) + len(dirty_cons) >= self.vectorize_min_dirty
+            )
+        else:
+            use_vectorized = bool(vectorized)
+        if use_vectorized:
+            self.stats["vectorized_solves"] += 1
+            resolved = self._solve_vectorized(dirty_vars, dirty_cons)
+        else:
+            resolved = self._solve_scalar(dirty_vars, dirty_cons)
+        return resolved, self._values[resolved]
+
+    def solve(self, full: bool = False,
+              vectorized: Optional[bool] = None) -> list[tuple[object, float]]:
+        """Re-solve every dirty connected component (all of them if ``full``).
+
+        ``vectorized`` picks the batched kernel (None: the instance default);
+        both paths are equivalent within 1e-9 — the scalar path is the
+        verification escape hatch.  Returns ``(payload, value)`` for each
+        re-solved variable; variables in untouched components are not listed
+        (their allocation is unchanged).
+        """
+        vids, values = self.solve_raw(full=full, vectorized=vectorized)
+        payloads = self._var_payload
+        return [
+            (payloads[vid], value)
+            for vid, value in zip(vids.tolist(), values.tolist())
+        ]

@@ -276,3 +276,48 @@ class TestInvariants:
         for v1, v2 in zip(vars1, vars2):
             if math.isfinite(v1.value):
                 assert v2.value == pytest.approx(v1.value * k, rel=1e-6)
+
+
+class TestFeasibilityTolerance:
+    """Regression: the feasibility slack is relative to each constraint's
+    capacity.  The old fixed 1e-6 absolute tolerance silently passed
+    infeasible near-zero-capacity constraints (a 1e-7 overshoot on a 1e-9
+    link is a 100x violation) and spuriously flagged rounding noise on
+    multi-gigabit links."""
+
+    def test_tiny_capacity_overshoot_is_infeasible(self):
+        sys = MaxMinSystem()
+        c = sys.new_constraint(1e-9)
+        v = sys.new_variable(weight=1.0)
+        sys.expand(c, v)
+        sys.solve()
+        # fabricate the over-consumption a buggy solve would produce: small
+        # in absolute terms, 100x the constraint's capacity in relative ones
+        c.usage = 1e-9 + 1e-7
+        assert not sys.is_feasible(tolerance=1e-6)
+
+    def test_rounding_noise_on_fat_link_is_feasible(self):
+        sys = MaxMinSystem()
+        c = sys.new_constraint(1e10)
+        v = sys.new_variable(weight=1.0)
+        sys.expand(c, v)
+        sys.solve()
+        # one byte/s of float noise over a 10 Gb/s link is not a violation
+        c.usage = 1e10 + 1.0
+        assert sys.is_feasible(tolerance=1e-6)
+
+    def test_sharing_system_uses_relative_slack_too(self):
+        from repro.simgrid.maxmin import SharingSystem
+
+        system = SharingSystem()
+        vid = system.add_variable(1.0, usages=((("tiny",), 1e-9, 1.0),))
+        system.solve()
+        assert system.is_feasible(tolerance=1e-6)
+        slot = system._key_to_slot[("tiny",)]
+        system._usages[slot] = 1e-9 + 1e-7
+        assert not system.is_feasible(tolerance=1e-6)
+        system._usages[slot] = 1e-9 * (1.0 + 1e-8)  # within relative slack
+        assert system.is_feasible(tolerance=1e-6)
+        # an infinite allocation on a constrained variable is never feasible
+        system._values[vid] = math.inf
+        assert not system.is_feasible(tolerance=1e-6)

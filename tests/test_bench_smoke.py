@@ -38,6 +38,23 @@ def test_smoke_environment_sets_knobs():
     assert str(REPO_ROOT / "src") in env["PYTHONPATH"]
 
 
+def test_smoke_environment_routes_trajectory_output(tmp_path):
+    env = check_bench_smoke.smoke_environment(tmp_path)
+    assert env["REPRO_BENCH_OUT"] == str(tmp_path)
+
+
+def test_missing_emissions_detects_silent_bench(tmp_path):
+    """A bench that runs but writes no BENCH_*.json must be reported."""
+    files = check_bench_smoke.bench_files()
+    missing = check_bench_smoke.missing_emissions(files, tmp_path)
+    assert set(missing) == {f.name for f in files}
+    first = files[0]
+    name = first.name[len("bench_"):-len(".py")]
+    (tmp_path / f"BENCH_{name}.json").write_text("{}")
+    assert first.name not in check_bench_smoke.missing_emissions(
+        files, tmp_path)
+
+
 @pytest.mark.skipif(
     bool(os.environ.get("REPRO_SKIP_BENCH_SMOKE")),
     reason="REPRO_SKIP_BENCH_SMOKE set",

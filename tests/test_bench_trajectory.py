@@ -1,0 +1,70 @@
+"""Tier-1 hook for the bench trajectory gate.
+
+Every bench module must have a committed ``BENCH_<name>.json`` in
+``benchmarks/results/`` with a valid schema — see
+``tools/check_bench_trajectory.py`` (this runs its smoke mode: presence +
+schema only; the speedup regression comparison against a previous results
+directory is a release-time check, not tier-1).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_bench_trajectory  # noqa: E402
+
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+
+
+def test_every_bench_has_a_trajectory_file():
+    assert check_bench_trajectory.check_presence(RESULTS) == []
+
+
+def test_committed_trajectory_files_pass_schema():
+    docs, errors = check_bench_trajectory.load_results(RESULTS)
+    assert errors == []
+    assert "incremental_solver" in docs
+
+
+def test_incremental_solver_records_speedup_metrics():
+    """The kernel bench must record the trajectory the ISSUE tracks:
+    timings and speedup ratios for the campaign and disjoint shapes."""
+    doc = json.loads(
+        (RESULTS / "BENCH_incremental_solver.json").read_text())
+    metrics = doc["metrics"]
+    for name in ("fig5", "fig9", "disjoint_50x50"):
+        assert name in metrics, f"missing {name} metric"
+        for key in ("full_ms", "incremental_ms", "speedup", "transfers"):
+            assert isinstance(metrics[name][key], (int, float))
+        assert metrics[name]["speedup"] > 0
+
+
+def test_smoke_gate_passes_on_committed_results():
+    assert check_bench_trajectory.main(["--smoke"]) == 0
+
+
+def test_schema_gate_rejects_malformed_files(tmp_path):
+    bad = tmp_path / "BENCH_incremental_solver.json"
+    bad.write_text(json.dumps({"schema": 1, "bench": "wrong_name"}))
+    errors = check_bench_trajectory.check_schema(
+        json.loads(bad.read_text()), bad)
+    assert any("missing key" in e for e in errors)
+    docs, load_errors = check_bench_trajectory.load_results(tmp_path)
+    assert docs == {} and load_errors
+
+
+def test_regression_comparison_flags_collapsed_speedup():
+    current = {"incremental_solver": {"metrics": {
+        "disjoint_50x50": {"speedup": 2.0}}}}
+    previous = {"incremental_solver": {"metrics": {
+        "disjoint_50x50": {"speedup": 10.0}}}}
+    errors = check_bench_trajectory.compare_speedups(current, previous)
+    assert len(errors) == 1 and "regressed" in errors[0]
+    # within the floor: no error
+    assert check_bench_trajectory.compare_speedups(
+        previous, previous) == []

@@ -10,7 +10,15 @@ session-cached experiment harness across files — with:
 - ``REPRO_SMOKE=1``: benches shrink their own timing loops,
 - ``--benchmark-disable``: each benchmarked callable runs once, untimed.
 
-Exit code is pytest's.  Used standalone::
+The run also verifies the trajectory contract: every bench module must emit
+its ``BENCH_<name>.json`` (see ``benchmarks/_trajectory.py``) — a bench that
+runs but leaves no trace fails the check.  Emission goes to a scratch
+directory by default so smoke runs never overwrite the committed trajectory
+in ``benchmarks/results/``; set ``REPRO_BENCH_OUT`` to choose the directory
+(e.g. point it at ``benchmarks/results`` to refresh the committed files).
+
+Exit code is pytest's, or 3 when a bench forgot its trajectory file.  Used
+standalone::
 
     PYTHONPATH=src python tools/check_bench_smoke.py
 
@@ -22,6 +30,7 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -41,14 +50,26 @@ def smoke_command(files: list[Path]) -> list[str]:
     ]
 
 
-def smoke_environment() -> dict[str, str]:
+def smoke_environment(bench_out: Path | str | None = None) -> dict[str, str]:
     env = dict(os.environ)
     env["REPRO_REPS"] = "1"
     env["REPRO_SMOKE"] = "1"
+    if bench_out is not None:
+        env["REPRO_BENCH_OUT"] = str(bench_out)
     src = str(REPO_ROOT / "src")
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
     return env
+
+
+def missing_emissions(files: list[Path], bench_out: Path) -> list[str]:
+    """Bench modules whose ``BENCH_<name>.json`` did not appear."""
+    missing = []
+    for bench in files:
+        name = bench.name[len("bench_"):-len(".py")]
+        if not (bench_out / f"BENCH_{name}.json").is_file():
+            missing.append(bench.name)
+    return missing
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,12 +77,25 @@ def main(argv: list[str] | None = None) -> int:
     if not files:
         print("no benchmarks/bench_*.py files found", file=sys.stderr)
         return 2
-    print(f"smoke-running {len(files)} bench modules "
-          f"(REPRO_REPS=1, REPRO_SMOKE=1, --benchmark-disable)")
-    result = subprocess.run(
-        smoke_command(files), cwd=REPO_ROOT, env=smoke_environment()
-    )
-    return result.returncode
+    with tempfile.TemporaryDirectory(prefix="bench-trajectory-") as scratch:
+        bench_out = Path(os.environ.get("REPRO_BENCH_OUT", scratch))
+        print(f"smoke-running {len(files)} bench modules "
+              f"(REPRO_REPS=1, REPRO_SMOKE=1, --benchmark-disable, "
+              f"trajectory → {bench_out})")
+        result = subprocess.run(
+            smoke_command(files), cwd=REPO_ROOT,
+            env=smoke_environment(bench_out),
+        )
+        if result.returncode != 0:
+            return result.returncode
+        missing = missing_emissions(files, bench_out)
+    if missing:
+        for name in missing:
+            print(f"EMISSION: {name} ran but wrote no trajectory JSON",
+                  file=sys.stderr)
+        return 3
+    print(f"all {len(files)} benches emitted their BENCH_*.json")
+    return 0
 
 
 if __name__ == "__main__":

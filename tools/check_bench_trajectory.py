@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Gate the bench trajectory: presence, schema, and speedup regressions.
+
+Every ``benchmarks/bench_*.py`` must have a committed ``BENCH_<name>.json``
+in ``benchmarks/results/`` (written by the bench conftest — see
+``benchmarks/_trajectory.py`` for the schema).  This gate checks:
+
+- **presence**: one trajectory file per bench module, no orphans for
+  benches that no longer exist,
+- **schema**: required keys with the right shapes, ``"schema": 1``,
+- **regression** (full mode only, with ``--previous DIR``): any metric
+  carrying a ``speedup`` value must not collapse below
+  ``--min-ratio`` (default 0.5) of the previous PR's recorded speedup —
+  loose on purpose, since trajectories span different machines.
+
+Smoke mode (``--smoke``, what tier-1 runs) stops after presence + schema.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench_trajectory.py --smoke
+    PYTHONPATH=src python tools/check_bench_trajectory.py \
+        --results /tmp/fresh-results --previous benchmarks/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+DEFAULT_RESULTS = BENCH_DIR / "results"
+
+SCHEMA_VERSION = 1
+FILE_PREFIX = "BENCH_"
+
+#: required top-level keys → expected type(s); None-able keys listed apart
+REQUIRED_KEYS = {
+    "schema": int,
+    "bench": str,
+    "machine": str,
+    "platform": str,
+    "python": str,
+    "smoke": bool,
+    "created_unix": (int, float),
+    "cases": list,
+    "metrics": dict,
+}
+NULLABLE_KEYS = {"git_rev": str}
+CASE_KEYS = {"name": str, "outcome": str, "duration_s": (int, float)}
+
+
+def bench_modules() -> list[str]:
+    """Names of every bench module (``incremental_solver``-style)."""
+    return sorted(
+        p.name[len("bench_"):-len(".py")]
+        for p in BENCH_DIR.glob("bench_*.py")
+    )
+
+
+def trajectory_path(results_dir: Path, name: str) -> Path:
+    return results_dir / f"{FILE_PREFIX}{name}.json"
+
+
+def check_presence(results_dir: Path) -> list[str]:
+    """Missing trajectory files, plus orphans with no matching bench."""
+    errors = []
+    modules = bench_modules()
+    for name in modules:
+        if not trajectory_path(results_dir, name).is_file():
+            errors.append(f"missing trajectory file for bench_{name}.py: "
+                          f"{trajectory_path(results_dir, name)}")
+    known = {f"{FILE_PREFIX}{name}.json" for name in modules}
+    for path in sorted(results_dir.glob(f"{FILE_PREFIX}*.json")):
+        if path.name not in known:
+            errors.append(f"orphan trajectory file (no matching bench "
+                          f"module): {path}")
+    return errors
+
+
+def check_schema(doc: object, path: Path) -> list[str]:
+    errors = []
+    if not isinstance(doc, dict):
+        return [f"{path.name}: top level must be an object"]
+    for key, expected in REQUIRED_KEYS.items():
+        if key not in doc:
+            errors.append(f"{path.name}: missing key {key!r}")
+        elif not isinstance(doc[key], expected) or isinstance(doc[key], bool) \
+                and expected is not bool:
+            errors.append(f"{path.name}: key {key!r} has type "
+                          f"{type(doc[key]).__name__}")
+    for key, expected in NULLABLE_KEYS.items():
+        if key not in doc:
+            errors.append(f"{path.name}: missing key {key!r}")
+        elif doc[key] is not None and not isinstance(doc[key], expected):
+            errors.append(f"{path.name}: key {key!r} must be "
+                          f"{expected.__name__} or null")
+    if errors:
+        return errors
+    if doc["schema"] != SCHEMA_VERSION:
+        errors.append(f"{path.name}: schema {doc['schema']} != "
+                      f"{SCHEMA_VERSION}")
+    expected_bench = path.name[len(FILE_PREFIX):-len(".json")]
+    if doc["bench"] != expected_bench:
+        errors.append(f"{path.name}: bench {doc['bench']!r} does not match "
+                      f"filename ({expected_bench!r})")
+    if not doc["cases"]:
+        errors.append(f"{path.name}: no cases recorded")
+    for case in doc["cases"]:
+        if not isinstance(case, dict):
+            errors.append(f"{path.name}: case entries must be objects")
+            continue
+        for key, expected in CASE_KEYS.items():
+            if not isinstance(case.get(key), expected):
+                errors.append(f"{path.name}: case key {key!r} missing or "
+                              f"mistyped in {case!r}")
+    for name, values in doc["metrics"].items():
+        if not isinstance(values, dict):
+            errors.append(f"{path.name}: metric {name!r} must be an object")
+    return errors
+
+
+def load_results(results_dir: Path) -> tuple[dict[str, dict], list[str]]:
+    """Parse every trajectory file; returns ({bench: doc}, errors)."""
+    docs: dict[str, dict] = {}
+    errors: list[str] = []
+    for path in sorted(results_dir.glob(f"{FILE_PREFIX}*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            errors.append(f"{path.name}: unreadable ({exc})")
+            continue
+        schema_errors = check_schema(doc, path)
+        if schema_errors:
+            errors.extend(schema_errors)
+        elif isinstance(doc, dict) and isinstance(doc.get("bench"), str):
+            docs[doc["bench"]] = doc
+    return docs, errors
+
+
+def compare_speedups(current: dict[str, dict], previous: dict[str, dict],
+                     min_ratio: float = 0.5) -> list[str]:
+    """Speedup metrics present on both sides must hold ``min_ratio``."""
+    errors = []
+    for bench, prev_doc in sorted(previous.items()):
+        cur_doc = current.get(bench)
+        if cur_doc is None:
+            continue  # presence is checked separately, against the modules
+        for name, prev_values in prev_doc.get("metrics", {}).items():
+            prev_speedup = prev_values.get("speedup") \
+                if isinstance(prev_values, dict) else None
+            cur_values = cur_doc.get("metrics", {}).get(name)
+            cur_speedup = cur_values.get("speedup") \
+                if isinstance(cur_values, dict) else None
+            if not (isinstance(prev_speedup, (int, float))
+                    and isinstance(cur_speedup, (int, float))):
+                continue
+            if cur_speedup < min_ratio * prev_speedup:
+                errors.append(
+                    f"{bench}/{name}: speedup regressed {prev_speedup:.2f}x "
+                    f"→ {cur_speedup:.2f}x (floor {min_ratio:.0%} of "
+                    f"previous)"
+                )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS,
+                        help="trajectory directory to gate "
+                             "(default benchmarks/results)")
+    parser.add_argument("--previous", type=Path, default=None,
+                        help="previous PR's trajectory directory for the "
+                             "speedup regression check")
+    parser.add_argument("--smoke", action="store_true",
+                        help="presence + schema only (what tier-1 runs)")
+    parser.add_argument("--min-ratio", type=float, default=0.5,
+                        help="regression floor: current speedup must be at "
+                             "least this fraction of the previous one")
+    args = parser.parse_args(argv)
+
+    if not args.results.is_dir():
+        print(f"results directory not found: {args.results}", file=sys.stderr)
+        return 2
+
+    errors = check_presence(args.results)
+    current, load_errors = load_results(args.results)
+    errors.extend(load_errors)
+
+    if not args.smoke and args.previous is not None:
+        if not args.previous.is_dir():
+            errors.append(f"previous directory not found: {args.previous}")
+        else:
+            previous, prev_errors = load_results(args.previous)
+            errors.extend(f"(previous) {e}" for e in prev_errors)
+            errors.extend(compare_speedups(current, previous, args.min_ratio))
+
+    if errors:
+        for error in errors:
+            print(f"TRAJECTORY: {error}", file=sys.stderr)
+        print(f"{len(errors)} trajectory problem(s)", file=sys.stderr)
+        return 1
+    mode = "smoke (presence + schema)" if args.smoke else "full"
+    print(f"bench trajectory OK ({mode}): {len(current)} files in "
+          f"{args.results}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
