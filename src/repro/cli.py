@@ -57,9 +57,25 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="run the Pilgrim HTTP services")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--shards", type=int, default=0,
+                       help="shard processes behind the async gateway "
+                            "(0 = the classic single-process threaded "
+                            "server, the default); each shard owns its "
+                            "own serving stack and cache")
+    serve.add_argument("--max-inflight", type=int, default=256,
+                       help="gateway admission: concurrently executing "
+                            "request budget (with --shards)")
+    serve.add_argument("--queue-depth", type=int, default=1024,
+                       help="gateway admission: requests allowed to wait "
+                            "beyond --max-inflight before load is shed "
+                            "with 503 + Retry-After (with --shards)")
+    serve.add_argument("--shard-threads", type=int, default=4,
+                       help="handler threads per shard process "
+                            "(with --shards)")
     serve.add_argument("--workers", type=int, default=0,
                        help="warm forecast worker processes (0 = answer "
-                            "inline in the serving process, the default)")
+                            "inline in the serving process, the default); "
+                            "with --shards, per shard")
     serve.add_argument("--batch-window", type=float, default=0.005,
                        metavar="SECONDS",
                        help="micro-batching window: concurrent requests "
@@ -239,6 +255,8 @@ def _cmd_predict(args, out) -> int:
 def _cmd_serve(args, out) -> int:
     from repro.core.framework import Pilgrim
 
+    if args.shards > 0:
+        return _cmd_serve_gateway(args, out)
     out.write("loading Grid'5000 platforms...\n")
     pilgrim = Pilgrim.with_grid5000()
     if not args.no_serving:
@@ -267,6 +285,46 @@ def _cmd_serve(args, out) -> int:
     finally:
         server.stop()
         pilgrim.disable_serving()
+    return 0
+
+
+def _cmd_serve_gateway(args, out) -> int:
+    from repro.experiments.environment import forecast_service
+    from repro.serving.factories import grid5000_forecast_service
+    from repro.serving.gateway import GatewayConfig, ShardedGateway
+
+    out.write("loading Grid'5000 platforms...\n")
+    # the session-cached parent service is the epoch/mutation source; the
+    # picklable module-level factory rebuilds the same service per shard
+    service = forecast_service()
+    config = GatewayConfig(
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        shard_threads=args.shard_threads,
+        window=args.batch_window,
+        cache_size=args.cache_size,
+        workers=max(0, args.workers),
+        max_requests=args.max_requests,
+    )
+    gateway = ShardedGateway(grid5000_forecast_service, config,
+                             service=service).start()
+    out.write(f"gateway: {args.shards} shards x {args.shard_threads} "
+              f"threads, admission {args.max_inflight} in-flight + "
+              f"{args.queue_depth} queued, cache {args.cache_size} "
+              f"entries/shard\n")
+    out.write(f"Pilgrim gateway serving at {gateway.url} "
+              f"(Ctrl-C to stop)\n")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        out.write("stopping\n")
+    finally:
+        gateway.stop()
     return 0
 
 

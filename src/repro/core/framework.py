@@ -19,7 +19,7 @@ from repro.core.metrology import MetrologyService
 from repro.core.planner import Hypothesis, TransferPlanner
 from repro.core.rest.errors import BadRequest
 from repro.core.rest.router import Request, Router
-from repro.core.rest.server import PilgrimHTTPServer
+from repro.core.rest.server import DEFAULT_MAX_BODY, PilgrimHTTPServer
 from repro.core.workflow import WorkflowForecastService
 from repro.metrology.collectors import MetricRegistry
 from repro.simgrid.models import NetworkModel
@@ -217,6 +217,8 @@ class Pilgrim:
 
         return router
 
-    def serve(self, host: str = "127.0.0.1", port: int = 0) -> PilgrimHTTPServer:
+    def serve(self, host: str = "127.0.0.1", port: int = 0,
+              max_body_bytes: int = DEFAULT_MAX_BODY) -> PilgrimHTTPServer:
         """An HTTP server (not yet started) exposing all services."""
-        return PilgrimHTTPServer(self.build_router(), host=host, port=port)
+        return PilgrimHTTPServer(self.build_router(), host=host, port=port,
+                                 max_body_bytes=max_body_bytes)

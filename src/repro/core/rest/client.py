@@ -1,59 +1,150 @@
 """HTTP client for Pilgrim services.
 
-Thin urllib wrapper plus typed helpers mirroring the paper's two example
-``curl`` requests (§IV-C1, §IV-C2).
+Typed helpers mirroring the paper's two example ``curl`` requests
+(§IV-C1, §IV-C2), over a keep-alive transport: each thread keeps one
+persistent :class:`http.client.HTTPConnection` per client instance, so a
+request train pays the TCP handshake once instead of per call — the
+difference between a load generator measuring the server and one
+measuring its own connect loop.  A request that trips over a stale pooled
+connection (server restarted, keep-alive reaped) is retried once on a
+fresh connection; errors close the connection so the stream can never
+desynchronize.
 """
 
 from __future__ import annotations
 
-import urllib.error
+import http.client
+import threading
 import urllib.parse
-import urllib.request
 from typing import Optional, Sequence
 
-from repro.core.rest.errors import ApiError, BadRequest, NotFound
+from repro.core.rest.errors import (
+    ApiError,
+    BadRequest,
+    NotFound,
+    PayloadTooLarge,
+    ServiceUnavailable,
+)
 from repro.core.rest.json_codec import dumps, loads
+
+#: HTTP status → raised error class (everything else maps to ApiError).
+_ERROR_CLASSES = {400: BadRequest, 404: NotFound, 413: PayloadTooLarge,
+                  503: ServiceUnavailable}
 
 
 class RestClient:
-    """Client bound to a base URL (e.g. ``http://127.0.0.1:8080``)."""
+    """Client bound to a base URL (e.g. ``http://127.0.0.1:8080``).
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+    Thread-safe: connections are pooled per thread, so N threads sharing
+    one client hold N keep-alive sockets.  ``keep_alive=False`` restores
+    one-connection-per-request behavior (each request sends
+    ``Connection: close``).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0,
+                 keep_alive: bool = True) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme != "http":
+            raise ValueError(
+                f"RestClient speaks plain http, got {self.base_url!r}")
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
+        self._prefix = split.path.rstrip("/")
+        self._local = threading.local()
+
+    # -- connection pool (one per thread) ----------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout)
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Drop this thread's pooled connection (if any)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            conn.close()
+
+    def __enter__(self) -> "RestClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- transport ---------------------------------------------------------------
 
     def get(self, path: str, params: Optional[Sequence[tuple[str, str]]] = None) -> object:
         """GET ``path`` with multi-valued query ``params``; returns JSON."""
-        url = self.base_url + path
+        target = self._prefix + path
         if params:
-            url += "?" + urllib.parse.urlencode(list(params))
-        return self._request(urllib.request.Request(url))
+            target += "?" + urllib.parse.urlencode(list(params))
+        return self._request("GET", target)
 
     def post(self, path: str, payload: object) -> object:
         """POST ``payload`` as a JSON body to ``path``; returns JSON."""
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
-        return self._request(request)
+        return self._request("POST", self._prefix + path,
+                             body=dumps(payload).encode("utf-8"))
 
-    def _request(self, request: urllib.request.Request) -> object:
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            body = exc.read().decode("utf-8", errors="replace")
+    def _request(self, method: str, target: str,
+                 body: Optional[bytes] = None) -> object:
+        headers = {"Content-Type": "application/json",
+                   "Accept": "application/json"}
+        if not self.keep_alive:
+            headers["Connection"] = "close"
+        # a pooled connection may have been reaped by the server between
+        # requests; retry exactly once on a fresh connection, and only
+        # when the failure happened on a *reused* socket (a fresh-socket
+        # failure is a real error, and retrying a POST that may have
+        # executed is not this client's call to make)
+        for attempt in (0, 1):
+            conn = self._connection()
+            reused = conn.sock is not None
             try:
-                payload = loads(body)
-                message = payload.get("message", body)  # type: ignore[union-attr]
-            except Exception:  # noqa: BLE001 - best-effort decode
-                message = body
-            error_cls = {400: BadRequest, 404: NotFound}.get(exc.code, ApiError)
+                conn.request(method, target, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except (http.client.BadStatusLine, http.client.CannotSendRequest,
+                    ConnectionError, BrokenPipeError, OSError):
+                self.close()
+                if reused and attempt == 0:
+                    continue
+                raise
+            return self._decode(response, data)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _decode(self, response: http.client.HTTPResponse,
+                data: bytes) -> object:
+        if response.will_close or not self.keep_alive:
+            self.close()
+        status = response.status
+        text = data.decode("utf-8", errors="replace")
+        if status < 400:
+            return loads(text)
+        try:
+            payload = loads(text)
+            message = payload.get("message", text)  # type: ignore[union-attr]
+        except Exception:  # noqa: BLE001 - best-effort decode
+            message = text
+        error_cls = _ERROR_CLASSES.get(status, ApiError)
+        if error_cls is ServiceUnavailable:
+            raw = response.getheader("Retry-After")
+            try:
+                retry_after = float(raw) if raw is not None else None
+            except ValueError:
+                retry_after = None
+            error: ApiError = ServiceUnavailable(message,
+                                                 retry_after=retry_after)
+        else:
             error = error_cls(message)
-            error.status = exc.code
-            raise error from None
+        error.status = status
+        raise error
 
     # -- typed helpers -----------------------------------------------------------
 

@@ -29,3 +29,21 @@ class MethodNotAllowed(ApiError):
     """The path exists but not for this HTTP method."""
 
     status = 405
+
+
+class PayloadTooLarge(ApiError):
+    """Request body exceeds the server's byte limit."""
+
+    status = 413
+
+
+class ServiceUnavailable(ApiError):
+    """Load shed (admission limit) or a shard down; retry after backoff."""
+
+    status = 503
+
+    def __init__(self, message: str = "",
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        #: parsed Retry-After hint in seconds, when the server sent one
+        self.retry_after = retry_after

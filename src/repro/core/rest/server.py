@@ -5,6 +5,13 @@ instances concurrently.  The server is deliberately minimal — HTTP GET with
 URI-embedded parameters and JSON answers is the paper's full transport
 contract (§IV-C).  POST with a JSON body is the serving-layer extension for
 transfer lists too large to embed in a request target.
+
+Speaks HTTP/1.1 with keep-alive (every response carries Content-Length, so
+persistent connections are safe), and refuses request bodies above
+``max_body_bytes`` with a clean ``413`` *before* reading them — the same
+bounded-ingest contract as the sharded gateway front end
+(:mod:`repro.serving.gateway.frontend`), which supersedes this server for
+sustained traffic.
 """
 
 from __future__ import annotations
@@ -16,15 +23,27 @@ from typing import Optional
 from repro.core.rest.json_codec import dumps, loads
 from repro.core.rest.router import Request, Router
 
+#: Default request-body cap (bytes) — matches the gateway front end.
+DEFAULT_MAX_BODY = 8 * 1024 * 1024
+
 
 class PilgrimHTTPServer:
     """Lifecycle wrapper: ``start()`` serves in a daemon thread."""
 
-    def __init__(self, router: Router, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, router: Router, host: str = "127.0.0.1", port: int = 0,
+                 max_body_bytes: int = DEFAULT_MAX_BODY) -> None:
         self.router = router
+        self.max_body_bytes = int(max_body_bytes)
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
+            # HTTP/1.1 enables keep-alive: handler threads persist per
+            # *connection*, and every response declares Content-Length
+            protocol_version = "HTTP/1.1"
+            # reap idle keep-alive connections so abandoned clients do
+            # not pin handler threads forever
+            timeout = 30
+
             def do_GET(self) -> None:  # noqa: N802 - stdlib naming
                 self._handle("GET")
 
@@ -37,6 +56,17 @@ class PilgrimHTTPServer:
                 except ValueError:
                     self._respond(400, {"error": "BadRequest", "status": 400,
                                         "message": "bad Content-Length"})
+                    return
+                if length > outer.max_body_bytes:
+                    # refuse before reading: close the connection so the
+                    # unread body cannot desynchronize a keep-alive stream
+                    self.close_connection = True
+                    self._respond(
+                        413, {"error": "PayloadTooLarge", "status": 413,
+                              "message": f"request body of {length} bytes "
+                                         f"exceeds the "
+                                         f"{outer.max_body_bytes}-byte "
+                                         f"limit"})
                     return
                 raw = self.rfile.read(length) if length > 0 else b""
                 body = None

@@ -27,6 +27,20 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 
+def batch_size_bucket(size: int) -> str:
+    """Histogram bucket label for a batch of ``size`` requests.
+
+    Exact for the interesting small sizes (1 and 2), power-of-two ranges
+    above (``"3-4"``, ``"5-8"``, …) so the distribution dict stays tiny
+    whatever ``max_batch`` is."""
+    if size <= 2:
+        return str(size)
+    upper = 4
+    while upper < size:
+        upper *= 2
+    return f"{upper // 2 + 1}-{upper}"
+
+
 @dataclass
 class PendingRequest:
     """One queued forecast request plus its completion future."""
@@ -72,6 +86,10 @@ class RequestCoalescer:
         self.requests = 0
         self.coalesced = 0   # requests that shared a batch with at least one other
         self.max_batch_seen = 0
+        #: batch-size distribution: bucket label → batch count (buckets
+        #: are power-of-two ranges, so the histogram stays small at any
+        #: max_batch).  Written only by the drain thread.
+        self.batch_size_hist: dict[str, int] = {}
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -168,6 +186,9 @@ class RequestCoalescer:
             if len(batch) > 1:
                 self.coalesced += len(batch)
             self.max_batch_seen = max(self.max_batch_seen, len(batch))
+            bucket = batch_size_bucket(len(batch))
+            self.batch_size_hist[bucket] = \
+                self.batch_size_hist.get(bucket, 0) + 1
             try:
                 self.execute(batch)
             except BaseException as exc:  # noqa: BLE001 - fan failure out
@@ -186,4 +207,5 @@ class RequestCoalescer:
             "requests": self.requests,
             "coalesced": self.coalesced,
             "max_batch_seen": self.max_batch_seen,
+            "batch_size_hist": dict(self.batch_size_hist),
         }

@@ -36,6 +36,26 @@ def star_factory(n_hosts: int = 64,
     return partial(star_forecast_service, n_hosts, name)
 
 
+def star_fleet_service(n_platforms: int = 4, n_hosts: int = 16,
+                       prefix: str = STAR_PLATFORM) -> NetworkForecastService:
+    """A forecast service over ``n_platforms`` independent star clusters.
+
+    The gateway shards traffic by *platform*, so a single-platform service
+    pins every request to one shard; benches and tests that want real
+    cross-shard parallelism spread load over a fleet of platforms
+    (``{prefix}-0`` … ``{prefix}-{n-1}``)."""
+    return NetworkForecastService({
+        f"{prefix}-{i}": build_star_cluster(f"{prefix}-{i}", n_hosts)
+        for i in range(n_platforms)
+    })
+
+
+def star_fleet_factory(n_platforms: int = 4, n_hosts: int = 16,
+                       prefix: str = STAR_PLATFORM) -> Callable[[], NetworkForecastService]:
+    """A picklable factory building :func:`star_fleet_service`."""
+    return partial(star_fleet_service, n_platforms, n_hosts, prefix)
+
+
 def grid5000_forecast_service() -> NetworkForecastService:
     """The session-cached Grid'5000 forecast service (g5k_test + cabinets)."""
     from repro.experiments.environment import forecast_service

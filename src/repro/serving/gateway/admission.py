@@ -1,0 +1,76 @@
+"""Admission control: bounded in-flight budget + waiting room, then shed.
+
+The gateway admits a request while fewer than ``max_inflight`` requests
+are executing; above that, up to ``queue_depth`` more may wait (they are
+"queued" in the sense that shards haven't freed capacity for them — the
+transport itself never buffers unboundedly).  Beyond
+``max_inflight + queue_depth`` the request is *shed*: an immediate
+``503`` with a ``Retry-After`` hint, never a hang — a client that backs
+off and retries is cheaper than a thread parked on a dead queue.
+
+``GET /pilgrim/stats`` is exempt (monitoring must answer precisely when
+the gateway is saturated); the front end enforces that, not this class.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class AdmissionController:
+    """Thread-safe in-flight accounting with a shed threshold."""
+
+    def __init__(self, max_inflight: int = 256, queue_depth: int = 1024,
+                 retry_after_s: float = 1.0) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        self.max_inflight = int(max_inflight)
+        self.queue_depth = int(queue_depth)
+        self.retry_after_s = float(retry_after_s)
+        self._lock = threading.Lock()
+        self.in_flight = 0
+        # lifetime counters
+        self.admitted = 0
+        self.shed = 0
+        self.peak_in_flight = 0
+
+    @property
+    def limit(self) -> int:
+        return self.max_inflight + self.queue_depth
+
+    def try_admit(self) -> bool:
+        """Admit (and count) one request, or refuse at the shed threshold."""
+        with self._lock:
+            if self.in_flight >= self.limit:
+                self.shed += 1
+                return False
+            self.in_flight += 1
+            self.admitted += 1
+            if self.in_flight > self.peak_in_flight:
+                self.peak_in_flight = self.in_flight
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self.in_flight <= 0:
+                raise RuntimeError("release() without a matching try_admit()")
+            self.in_flight -= 1
+
+    def retry_after(self) -> float:
+        """The Retry-After hint (seconds) for a shed response."""
+        return self.retry_after_s
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            queued = max(0, self.in_flight - self.max_inflight)
+            return {
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "in_flight": self.in_flight,
+                "queued": queued,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "peak_in_flight": self.peak_in_flight,
+            }

@@ -1,0 +1,449 @@
+"""The sharded gateway: admission → hash-ring routing → shard fan-in.
+
+:class:`ShardedGateway` assembles the production request path:
+
+- an :class:`~repro.serving.gateway.frontend.AsyncHTTPFrontend` (one
+  event-loop thread, keep-alive, pipelining, bounded parsing),
+- an :class:`~repro.serving.gateway.admission.AdmissionController`
+  shedding load with ``503 + Retry-After`` past the in-flight budget,
+- a :class:`~repro.serving.gateway.hashring.ConsistentHashRing` pinning
+  each platform to one shard (shared-nothing caches stay hot),
+- N shard processes (:mod:`repro.serving.gateway.shard`), each a full
+  serving stack built from a picklable ``service_factory``,
+- per-route SLO metrics and an aggregated ``GET /pilgrim/stats``.
+
+**Epoch propagation**: the gateway keeps a parent-side
+``NetworkForecastService`` over the *same* platform objects the embedding
+application mutates (pass ``service=``; the CLI passes the session-cached
+Grid'5000 service).  Before dispatching, it compares the parent-process
+link-mutation epoch against the last value it broadcast; on a change it
+snapshots every platform's link state and sends a ``sync`` message down
+each shard pipe ahead of the request — so a recalibration under
+``repro metrology run`` reaches every shard before any later answer, and
+each shard invalidates through its own local epoch bump.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.forecast import NetworkForecastService
+from repro.core.rest.json_codec import loads
+from repro.simgrid.platform import link_epoch
+
+from repro.serving.gateway import shard as shard_proto
+from repro.serving.gateway.admission import AdmissionController
+from repro.serving.gateway.frontend import AsyncHTTPFrontend
+from repro.serving.gateway.hashring import ConsistentHashRing
+from repro.serving.gateway.metrics import GatewayMetrics
+from repro.serving.gateway.shard import (
+    READY,
+    RES,
+    REQ,
+    STATS,
+    STOP,
+    SYNC,
+    shard_main,
+    snapshot_link_states,
+)
+
+
+class ShardError(Exception):
+    """A shard process died with requests in flight."""
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tuning knobs, one place (mirrored by ``repro serve --shards``)."""
+
+    shards: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 256
+    queue_depth: int = 1024
+    retry_after_s: float = 1.0
+    max_body_bytes: int = 8 * 1024 * 1024
+    idle_timeout: float = 30.0
+    request_timeout: float = 60.0
+    #: per-shard serving knobs (see ForecastServingService)
+    window: float = 0.002
+    cache_size: int = 4096
+    workers: int = 0
+    max_requests: Optional[int] = None
+    shard_threads: int = 4
+    #: virtual nodes per shard on the hash ring
+    ring_replicas: int = 64
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+
+
+class ShardHandle:
+    """Parent-side endpoint of one shard process.
+
+    Thread-safe: the frontend's event loop, the stats fan-out and the
+    epoch broadcaster all send through one lock; a reader thread resolves
+    response futures by request id, so completions may arrive in any
+    order.
+    """
+
+    def __init__(self, shard_id: int, service_factory: Callable,
+                 config: GatewayConfig) -> None:
+        self.shard_id = shard_id
+        ctx = multiprocessing.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self._conn = parent_conn
+        self.process = ctx.Process(
+            target=shard_main,
+            args=(child_conn, shard_id, service_factory),
+            kwargs={
+                "window": config.window,
+                "cache_size": config.cache_size,
+                "workers": config.workers,
+                "max_requests": config.max_requests,
+                "threads": config.shard_threads,
+            },
+            daemon=True,
+            name=f"gateway-shard-{shard_id}",
+        )
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._rid = itertools.count()
+        self._ready = threading.Event()
+        self.alive = False
+        self.dispatched = 0
+        self.process.start()
+        child_conn.close()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"shard-{shard_id}-reader",
+            daemon=True)
+        self.alive = True
+        self._reader.start()
+
+    def wait_ready(self, timeout: float = 60.0) -> None:
+        if not self._ready.wait(timeout):
+            raise ShardError(f"shard {self.shard_id} did not come up "
+                             f"within {timeout}s")
+
+    # -- parent → shard ----------------------------------------------------------
+
+    def _submit(self, message_head: tuple) -> Future:
+        """Register a future for a new rid and send ``(tag, rid, *rest)``."""
+        future: Future = Future()
+        rid = next(self._rid)
+        with self._pending_lock:
+            if not self.alive:
+                raise ShardError(f"shard {self.shard_id} is down")
+            self._pending[rid] = future
+        tag, rest = message_head[0], message_head[1:]
+        try:
+            with self._send_lock:
+                self._conn.send((tag, rid, *rest))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            with self._pending_lock:
+                self._pending.pop(rid, None)
+            raise ShardError(f"shard {self.shard_id} pipe broken") from exc
+        return future
+
+    def request(self, method: str, path: str, query: dict,
+                body: object) -> Future:
+        self.dispatched += 1
+        return self._submit((REQ, method, path, query, body))
+
+    def request_stats(self) -> Future:
+        return self._submit((STATS,))
+
+    def sync(self, epoch: int, link_states: dict) -> None:
+        with self._send_lock:
+            self._conn.send((SYNC, epoch, link_states))
+
+    @property
+    def occupancy(self) -> int:
+        with self._pending_lock:
+            return len(self._pending)
+
+    # -- shard → parent ----------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                message = self._conn.recv()
+                tag = message[0]
+                if tag == READY:
+                    self._ready.set()
+                elif tag == RES:
+                    _, rid, status, payload = message
+                    with self._pending_lock:
+                        future = self._pending.pop(rid, None)
+                    # a timed-out waiter may have cancelled its future;
+                    # the late answer is simply dropped
+                    if future is not None and not future.done():
+                        future.set_result((status, payload))
+        except (EOFError, OSError):
+            pass  # shard exited (stop() or crash): fail what's in flight
+        finally:
+            with self._pending_lock:
+                self.alive = False
+                pending, self._pending = self._pending, {}
+            error = ShardError(f"shard {self.shard_id} exited with "
+                               f"{len(pending)} request(s) in flight")
+            for future in pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._ready.set()  # unblock a wait_ready on a crashed shard
+
+    def stop(self, timeout: float = 10.0) -> None:
+        try:
+            with self._send_lock:
+                self._conn.send((STOP,))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        self._conn.close()
+        self._reader.join(timeout)
+
+
+class ShardedGateway:
+    """N shard processes behind one admission-controlled async front end.
+
+    ``service_factory`` must be picklable (the warm-pool contract); it
+    builds each shard's forecast service.  ``service`` optionally names
+    the parent-side service whose platforms are the *mutation source* for
+    epoch propagation — pass the service your application recalibrates.
+    When omitted, the gateway builds one from the factory (mutate
+    ``gateway.service`` to reach the shards).
+    """
+
+    def __init__(
+        self,
+        service_factory: Callable[[], NetworkForecastService],
+        config: Optional[GatewayConfig] = None,
+        service: Optional[NetworkForecastService] = None,
+    ) -> None:
+        self.config = config if config is not None else GatewayConfig()
+        self.service_factory = service_factory
+        self.service = service if service is not None else service_factory()
+        self.metrics = GatewayMetrics()
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            queue_depth=self.config.queue_depth,
+            retry_after_s=self.config.retry_after_s,
+        )
+        self.ring = ConsistentHashRing(range(self.config.shards),
+                                       replicas=self.config.ring_replicas)
+        self.shards: list[ShardHandle] = []
+        self.frontend: Optional[AsyncHTTPFrontend] = None
+        self._epoch_lock = threading.Lock()
+        self._synced_epoch = link_epoch()
+        self.epoch_syncs = 0
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "ShardedGateway":
+        if self._started:
+            raise RuntimeError("gateway already started")
+        self._started = True
+        try:
+            self.shards = [
+                ShardHandle(i, self.service_factory, self.config)
+                for i in range(self.config.shards)
+            ]
+            for handle in self.shards:
+                handle.wait_ready()
+                if not handle.alive:
+                    raise ShardError(f"shard {handle.shard_id} crashed "
+                                     f"during startup")
+            self.frontend = AsyncHTTPFrontend(
+                self._handle, self.metrics,
+                host=self.config.host, port=self.config.port,
+                max_body_bytes=self.config.max_body_bytes,
+                idle_timeout=self.config.idle_timeout,
+            ).start()
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def stop(self) -> None:
+        if self.frontend is not None:
+            self.frontend.stop()
+            self.frontend = None
+        for handle in self.shards:
+            handle.stop()
+        self.shards = []
+        self._started = False
+
+    def __enter__(self) -> "ShardedGateway":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        if self.frontend is None:
+            raise RuntimeError("gateway not started")
+        return self.frontend.url
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.frontend is None:
+            raise RuntimeError("gateway not started")
+        return self.frontend.address
+
+    # -- epoch propagation -------------------------------------------------------
+
+    def sync_epoch(self, force: bool = False) -> bool:
+        """Broadcast parent link state to every shard if the epoch moved.
+
+        Called on the dispatch path (a cheap int compare when nothing
+        changed) and callable explicitly after a recalibration burst.
+        Returns whether a broadcast happened.  Pipe ordering guarantees
+        any request dispatched after this call answers with the new
+        capacities.
+        """
+        epoch = link_epoch()
+        if not force and epoch == self._synced_epoch:
+            return False
+        with self._epoch_lock:
+            epoch = link_epoch()
+            if not force and epoch == self._synced_epoch:
+                return False
+            link_states = snapshot_link_states(self.service)
+            for handle in self.shards:
+                if handle.alive:
+                    handle.sync(epoch, link_states)
+            self._synced_epoch = epoch
+            self.epoch_syncs += 1
+        return True
+
+    # -- request path (frontend event loop) --------------------------------------
+
+    def _shard_for(self, path: str) -> ShardHandle:
+        """Consistent-hash pick: by platform for the predict/planner
+        routes, by path otherwise (platform-agnostic routes answer
+        identically on every shard)."""
+        parts = path.strip("/").split("/")
+        if (len(parts) >= 3 and parts[0] == "pilgrim"
+                and parts[1] in ("predict_transfers", "select_fastest")):
+            key = parts[2]
+        else:
+            key = path
+        return self.shards[self.ring.node(key)]
+
+    async def _handle(self, method: str, target: str,
+                      body: bytes) -> tuple[int, object, dict]:
+        t0 = time.perf_counter()
+        path = target.split("?", 1)[0]
+        route = GatewayMetrics.route_class(path)
+        if route == "stats" and method == "GET":
+            # exempt from admission: monitoring must answer under overload
+            status, payload = await self._handle_stats()
+            self.metrics.record(route, time.perf_counter() - t0, status)
+            return status, payload, {}
+        if not self.admission.try_admit():
+            retry_after = self.admission.retry_after()
+            payload = {
+                "error": "ServiceUnavailable", "status": 503,
+                "message": "gateway at admission limit, retry later",
+                "retry_after_s": retry_after,
+            }
+            self.metrics.record(route, time.perf_counter() - t0, 503)
+            return 503, payload, {"Retry-After": f"{retry_after:g}"}
+        try:
+            status, payload = await self._dispatch(method, target, body)
+        finally:
+            self.admission.release()
+            self.metrics.record(route, time.perf_counter() - t0,
+                                status if "status" in locals() else 500)
+        return status, payload, {}
+
+    async def _dispatch(self, method: str, target: str,
+                        body: bytes) -> tuple[int, object]:
+        from repro.core.rest.router import Request
+
+        decoded = None
+        if body:
+            try:
+                decoded = loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                return 400, {"error": "BadRequest", "status": 400,
+                             "message": "request body is not valid JSON"}
+        parsed = Request.from_target(method, target, body=decoded)
+        self.sync_epoch()  # recalibrations reach shards before the request
+        handle = self._shard_for(parsed.path)
+        if not handle.alive:
+            return 503, {"error": "ServiceUnavailable", "status": 503,
+                         "message": f"shard {handle.shard_id} is down"}
+        try:
+            future = handle.request(method, parsed.path, parsed.query,
+                                    decoded)
+        except ShardError as exc:
+            return 503, {"error": "ServiceUnavailable", "status": 503,
+                         "message": str(exc)}
+        try:
+            return await asyncio.wait_for(
+                asyncio.wrap_future(future),
+                timeout=self.config.request_timeout)
+        except asyncio.TimeoutError:
+            return 504, {"error": "GatewayTimeout", "status": 504,
+                         "message": f"shard {handle.shard_id} did not "
+                                    f"answer within "
+                                    f"{self.config.request_timeout:g}s"}
+        except ShardError as exc:
+            return 503, {"error": "ServiceUnavailable", "status": 503,
+                         "message": str(exc)}
+
+    async def _handle_stats(self) -> tuple[int, object]:
+        futures = []
+        for handle in self.shards:
+            if not handle.alive:
+                futures.append(None)
+                continue
+            try:
+                futures.append(handle.request_stats())
+            except ShardError:
+                futures.append(None)
+        shard_stats: list[object] = []
+        for handle, future in zip(self.shards, futures):
+            if future is None:
+                shard_stats.append({"shard": handle.shard_id,
+                                    "alive": False})
+                continue
+            try:
+                _status, payload = await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout=10.0)
+                shard_stats.append({"alive": True, **payload})
+            except (asyncio.TimeoutError, ShardError):
+                shard_stats.append({"shard": handle.shard_id,
+                                    "alive": False})
+        return 200, {"gateway": self.stats(), "shards": shard_stats}
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Gateway-local counters (shard internals come from the shards)."""
+        return {
+            "shards": self.config.shards,
+            "admission": self.admission.snapshot(),
+            "epoch": {"parent": link_epoch(),
+                      "synced": self._synced_epoch,
+                      "syncs": self.epoch_syncs},
+            "shard_occupancy": [h.occupancy for h in self.shards],
+            "shard_dispatched": [h.dispatched for h in self.shards],
+            "shard_alive": [h.alive for h in self.shards],
+            **self.metrics.snapshot(),
+        }

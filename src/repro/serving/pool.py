@@ -85,6 +85,9 @@ class WarmWorkerPool:
         self.requests = 0
         self.batches = 0
         self.recycles = 0
+        #: executor generations ever started (1 on first start; each
+        #: recycle — max_requests or epoch-driven — starts another)
+        self.generations = 0
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -103,6 +106,7 @@ class WarmWorkerPool:
                 )
                 self._epoch = link_epoch()
                 self._generation_requests = 0
+                self.generations += 1
             return self
 
     def stop(self) -> None:
@@ -208,6 +212,7 @@ class WarmWorkerPool:
             "requests": self.requests,
             "batches": self.batches,
             "recycles": self.recycles,
+            "generations": self.generations,
             "generation_requests": self._generation_requests,
             "max_requests": self.max_requests,
             "epoch": self._epoch,

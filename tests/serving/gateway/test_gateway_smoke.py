@@ -1,0 +1,24 @@
+"""Tier-1 hook for the gateway smoke check.
+
+The sharded gateway (shard processes + asyncio front end + admission +
+aggregated stats) must boot, answer bit-identically to a direct
+simulation and shut down cleanly — see ``tools/check_gateway_smoke.py``.
+Runs in-process on every tier-1 pass.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_gateway_smoke  # noqa: E402
+
+
+def test_standalone_gateway_smoke_passes(capsys):
+    assert check_gateway_smoke.main() == 0
+    out = capsys.readouterr().out
+    assert "gateway smoke OK" in out
+    assert "FAIL" not in out

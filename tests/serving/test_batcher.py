@@ -23,6 +23,7 @@ class TestCoalescing:
         assert stats["batches"] == 1
         assert stats["requests"] == 1
         assert stats["coalesced"] == 0
+        assert stats["batch_size_hist"] == {"1": 1}
 
     def test_concurrent_burst_shares_a_batch(self):
         seen_batches = []
@@ -48,6 +49,8 @@ class TestCoalescing:
         assert stats["requests"] == 4
         assert stats["coalesced"] >= 2
         assert stats["max_batch_seen"] == max(seen_batches)
+        # the histogram saw exactly the batches the execute callback saw
+        assert sum(stats["batch_size_hist"].values()) == len(seen_batches)
 
     def test_max_batch_bounds_a_drain(self):
         sizes = []

@@ -106,6 +106,104 @@ def test_hammer_matches_serial_ground_truth(star_service, queries,
         pilgrim.disable_serving()
 
 
+class TestKeepAliveConnections:
+    """Keep-alive robustness of the threaded server (HTTP/1.1).
+
+    The single-process server shares the bounded-ingest contract with the
+    gateway front end: persistent connections interleave GET and POST on
+    one socket, a client vanishing mid-request never wedges a handler
+    thread, and an oversized body is refused with ``413`` before reading —
+    clean failures, never hung sockets.
+    """
+
+    @pytest.fixture()
+    def serving_pilgrim(self, star_service):
+        pilgrim = Pilgrim()
+        pilgrim.register_platform(STAR_PLATFORM,
+                                  star_service.platform(STAR_PLATFORM))
+        pilgrim.enable_serving(window=0.0, cache_size=64)
+        try:
+            yield pilgrim
+        finally:
+            pilgrim.disable_serving()
+
+    def test_one_connection_interleaves_get_and_post(self, serving_pilgrim,
+                                                     queries, ground_truth):
+        with serving_pilgrim.serve() as server:
+            with RestClient(server.url) as client:
+                first = client.post_predict_transfers(STAR_PLATFORM,
+                                                      queries[0])
+                sock = client._local.conn.sock
+                assert sock is not None, "keep-alive must hold the socket"
+                for round_no in range(3):
+                    for qi, transfers in enumerate(queries):
+                        if (round_no + qi) % 2:
+                            answer = client.predict_transfers(
+                                STAR_PLATFORM, transfers)
+                        else:
+                            answer = client.post_predict_transfers(
+                                STAR_PLATFORM, transfers)
+                        assert answer == ground_truth[qi]
+                        # the whole train rode the original socket
+                        assert client._local.conn.sock is sock
+                assert first == ground_truth[0]
+
+    def test_keep_alive_disabled_closes_per_request(self, serving_pilgrim,
+                                                    queries, ground_truth):
+        with serving_pilgrim.serve() as server:
+            client = RestClient(server.url, keep_alive=False)
+            for qi, transfers in enumerate(queries):
+                assert client.post_predict_transfers(
+                    STAR_PLATFORM, transfers) == ground_truth[qi]
+                assert getattr(client._local, "conn", None) is None
+
+    def test_mid_stream_disconnect_does_not_wedge_server(
+            self, serving_pilgrim, queries, ground_truth):
+        import socket as socket_mod
+
+        with serving_pilgrim.serve() as server:
+            host, port = server.address
+            # promise 1000 body bytes, deliver 4, vanish
+            sock = socket_mod.create_connection((host, port), timeout=5.0)
+            sock.sendall(
+                f"POST /pilgrim/predict_transfers/{STAR_PLATFORM} "
+                f"HTTP/1.1\r\nHost: t\r\nContent-Length: 1000\r\n\r\n"
+                f"half".encode("ascii"))
+            sock.close()
+            # new clients are served as if nothing happened
+            with RestClient(server.url) as client:
+                assert client.post_predict_transfers(
+                    STAR_PLATFORM, queries[0]) == ground_truth[0]
+
+    def test_oversized_body_is_clean_413_not_hang(self, serving_pilgrim,
+                                                  queries, ground_truth):
+        from repro.core.rest.errors import PayloadTooLarge
+
+        with serving_pilgrim.serve(max_body_bytes=16 * 1024) as server:
+            with RestClient(server.url) as client:
+                big = [("host-0", "host-1", 1e6)] * 2000
+                with pytest.raises(PayloadTooLarge):
+                    client.post_predict_transfers(STAR_PLATFORM, big)
+                # the refusal closed that stream; the client transparently
+                # reconnects and normal requests keep working
+                assert client.post_predict_transfers(
+                    STAR_PLATFORM, queries[0]) == ground_truth[0]
+
+    def test_stale_pooled_connection_retries_once(self, serving_pilgrim,
+                                                  queries, ground_truth):
+        with serving_pilgrim.serve() as first_server:
+            client = RestClient(first_server.url)
+            port = first_server.address[1]
+            assert client.post_predict_transfers(
+                STAR_PLATFORM, queries[0]) == ground_truth[0]
+        # server restarted on the same port: the pooled socket is stale
+        with serving_pilgrim.serve(port=port) as second_server:
+            assert second_server.address[1] == port
+            assert client.post_predict_transfers(
+                STAR_PLATFORM, queries[0]) == ground_truth[0]
+        client.close()
+
+
 def test_hammer_with_cache_disabled_still_correct(star_service, queries,
                                                   ground_truth):
     pilgrim = Pilgrim()

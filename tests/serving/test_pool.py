@@ -52,6 +52,7 @@ class TestWarmPool:
         assert stats["batches"] == 2
         assert stats["requests"] == 2 * len(requests)
         assert stats["recycles"] == 0
+        assert stats["generations"] == 1  # warm: both batches, one fork
 
     def test_recycles_after_max_requests(self, requests, serial):
         with WarmWorkerPool(star_factory(N_HOSTS), workers=2,
@@ -60,6 +61,8 @@ class TestWarmPool:
                 assert pool.predict_many(STAR_PLATFORM, requests) == serial
             stats = pool.stats()
         assert stats["recycles"] >= 1
+        # every recycle started a fresh executor generation
+        assert stats["generations"] == stats["recycles"] + 1
         # recycling must never change answers (fresh workers, same factory)
 
     def test_recycles_on_link_epoch_change(self, requests, star4):
