@@ -13,6 +13,12 @@ Output directory: ``benchmarks/results`` by default, overridden by the
 ``REPRO_BENCH_OUT`` environment variable (the smoke runner points it at a
 scratch directory so tier-1 never dirties the committed trajectory).
 
+Every flush also rewrites ``BENCH_trajectory_summary.json`` — an aggregate
+roll-up of the per-bench headline speedups plus the git revision, built
+from every ``BENCH_<name>.json`` present in the output directory (see
+:func:`summarize`).  The summary is the one file to read (or diff across
+PRs) for the repo's performance trajectory at a glance.
+
 Schema (``"schema": 1``)::
 
     {
@@ -51,6 +57,9 @@ BENCH_DIR = Path(__file__).resolve().parent
 DEFAULT_OUT = BENCH_DIR / "results"
 FILE_PREFIX = "BENCH_"
 
+#: Aggregate roll-up written next to the per-bench files on every flush.
+SUMMARY_FILENAME = f"{FILE_PREFIX}trajectory_summary.json"
+
 
 def output_dir() -> Path:
     """Where trajectory files go: ``REPRO_BENCH_OUT`` or the committed dir."""
@@ -88,6 +97,58 @@ def git_rev() -> Optional[str]:
         return None
     rev = proc.stdout.strip()
     return rev if proc.returncode == 0 and rev else None
+
+
+def headline_speedups(doc: dict) -> dict:
+    """Every metric in a trajectory doc that carries a numeric speedup."""
+    speedups = {}
+    for name, values in (doc.get("metrics") or {}).items():
+        if isinstance(values, dict) and isinstance(
+                values.get("speedup"), (int, float)) \
+                and not isinstance(values["speedup"], bool):
+            speedups[name] = float(values["speedup"])
+    return speedups
+
+
+def summarize(out_dir: Path) -> dict:
+    """Aggregate summary of every ``BENCH_<name>.json`` in ``out_dir``.
+
+    One entry per bench: its per-metric speedups and the headline (max)
+    speedup, or ``null`` for benches that record no speedup metric.  The
+    git revision stamps which commit the trajectory belongs to, so a
+    summary diff across PRs reads as a performance changelog.
+    """
+    benches = {}
+    for path in sorted(Path(out_dir).glob(f"{FILE_PREFIX}*.json")):
+        if path.name == SUMMARY_FILENAME:
+            continue
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue  # schema problems are the trajectory gate's job
+        if not isinstance(doc, dict) or not isinstance(doc.get("bench"), str):
+            continue
+        speedups = headline_speedups(doc)
+        benches[doc["bench"]] = {
+            "headline_speedup": max(speedups.values()) if speedups else None,
+            "speedups": speedups,
+            "smoke": bool(doc.get("smoke", False)),
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "trajectory_summary",
+        "git_rev": git_rev(),
+        "created_unix": time.time(),
+        "benches": benches,
+    }
+
+
+def write_summary(out_dir: Path) -> Path:
+    """Write (or rewrite) the aggregate summary for ``out_dir``."""
+    path = Path(out_dir) / SUMMARY_FILENAME
+    path.write_text(
+        json.dumps(summarize(out_dir), indent=1, sort_keys=True) + "\n")
+    return path
 
 
 class TrajectoryRecorder:
@@ -143,7 +204,9 @@ class TrajectoryRecorder:
         }
 
     def flush(self) -> list[Path]:
-        """Write one ``BENCH_<name>.json`` per bench seen; returns the paths."""
+        """Write one ``BENCH_<name>.json`` per bench seen, then refresh the
+        aggregate ``BENCH_trajectory_summary.json`` from everything in the
+        output directory; returns the written paths (summary last)."""
         benches = sorted(set(self._cases) | set(self._metrics))
         if not benches:
             return []
@@ -156,4 +219,5 @@ class TrajectoryRecorder:
                 + "\n"
             )
             written.append(path)
+        written.append(write_summary(self.out_dir))
         return written

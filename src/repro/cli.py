@@ -87,6 +87,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-serving", action="store_true",
                        help="skip the serving layer (cache, batching, warm "
                             "pool); every request simulates directly")
+    serve.add_argument("--surrogate", default=None, metavar="MODEL_JSON",
+                       help="arm the learned surrogate fast path with this "
+                            "trained model document (`repro surrogate "
+                            "train`); low-uncertainty queries answer in "
+                            "microseconds, everything else simulates")
+    serve.add_argument("--surrogate-bound", type=float, default=0.5,
+                       help="maximum predicted uncertainty (log2 units) "
+                            "the surrogate may answer under")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate one paper figure")
@@ -194,6 +202,67 @@ def _build_parser() -> argparse.ArgumentParser:
                               "estimates (0 = frozen anchors)")
     met_run.add_argument("--anchor-band", type=float, default=0.1,
                          help="relative health gate for re-anchoring")
+    met_run.add_argument("--anchor-weighting", default="hard",
+                         choices=("hard", "gaussian"),
+                         help="re-anchoring weighting: hard all-or-nothing "
+                              "health band, or gaussian distance-weighted "
+                              "steps (no cliff at the band edge)")
+
+    surrogate = sub.add_parser(
+        "surrogate", help="learned surrogate fast path (train from "
+                          "campaign sweeps, evaluate, serve)")
+    sur_sub = surrogate.add_subparsers(dest="surrogate_command",
+                                       required=True)
+    sur_train = sur_sub.add_parser(
+        "train", help="run a seeded campaign sweep and fit the "
+                      "ridge + k-NN surrogate")
+    sur_train.add_argument("--output", required=True, metavar="MODEL_JSON",
+                           help="write the trained model document here")
+    sur_train.add_argument("--samples", type=int, default=48,
+                           help="sweep samples (topology × workload × "
+                                "size × link-degradation draws)")
+    sur_train.add_argument("--seed", type=int, default=0)
+    sur_train.add_argument("--model", default="LV08",
+                           choices=("LV08", "CM02"))
+    sur_train.add_argument("--workers", type=int, default=0,
+                           help="sweep worker processes (bit-identical to "
+                                "serial)")
+    sur_train.add_argument("--holdout", type=float, default=0.25,
+                           help="fraction of sweep samples held out for "
+                                "validation (0 trains on everything)")
+    sur_train.add_argument("--dataset", default=None, metavar="DATA_JSON",
+                           help="also write the sweep dataset here")
+    sur_eval = sur_sub.add_parser(
+        "eval", help="evaluate a trained model on a fresh sweep")
+    sur_eval.add_argument("--input", required=True, metavar="MODEL_JSON",
+                          help="model document from `surrogate train`")
+    sur_eval.add_argument("--samples", type=int, default=16)
+    sur_eval.add_argument("--seed", type=int, default=1,
+                          help="sweep seed (pick one differing from the "
+                               "training seed for an honest held-out set)")
+    sur_eval.add_argument("--workers", type=int, default=0)
+    sur_eval.add_argument("--max-median-error", type=float, default=None,
+                          help="exit 1 if the median |log2 error| exceeds "
+                               "this floor (CI gate)")
+    sur_eval.add_argument("--json", action="store_true",
+                          help="emit the evaluation as JSON")
+    sur_serve = sur_sub.add_parser(
+        "serve", help="run the Pilgrim HTTP services with the surrogate "
+                      "tier armed (shortcut for `serve --surrogate`)")
+    sur_serve.add_argument("--input", required=True, metavar="MODEL_JSON")
+    sur_serve.add_argument("--bound", type=float, default=0.5,
+                           help="maximum predicted uncertainty (log2 "
+                                "units) the surrogate may answer under")
+    sur_serve.add_argument("--host", default="127.0.0.1")
+    sur_serve.add_argument("--port", type=int, default=8080)
+    sur_serve.add_argument("--shards", type=int, default=0)
+    sur_serve.add_argument("--max-inflight", type=int, default=256)
+    sur_serve.add_argument("--queue-depth", type=int, default=1024)
+    sur_serve.add_argument("--shard-threads", type=int, default=4)
+    sur_serve.add_argument("--workers", type=int, default=0)
+    sur_serve.add_argument("--batch-window", type=float, default=0.005)
+    sur_serve.add_argument("--cache-size", type=int, default=4096)
+    sur_serve.add_argument("--max-requests", type=int, default=None)
 
     report = sub.add_parser(
         "report", help="run the full validation campaign, emit markdown")
@@ -252,6 +321,21 @@ def _cmd_predict(args, out) -> int:
     return 0
 
 
+def _load_surrogate_tier(path, bound, out):
+    """Build a SurrogateTier from a trained model document, or None."""
+    if not path:
+        return None
+    from repro.surrogate import SurrogateModel, SurrogateTier
+
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    tier = SurrogateTier(SurrogateModel.from_json(doc), bound=bound,
+                         require_fresh_epoch=False)
+    out.write(f"surrogate tier armed: model {tier.model.network_model}, "
+              f"bound {bound:g} log2 units\n")
+    return tier
+
+
 def _cmd_serve(args, out) -> int:
     from repro.core.framework import Pilgrim
 
@@ -268,6 +352,8 @@ def _cmd_serve(args, out) -> int:
             window=args.batch_window,
             cache_size=args.cache_size,
             max_requests=args.max_requests,
+            surrogate=_load_surrogate_tier(args.surrogate,
+                                           args.surrogate_bound, out),
         )
         mode = (f"{args.workers} warm workers" if args.workers > 0
                 else "inline execution")
@@ -297,6 +383,12 @@ def _cmd_serve_gateway(args, out) -> int:
     # the session-cached parent service is the epoch/mutation source; the
     # picklable module-level factory rebuilds the same service per shard
     service = forecast_service()
+    surrogate_doc = None
+    if getattr(args, "surrogate", None):
+        with open(args.surrogate, "r", encoding="utf-8") as fh:
+            surrogate_doc = json.load(fh)
+        out.write(f"surrogate tier armed on every shard, bound "
+                  f"{args.surrogate_bound:g} log2 units\n")
     config = GatewayConfig(
         shards=args.shards,
         host=args.host,
@@ -308,6 +400,8 @@ def _cmd_serve_gateway(args, out) -> int:
         cache_size=args.cache_size,
         workers=max(0, args.workers),
         max_requests=args.max_requests,
+        surrogate_doc=surrogate_doc,
+        surrogate_bound=args.surrogate_bound,
     )
     gateway = ShardedGateway(grid5000_forecast_service, config,
                              service=service).start()
@@ -503,6 +597,7 @@ def _cmd_metrology_run(args, out) -> int:
     demo = _record_demo(args, sensor_drift=args.drift,
                         anchor_alpha=args.anchor_alpha,
                         anchor_health_band=args.anchor_band,
+                        anchor_weighting=args.anchor_weighting,
                         feed_workers=args.feed_workers)
     demo.warmup(args.warmup)
     serving = ForecastServingService(
@@ -563,6 +658,96 @@ def _cmd_metrology_run(args, out) -> int:
     return 0
 
 
+def _cmd_surrogate(args, out) -> int:
+    if args.surrogate_command == "train":
+        return _cmd_surrogate_train(args, out)
+    if args.surrogate_command == "eval":
+        return _cmd_surrogate_eval(args, out)
+    if args.surrogate_command == "serve":
+        return _cmd_surrogate_serve(args, out)
+    raise AssertionError(
+        f"unhandled surrogate command {args.surrogate_command!r}"
+    )  # pragma: no cover
+
+
+def _format_evaluation(report: dict) -> str:
+    return (f"{report['n']} rows: median |log2 err| "
+            f"{report['median_abs_log2_error']:.4f}, p90 "
+            f"{report['p90_abs_log2_error']:.4f}, max "
+            f"{report['max_abs_log2_error']:.4f}; median uncertainty "
+            f"{report['median_uncertainty']:.4f}, covered "
+            f"{report['uncertainty_covers']:.0%}")
+
+
+def _cmd_surrogate_train(args, out) -> int:
+    from repro.surrogate import SurrogateModel, SurrogateSweep, run_sweep
+
+    if not 0.0 <= args.holdout < 1.0:
+        out.write(f"--holdout must be in [0, 1), got {args.holdout}\n")
+        return 2
+    sweep = SurrogateSweep(samples=args.samples, seed=args.seed,
+                           model=args.model)
+    out.write(f"sweeping {args.samples} samples (seed {args.seed}, "
+              f"model {args.model})...\n")
+    dataset = run_sweep(sweep, workers=args.workers or None)
+    out.write(f"dataset: {len(dataset)} transfer rows from "
+              f"{len(dataset.samples)} samples\n")
+    if args.dataset:
+        with open(args.dataset, "w", encoding="utf-8") as fh:
+            json.dump(dataset.to_json(), fh)
+        out.write(f"dataset written to {args.dataset}\n")
+    if args.holdout > 0:
+        train_set, holdout = dataset.split_by_sample(args.holdout,
+                                                     seed=args.seed)
+    else:
+        train_set, holdout = dataset, None
+    model = SurrogateModel.train(train_set)
+    out.write("train     " +
+              _format_evaluation(model.evaluate(train_set.features,
+                                                train_set.targets)) + "\n")
+    if holdout is not None:
+        out.write("holdout   " +
+                  _format_evaluation(model.evaluate(holdout.features,
+                                                    holdout.targets)) + "\n")
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(model.to_json(), fh)
+    out.write(f"model written to {args.output}\n")
+    return 0
+
+
+def _cmd_surrogate_eval(args, out) -> int:
+    from repro.surrogate import SurrogateModel, SurrogateSweep, run_sweep
+
+    with open(args.input, "r", encoding="utf-8") as fh:
+        model = SurrogateModel.from_json(json.load(fh))
+    if not model.fitted:
+        out.write(f"{args.input} holds an unfitted model\n")
+        return 2
+    sweep = SurrogateSweep(samples=args.samples, seed=args.seed,
+                           model=model.network_model)
+    dataset = run_sweep(sweep, workers=args.workers or None)
+    report = model.evaluate(dataset.features, dataset.targets)
+    if args.json:
+        out.write(json.dumps(report, indent=1) + "\n")
+    else:
+        out.write("eval      " + _format_evaluation(report) + "\n")
+    if args.max_median_error is not None and \
+            report["median_abs_log2_error"] > args.max_median_error:
+        out.write(f"median |log2 error| "
+                  f"{report['median_abs_log2_error']:.4f} exceeds the "
+                  f"floor {args.max_median_error:g}\n")
+        return 1
+    return 0
+
+
+def _cmd_surrogate_serve(args, out) -> int:
+    # delegate to the serve path with the surrogate flags mapped over
+    args.surrogate = args.input
+    args.surrogate_bound = args.bound
+    args.no_serving = False
+    return _cmd_serve(args, out)
+
+
 def _cmd_report(args, out) -> int:
     from repro.analysis.report import build_report
     from repro.experiments.environment import forecast_service, testbed
@@ -613,6 +798,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_scenarios(args, out)
     if args.command == "metrology":
         return _cmd_metrology(args, out)
+    if args.command == "surrogate":
+        return _cmd_surrogate(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -50,15 +50,19 @@ class Pilgrim:
         cache_size: int = 4096,
         max_batch: int = 256,
         max_requests: Optional[int] = None,
+        surrogate=None,
     ):
         """Put the serving subsystem in front of the forecast service.
 
         Once enabled, the predict routes (GET and POST) answer through the
         epoch-keyed forecast cache and the request coalescer, and — with
         ``workers > 0`` and a picklable ``service_factory`` — fan batches
-        out over a warm worker pool.  Returns the started
-        :class:`~repro.serving.service.ForecastServingService`; call
-        :meth:`disable_serving` (or ``serving.stop()``) to tear it down.
+        out over a warm worker pool.  ``surrogate`` (a
+        :class:`~repro.surrogate.tier.SurrogateTier`) is consulted before
+        the cache; its counters ride ``GET /pilgrim/stats``.  Returns the
+        started :class:`~repro.serving.service.ForecastServingService`;
+        call :meth:`disable_serving` (or ``serving.stop()``) to tear it
+        down.
         """
         from repro.serving.service import ForecastServingService
 
@@ -67,7 +71,7 @@ class Pilgrim:
         self.serving = ForecastServingService(
             self.forecast, service_factory=service_factory, workers=workers,
             window=window, cache_size=cache_size, max_batch=max_batch,
-            max_requests=max_requests,
+            max_requests=max_requests, surrogate=surrogate,
         ).start()
         return self.serving
 

@@ -185,6 +185,7 @@ class StarMetrologyDemo:
         sensor_drift: float = 0.0,
         anchor_alpha: float = 0.0,
         anchor_health_band: float = 0.1,
+        anchor_weighting: str = "hard",
         feed_workers: int = 0,
     ) -> None:
         if n_hosts < 2:
@@ -230,7 +231,8 @@ class StarMetrologyDemo:
         self.loop = RecalibrationLoop(self.platform, self.feed,
                                       min_rel_change=min_rel_change,
                                       anchor_alpha=anchor_alpha,
-                                      anchor_health_band=anchor_health_band)
+                                      anchor_health_band=anchor_health_band,
+                                      anchor_weighting=anchor_weighting)
         self.service = NetworkForecastService({DEMO_PLATFORM: self.platform})
         self.static_service = NetworkForecastService(
             {DEMO_PLATFORM: self.static_platform})

@@ -51,8 +51,9 @@ reacting to.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.metrology.calibrator import LinkCalibrator, LinkEstimate
 from repro.metrology.collectors import MetrologyError
@@ -82,20 +83,38 @@ class LinkUpdate:
         }
 
 
+#: Re-anchoring weightings: ``hard`` is the historical all-or-nothing
+#: health band; ``gaussian`` weights the EWMA step by distance instead.
+ANCHOR_WEIGHTINGS = ("hard", "gaussian")
+
+
 class ReferenceAnchor:
     """A reference estimate that slowly re-anchors on healthy observations.
 
-    ``observe`` feeds one estimate: if it sits within ``band`` (relative)
-    of the current value — the health gate — the anchor moves toward it by
-    the EWMA step ``alpha``; otherwise (an unhealthy phase: degradation,
-    outage recovery) the anchor is left untouched.  ``alpha = 0`` freezes
-    the anchor at its initial value, the historical behavior.
+    ``observe`` feeds one estimate.  With the default ``hard`` weighting,
+    an estimate within ``band`` (relative) of the current value — the
+    health gate — moves the anchor toward it by the EWMA step ``alpha``;
+    anything outside (an unhealthy phase: degradation, outage recovery)
+    leaves the anchor bitwise untouched.  ``alpha = 0`` freezes the anchor
+    at its initial value, the historical behavior.
+
+    The hard band has a cliff: an estimate at 0.99·band re-anchors at full
+    strength, one at 1.01·band not at all, so drift that straddles the
+    edge re-anchors erratically.  ``weighting="gaussian"`` softens the
+    cliff into **distance-weighted re-anchoring**: the step becomes ::
+
+        alpha · exp(-0.5 · (distance / band)²),   distance = |e − v| / v
+
+    — full-strength near the anchor, ≈61% at the band edge, vanishing
+    (< 1.2% beyond 3 bands) for genuine degradations, which therefore
+    still cannot drag the reference.  ``healthy`` keeps its hard-band
+    meaning under both weightings; it remains the loop's telemetry gate.
     """
 
-    __slots__ = ("value", "alpha", "band")
+    __slots__ = ("value", "alpha", "band", "weighting")
 
     def __init__(self, value: float, alpha: float = 0.0,
-                 band: float = 0.1) -> None:
+                 band: float = 0.1, weighting: str = "hard") -> None:
         if value <= 0:
             raise MetrologyError(
                 f"reference anchor needs a positive value, got {value}"
@@ -104,20 +123,37 @@ class ReferenceAnchor:
             raise MetrologyError(f"anchor alpha must be in [0, 1): {alpha}")
         if band <= 0:
             raise MetrologyError(f"anchor band must be positive: {band}")
+        if weighting not in ANCHOR_WEIGHTINGS:
+            raise MetrologyError(
+                f"anchor weighting must be one of {ANCHOR_WEIGHTINGS}, "
+                f"got {weighting!r}"
+            )
         self.value = float(value)
         self.alpha = float(alpha)
         self.band = float(band)
+        self.weighting = weighting
 
     def healthy(self, estimate: float) -> bool:
-        """Whether ``estimate`` passes the health gate."""
+        """Whether ``estimate`` passes the (hard) health gate."""
         return abs(estimate - self.value) <= self.band * self.value
+
+    def step_weight(self, estimate: float) -> float:
+        """The fraction of ``alpha`` this estimate re-anchors with."""
+        if self.weighting == "hard":
+            return 1.0 if self.healthy(estimate) else 0.0
+        distance = abs(estimate - self.value) / (self.band * self.value)
+        return math.exp(-0.5 * distance * distance)
 
     def observe(self, estimate: float) -> bool:
         """Feed one estimate; returns True when the anchor moved."""
-        if self.alpha == 0.0 or not self.healthy(estimate):
+        if self.alpha == 0.0:
             return False
-        self.value += self.alpha * (estimate - self.value)
-        return True
+        weight = self.step_weight(estimate)
+        if weight == 0.0:
+            return False
+        before = self.value
+        self.value += self.alpha * weight * (estimate - self.value)
+        return self.value != before
 
 
 @dataclass
@@ -149,6 +185,8 @@ class LoopStats:
     updates_skipped: int = 0
     #: healthy-phase estimates that moved a reference anchor (EWMA)
     reanchors: int = 0
+    #: subscriber callbacks that raised (isolated, never kill the loop)
+    listener_errors: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -158,6 +196,7 @@ class LoopStats:
             "updates_applied": self.updates_applied,
             "updates_skipped": self.updates_skipped,
             "reanchors": self.reanchors,
+            "listener_errors": self.listener_errors,
         }
 
 
@@ -174,6 +213,7 @@ class RecalibrationLoop:
         min_observations: int = 3,
         anchor_alpha: float = 0.0,
         anchor_health_band: float = 0.1,
+        anchor_weighting: str = "hard",
     ) -> None:
         if not 0.0 <= min_rel_change < 1.0:
             raise MetrologyError(
@@ -191,6 +231,11 @@ class RecalibrationLoop:
             raise MetrologyError(
                 f"anchor_health_band must be positive, got {anchor_health_band}"
             )
+        if anchor_weighting not in ANCHOR_WEIGHTINGS:
+            raise MetrologyError(
+                f"anchor_weighting must be one of {ANCHOR_WEIGHTINGS}, "
+                f"got {anchor_weighting!r}"
+            )
         self.platform = platform
         self.feed = feed
         self.calibrator = (calibrator if calibrator is not None
@@ -200,10 +245,35 @@ class RecalibrationLoop:
         self.min_observations = int(min_observations)
         self.anchor_alpha = float(anchor_alpha)
         self.anchor_health_band = float(anchor_health_band)
+        self.anchor_weighting = anchor_weighting
         self.stats = LoopStats()
         self._states: dict[str, _LinkState] = {}
+        self._listeners: list[Callable[[list[LinkUpdate]], None]] = []
         for monitor in feed.monitors:
             platform.link(monitor.link)  # fail fast on unknown links
+
+    # -- subscriptions -----------------------------------------------------
+
+    def subscribe(
+        self, listener: Callable[[list[LinkUpdate]], None]
+    ) -> Callable[[], None]:
+        """Call ``listener(applied)`` after every apply that mutated links.
+
+        The surrogate retrainer uses this to enqueue stale-region
+        re-sweeps; listeners fire *after* the epoch bumps, so they observe
+        the post-recalibration world.  Listener exceptions are isolated
+        (counted in ``stats.listener_errors``) — metrology never fails
+        because a subscriber did.  Returns an unsubscribe callable.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     # -- one loop iteration ------------------------------------------------
 
@@ -252,10 +322,10 @@ class RecalibrationLoop:
                     nominal_latency=link.latency,
                     bandwidth_anchor=ReferenceAnchor(
                         estimate.bandwidth, self.anchor_alpha,
-                        self.anchor_health_band),
+                        self.anchor_health_band, self.anchor_weighting),
                     rtt_anchor=(ReferenceAnchor(
                         estimate.rtt, self.anchor_alpha,
-                        self.anchor_health_band)
+                        self.anchor_health_band, self.anchor_weighting)
                         if estimate.rtt else None),
                 )
                 continue
@@ -298,6 +368,12 @@ class RecalibrationLoop:
                 link.latency = target_lat
             self.stats.updates_applied += 1
             applied.append(update)
+        if applied:
+            for listener in list(self._listeners):
+                try:
+                    listener(applied)
+                except Exception:  # noqa: BLE001 - isolate subscribers
+                    self.stats.listener_errors += 1
         return applied
 
     def _significant(self, current: float, target: float, nominal: float) -> bool:

@@ -80,6 +80,11 @@ class GatewayConfig:
     shard_threads: int = 4
     #: virtual nodes per shard on the hash ring
     ring_replicas: int = 64
+    #: serialized SurrogateModel (``SurrogateModel.to_json()``) every shard
+    #: deserializes into a shard-local SurrogateTier; None disables the tier
+    surrogate_doc: Optional[dict] = None
+    #: per-shard surrogate uncertainty bound (log2 units)
+    surrogate_bound: float = 0.5
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -110,6 +115,8 @@ class ShardHandle:
                 "workers": config.workers,
                 "max_requests": config.max_requests,
                 "threads": config.shard_threads,
+                "surrogate_doc": config.surrogate_doc,
+                "surrogate_bound": config.surrogate_bound,
             },
             daemon=True,
             name=f"gateway-shard-{shard_id}",

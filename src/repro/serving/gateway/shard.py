@@ -76,6 +76,8 @@ def shard_main(
     workers: int = 0,
     max_requests: Optional[int] = None,
     threads: int = 4,
+    surrogate_doc: Optional[dict] = None,
+    surrogate_bound: float = 0.5,
 ) -> None:
     """Child-process entry point: build the stack, answer until ``stop``.
 
@@ -83,6 +85,14 @@ def shard_main(
     not serialize the shard (and so the coalescer actually sees concurrent
     arrivals to batch); responses are tagged with their request id, so
     out-of-order completion is fine.
+
+    ``surrogate_doc`` (a ``SurrogateModel.to_json()`` dict) arms a
+    shard-local :class:`~repro.surrogate.tier.SurrogateTier` in front of
+    the shard's cache.  Shards run it with ``require_fresh_epoch=False``:
+    epoch syncs move the *shard-local* epoch and no retrainer runs inside
+    a shard, but the tier's features read the live (synced) link state
+    through the route LRU, so predictions track recalibrated rates; only
+    the residual store ages until the parent ships a retrained model.
     """
     import os
 
@@ -93,11 +103,19 @@ def shard_main(
     service = service_factory()
     platforms = {name: service.platform(name)
                  for name in service.platform_names()}
+    surrogate = None
+    if surrogate_doc is not None:
+        from repro.surrogate.model import SurrogateModel
+        from repro.surrogate.tier import SurrogateTier
+
+        surrogate = SurrogateTier(
+            SurrogateModel.from_json(surrogate_doc),
+            bound=surrogate_bound, require_fresh_epoch=False)
     pilgrim = Pilgrim(platforms=platforms, model=service.model)
     serving = pilgrim.enable_serving(
         service_factory=service_factory if workers > 0 else None,
         workers=workers, window=window, cache_size=cache_size,
-        max_requests=max_requests,
+        max_requests=max_requests, surrogate=surrogate,
     )
     router = pilgrim.build_router()
     send_lock = threading.Lock()

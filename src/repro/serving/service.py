@@ -4,17 +4,24 @@
 :class:`~repro.core.forecast.NetworkForecastService` and gives it a
 production request path:
 
-1. the **forecast cache** answers repeated queries without simulating
+1. an optional **surrogate tier** (:class:`~repro.surrogate.tier.
+   SurrogateTier`) answers in microseconds from a learned regressor when
+   its predicted uncertainty is within bound — before even the cache, so
+   confident answers never touch the simulation stack at all,
+2. the **forecast cache** answers repeated queries without simulating
    (epoch-keyed, so link recalibration invalidates implicitly),
-2. misses are queued on the **request coalescer**, which micro-batches
+3. misses are queued on the **request coalescer**, which micro-batches
    concurrent arrivals into one fan-out,
-3. batches execute on the **warm worker pool** (``workers > 0``) or inline
+4. batches execute on the **warm worker pool** (``workers > 0``) or inline
    on the resident service (``workers == 0`` — the right default on small
    hosts: the in-process arena and route LRU stay hot with zero IPC).
 
-Every path yields bit-identical answers to a direct
+Every path below the surrogate yields bit-identical answers to a direct
 ``service.predict_transfers`` call: caching stores exact results, batching
 only groups transport, and pool workers run the same simulation code.
+Surrogate answers are approximate by design and are **never** written to
+the forecast cache — a fallback or a disabled tier always reaches the
+exact path untainted.
 """
 
 from __future__ import annotations
@@ -65,7 +72,9 @@ class ForecastServingService:
     ``workers > 0`` requires a picklable ``service_factory`` rebuilding an
     equivalent service inside each pool worker (same contract as
     ``predict_transfers_many``).  ``cache_size=0`` disables the cache
-    without changing any observable answer.
+    without changing any observable answer.  ``surrogate`` (a
+    :class:`~repro.surrogate.tier.SurrogateTier`) is consulted first when
+    given; its fallbacks reach the exact path unchanged.
     """
 
     def __init__(
@@ -77,6 +86,7 @@ class ForecastServingService:
         cache_size: int = 4096,
         max_batch: int = 256,
         max_requests: Optional[int] = None,
+        surrogate: Optional[object] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -86,6 +96,7 @@ class ForecastServingService:
                 "service_factory rebuilding the service in each pool worker"
             )
         self.service = service
+        self.surrogate = surrogate  # SurrogateTier or None
         self.cache = ForecastCache(maxsize=cache_size)
         self.latency = LatencyCounter()
         self.batcher = RequestCoalescer(
@@ -136,6 +147,13 @@ class ForecastServingService:
         request_model = model if model is not None else self.service.model
         specs = canonical_transfers(transfers)
         ongoing_specs = canonical_transfers(ongoing)
+        if self.surrogate is not None:
+            answered = self.surrogate.try_answer(
+                self.service, platform_name, request_model, specs,
+                ongoing_specs, full_resolve)
+            if answered is not None:
+                self.latency.record(time.perf_counter() - t0)
+                return answered
         key = forecast_cache_key(
             platform_name, request_model, specs, ongoing_specs, full_resolve,
             vectorized)
@@ -222,6 +240,9 @@ class ForecastServingService:
     def stats(self) -> dict:
         """Cache + pool + batcher + latency counters, one JSON-able dict."""
         return {
+            "surrogate": (self.surrogate.stats()
+                          if self.surrogate is not None
+                          else {"enabled": False}),
             "cache": self.cache.info(),
             "pool": self.pool.stats() if self.pool is not None
             else {"workers": 0, "mode": "inline"},

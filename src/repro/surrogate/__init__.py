@@ -1,0 +1,38 @@
+"""Learned surrogate fast path for forecast serving.
+
+A microsecond first tier in front of the simulation stack: campaign
+sweeps (:mod:`~repro.surrogate.dataset`) train a small ridge + k-NN
+regressor (:mod:`~repro.surrogate.model`) over engineered route/workload
+features (:mod:`~repro.surrogate.features`); the serving tier
+(:mod:`~repro.surrogate.tier`) answers when predicted uncertainty is
+within a bound and otherwise falls through to simulation bit-identically;
+metrology epoch bumps trigger incremental retraining
+(:mod:`~repro.surrogate.retrain`).  See ``docs/SURROGATE.md``.
+"""
+
+from repro.surrogate.dataset import (
+    SurrogateDataset,
+    SurrogateSweep,
+    SweepSample,
+    run_sample,
+    run_sweep,
+)
+from repro.surrogate.features import FEATURE_NAMES, N_FEATURES, featurize_request
+from repro.surrogate.model import NotFittedError, SurrogateModel
+from repro.surrogate.retrain import SurrogateRetrainer
+from repro.surrogate.tier import SurrogateTier
+
+__all__ = [
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "NotFittedError",
+    "SurrogateDataset",
+    "SurrogateModel",
+    "SurrogateRetrainer",
+    "SurrogateSweep",
+    "SurrogateTier",
+    "SweepSample",
+    "featurize_request",
+    "run_sample",
+    "run_sweep",
+]

@@ -1,0 +1,163 @@
+"""Feature engineering for the surrogate fast path.
+
+A forecast query is a set of transfers started concurrently on one
+platform.  The simulator answers it by solving the max-min bandwidth
+sharing problem; the surrogate answers it from a small feature vector per
+transfer, built from exactly the quantities the network model derives from
+the live platform state:
+
+- the transfer size,
+- the route's **model-effective** single-flow rate (the minimum of the
+  per-link effective bandwidths and the TCP-window rate bound),
+- the route's **contended fair share** — for every constraint the route
+  crosses, capacity divided by the number of request flows crossing it,
+  minimized over the route (the max-min first-fill approximation),
+- the model's startup latency for the route,
+- route shape (hop count) and request shape (flow count, peak contention).
+
+All bandwidth/latency reads go through the same :class:`LinkUse` routes the
+simulator uses, resolved via ``platform.route`` (LRU-cached, link-mutation
+-epoch safe) — so features always reflect the **calibrated** link rates the
+metrology loop last applied, and a recalibration changes the features
+exactly when it changes the simulation.
+
+Rates and durations are log2-scaled: transfer times span orders of
+magnitude, and the serving accuracy metric is |log2 error|, so the model
+regresses in the space the error is measured in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.simgrid.models import NetworkModel
+from repro.simgrid.platform import Platform, SharingPolicy, link_epoch
+
+#: Feature vector layout (one row per transfer in the request).
+FEATURE_NAMES: tuple[str, ...] = (
+    "log2_size",
+    "log2_solo_rate",       # single-flow rate: min(effective bw, rate bound)
+    "log2_fair_rate",       # contended first-fill share along the route
+    "log2_startup_latency",
+    "hops",
+    "log2_flows",           # flows in the request (incl. ongoing)
+    "contention",           # peak flows sharing a constraint on this route
+    "log2_naive_duration",  # startup + size / fair_rate
+)
+
+#: Dimensionality of one feature row.
+N_FEATURES = len(FEATURE_NAMES)
+
+#: Floor for log2 arguments (zero-latency routes, infinite bounds).
+_EPS = 1e-12
+
+
+def _log2(value: float) -> float:
+    return math.log2(max(value, _EPS))
+
+
+def _route_info(platform: Platform, model: NetworkModel,
+                src: str, dst: str) -> tuple:
+    """Per-route invariants: ``(startup, bound, hops, keys, capacities)``.
+
+    ``keys`` are the direction-aware constraint keys of the route's
+    constrained (non-FATPIPE) links; ``capacities`` their model-effective
+    bandwidths.  Everything here depends only on route structure and link
+    parameters, both of which can only change through setters that bump
+    the link-mutation epoch — so entries are cacheable per epoch.
+    """
+    route = platform.route(src, dst)
+    keys = []
+    capacities = []
+    for use in route:
+        link = use.link
+        if link.policy is SharingPolicy.FATPIPE:
+            continue
+        keys.append(link.constraint_key(use.direction))
+        capacities.append(model.effective_bandwidth(link.bandwidth))
+    return (
+        model.startup_latency(route),
+        model.rate_bound(route),
+        float(len(route)),
+        tuple(keys),
+        tuple(capacities),
+    )
+
+
+def featurize_request(
+    platform: Platform,
+    model: NetworkModel,
+    transfers: Sequence[tuple[str, str, float]],
+    ongoing: Sequence[tuple[str, str, float]] = (),
+    cache: dict | None = None,
+) -> np.ndarray:
+    """Feature matrix for one forecast request.
+
+    ``transfers``/``ongoing`` are canonical ``(src, dst, size)`` tuples.
+    Returns an ``(len(transfers), N_FEATURES)`` float array; only the
+    requested transfers get rows, but ongoing flows participate in the
+    contention counts, mirroring how they share bandwidth in the simulated
+    world.  Raises whatever ``platform.route`` raises for unknown hosts —
+    callers that must match the simulator's error contract validate first.
+
+    ``cache`` (optional) memoizes the per-route invariants across requests,
+    keyed ``(src, dst) -> (epoch, info)`` and invalidated by comparing the
+    stored epoch against the live link-mutation epoch — a serving tier
+    passes a long-lived dict and pays the route walk only once per
+    (route, recalibration epoch).  The cache is only valid for a single
+    (platform, model) pair; callers own that scoping.
+    """
+    flows = list(transfers) + list(ongoing)
+    if cache is None:
+        infos = [_route_info(platform, model, src, dst)
+                 for src, dst, _ in flows]
+    else:
+        epoch = link_epoch()
+        if len(cache) > 65536:  # runaway host-pair sets: drop, don't grow
+            cache.clear()
+        infos = []
+        for src, dst, _ in flows:
+            entry = cache.get((src, dst))
+            if entry is None or entry[0] != epoch:
+                entry = (epoch, _route_info(platform, model, src, dst))
+                cache[(src, dst)] = entry
+            infos.append(entry[1])
+
+    # constraint key -> number of request flows crossing it (direction-aware,
+    # FATPIPE excluded — the same aggregation the model's sharing_usages does)
+    users: dict[object, float] = {}
+    for _, _, _, keys, _ in infos:
+        for key in keys:
+            users[key] = users.get(key, 0.0) + 1.0
+
+    n_flows = float(len(flows))
+    rows = np.empty((len(transfers), N_FEATURES), dtype=float)
+    for i, (_, _, size) in enumerate(transfers):
+        startup, bound, hops, keys, capacities = infos[i]
+        solo = bound
+        fair = bound
+        contention = 1.0
+        for key, capacity in zip(keys, capacities):
+            crossing = users[key]
+            solo = min(solo, capacity)
+            fair = min(fair, capacity / crossing)
+            contention = max(contention, crossing)
+        if not math.isfinite(solo):
+            solo = _EPS ** -1  # routeless/fatpipe-only: effectively unbounded
+        if not math.isfinite(fair):
+            fair = solo
+        naive = startup + float(size) / max(fair, _EPS)
+        rows[i] = (
+            _log2(float(size)),
+            _log2(solo),
+            _log2(fair),
+            _log2(startup),
+            hops,
+            _log2(n_flows),
+            contention,
+            _log2(naive),
+        )
+    return rows

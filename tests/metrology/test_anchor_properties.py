@@ -90,6 +90,104 @@ class TestRamp:
         assert anchor.value < 0.8 * mean
 
 
+class TestGaussianWeighting:
+    """Distance-weighted re-anchoring: the soft variant of the hard band.
+
+    Same drift scenarios (noise, step, ramp); the contract differs only
+    where the hard band has its cliff — estimates just outside the band
+    are tracked at reduced strength instead of erratically gated, while
+    genuine degradations still cannot drag the reference."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_noise_converges_to_the_healthy_mean(self, seed):
+        rng = rng_for(seed, "anchor-gauss-noise")
+        mean = float(rng.uniform(0.5, 200.0))
+        start = mean * float(1.0 + rng.uniform(-BAND / 2, BAND / 2))
+        anchor = ReferenceAnchor(start, alpha=ALPHA, band=BAND,
+                                 weighting="gaussian")
+        for _ in range(400):
+            anchor.observe(mean * float(1.0 + rng.normal(0.0, 0.02)))
+        assert anchor.value == pytest.approx(mean, rel=0.05)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_step_degradation_barely_moves_the_anchor(self, seed):
+        """A genuine step (far outside the band) gets a vanishing weight:
+        the anchor moves — no bitwise freeze — but stays pinned near the
+        healthy level even under a sustained degraded phase."""
+        rng = rng_for(seed, "anchor-gauss-step")
+        mean = float(rng.uniform(1.0, 100.0))
+        anchor = ReferenceAnchor(mean, alpha=ALPHA, band=BAND,
+                                 weighting="gaussian")
+        for _ in range(50):
+            anchor.observe(mean * float(1.0 + rng.normal(0.0, 0.02)))
+        healthy_value = anchor.value
+        degraded = mean * float(rng.uniform(0.2, 0.4))  # ≥ 4 bands away
+        for _ in range(200):
+            anchor.observe(degraded * float(1.0 + rng.normal(0.0, 0.02)))
+        assert anchor.value == pytest.approx(healthy_value, rel=0.05)
+        assert anchor.value > 2.0 * degraded  # nowhere near the outage level
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_drift_just_outside_the_band_is_tracked(self, seed):
+        """The payoff over the hard band: a persistent level shift just
+        past the cliff (which ``hard`` freezes on forever) is re-anchored
+        at reduced strength and eventually converged to."""
+        rng = rng_for(seed, "anchor-gauss-edge")
+        mean = float(rng.uniform(1.0, 100.0))
+        shifted = mean * (1.0 + 1.5 * BAND)  # outside the hard band
+        hard = ReferenceAnchor(mean, alpha=ALPHA, band=BAND)
+        soft = ReferenceAnchor(mean, alpha=ALPHA, band=BAND,
+                               weighting="gaussian")
+        for _ in range(300):
+            estimate = shifted * float(1.0 + rng.normal(0.0, 0.005))
+            hard.observe(estimate)
+            soft.observe(estimate)
+        assert hard.value == mean  # the cliff: frozen, bitwise
+        assert soft.value == pytest.approx(shifted, rel=0.05)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ramp_is_tracked_within_tolerance(self, seed):
+        rng = rng_for(seed, "anchor-gauss-ramp")
+        mean = float(rng.uniform(1.0, 100.0))
+        anchor = ReferenceAnchor(mean, alpha=ALPHA, band=BAND,
+                                 weighting="gaussian")
+        value = mean
+        moved = 0
+        for _ in range(200):
+            value *= 0.998
+            moved += bool(anchor.observe(
+                value * float(1.0 + rng.normal(0.0, 0.01))))
+        assert moved > 200 * 0.9
+        assert anchor.value == pytest.approx(value, rel=0.05)
+        assert anchor.value < 0.8 * mean
+
+    def test_weight_profile(self):
+        anchor = ReferenceAnchor(100.0, alpha=ALPHA, band=BAND,
+                                 weighting="gaussian")
+        assert anchor.step_weight(100.0) == 1.0
+        edge = anchor.step_weight(100.0 * (1.0 + BAND))
+        assert edge == pytest.approx(0.6065, rel=1e-3)  # exp(-1/2)
+        far = anchor.step_weight(100.0 * (1.0 + 3 * BAND))
+        assert far < 0.012
+        # monotone in distance, symmetric in direction
+        distances = [1.0 + k * BAND for k in (0.5, 1.0, 2.0, 4.0)]
+        weights = [anchor.step_weight(100.0 * d) for d in distances]
+        assert weights == sorted(weights, reverse=True)
+        assert anchor.step_weight(100.0 * (1.0 - BAND)) == pytest.approx(
+            anchor.step_weight(100.0 * (1.0 + BAND)), rel=1e-9)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_alpha_zero_freezes_the_anchor(self, seed):
+        rng = rng_for(seed, "anchor-gauss-frozen")
+        start = float(rng.uniform(1.0, 100.0))
+        anchor = ReferenceAnchor(start, alpha=0.0, band=BAND,
+                                 weighting="gaussian")
+        for _ in range(100):
+            assert not anchor.observe(
+                start * float(1.0 + rng.normal(0.0, 0.02)))
+        assert anchor.value == start
+
+
 class TestValidation:
     def test_rejects_bad_parameters(self):
         with pytest.raises(MetrologyError):
@@ -100,3 +198,5 @@ class TestValidation:
             ReferenceAnchor(1.0, alpha=-0.1)
         with pytest.raises(MetrologyError):
             ReferenceAnchor(1.0, band=0.0)
+        with pytest.raises(MetrologyError):
+            ReferenceAnchor(1.0, weighting="sigmoid")

@@ -1,0 +1,24 @@
+"""Tier-1 hook for the surrogate smoke check.
+
+The learned fast path (sweep → train → serialized model → surrogate tier
+answering over HTTP with counters, bit-identical fallback and epoch-bump
+retraining) must hold end to end — see ``tools/check_surrogate_smoke.py``.
+Sub-second and in-process, so it runs on every tier-1 pass.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_surrogate_smoke  # noqa: E402
+
+
+def test_standalone_surrogate_smoke_passes(capsys):
+    assert check_surrogate_smoke.main() == 0
+    out = capsys.readouterr().out
+    assert "surrogate smoke OK" in out
+    assert "FAIL" not in out

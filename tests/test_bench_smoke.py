@@ -28,6 +28,7 @@ def test_bench_file_discovery():
     assert "bench_fig05_sagittaire_30x30.py" in names
     assert "bench_serving_throughput.py" in names
     assert "bench_metrology_loop.py" in names
+    assert "bench_surrogate_serving.py" in names
     assert len(files) >= 20
 
 
@@ -44,15 +45,22 @@ def test_smoke_environment_routes_trajectory_output(tmp_path):
 
 
 def test_missing_emissions_detects_silent_bench(tmp_path):
-    """A bench that runs but writes no BENCH_*.json must be reported."""
+    """A bench that runs but writes no BENCH_*.json must be reported, and
+    so must a flush that forgot the aggregate summary."""
     files = check_bench_smoke.bench_files()
     missing = check_bench_smoke.missing_emissions(files, tmp_path)
-    assert set(missing) == {f.name for f in files}
+    assert set(missing) == {f.name for f in files} | {
+        check_bench_smoke.SUMMARY_FILENAME}
     first = files[0]
     name = first.name[len("bench_"):-len(".py")]
     (tmp_path / f"BENCH_{name}.json").write_text("{}")
     assert first.name not in check_bench_smoke.missing_emissions(
         files, tmp_path)
+    assert check_bench_smoke.SUMMARY_FILENAME in \
+        check_bench_smoke.missing_emissions(files, tmp_path)
+    (tmp_path / check_bench_smoke.SUMMARY_FILENAME).write_text("{}")
+    assert check_bench_smoke.SUMMARY_FILENAME not in \
+        check_bench_smoke.missing_emissions(files, tmp_path)
 
 
 @pytest.mark.skipif(

@@ -58,6 +58,82 @@ def test_schema_gate_rejects_malformed_files(tmp_path):
     assert docs == {} and load_errors
 
 
+def test_committed_summary_is_valid_and_pins_the_surrogate_win():
+    docs, errors = check_bench_trajectory.load_results(RESULTS)
+    assert errors == []
+    assert check_bench_trajectory.check_summary(RESULTS, docs) == []
+    summary = json.loads(
+        (RESULTS / check_bench_trajectory.SUMMARY_FILENAME).read_text())
+    assert summary["kind"] == "trajectory_summary"
+    assert isinstance(summary["git_rev"], str) and summary["git_rev"]
+    assert set(summary["benches"]) == set(docs)
+    surrogate = summary["benches"]["surrogate_serving"]
+    assert surrogate["headline_speedup"] >= 10.0
+
+
+def test_summary_validation_flags_disagreement_and_staleness(tmp_path):
+    doc = {"metrics": {"m": {"speedup": 4.0}}}
+    summary = {
+        "schema": 1, "kind": "trajectory_summary", "git_rev": "deadbeef",
+        "created_unix": 0.0,
+        "benches": {
+            "real": {"headline_speedup": 2.0, "speedups": {"m": 2.0},
+                     "smoke": False},
+            "ghost": {"headline_speedup": None, "speedups": {},
+                      "smoke": False},
+        },
+    }
+    (tmp_path / check_bench_trajectory.SUMMARY_FILENAME).write_text(
+        json.dumps(summary))
+    errors = check_bench_trajectory.check_summary(tmp_path, {"real": doc})
+    assert any("speedups disagree" in e for e in errors)
+    assert any("stale summary entry 'ghost'" in e for e in errors)
+
+
+def _synthetic_doc(speedup: float) -> dict:
+    return {
+        "schema": 1, "bench": "synthetic", "machine": "m", "platform": "p",
+        "python": "3.11.0", "git_rev": "deadbeef", "smoke": False,
+        "created_unix": 0.0,
+        "cases": [{"name": "t", "outcome": "passed", "duration_s": 0.1}],
+        "metrics": {"headline": {"speedup": float(speedup)}},
+    }
+
+
+def _write_synthetic_results(results_dir: Path, speedup: float) -> None:
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_synthetic.json").write_text(
+        json.dumps(_synthetic_doc(speedup)))
+    (results_dir / check_bench_trajectory.SUMMARY_FILENAME).write_text(
+        json.dumps({
+            "schema": 1, "kind": "trajectory_summary",
+            "git_rev": "deadbeef", "created_unix": 0.0,
+            "benches": {"synthetic": {
+                "headline_speedup": float(speedup),
+                "speedups": {"headline": float(speedup)},
+                "smoke": False,
+            }},
+        }))
+
+
+def test_main_fails_on_synthetic_speedup_regression(tmp_path, monkeypatch):
+    """End to end: ``--previous`` must turn a collapsed speedup into a
+    non-zero exit, and a held speedup into a clean pass."""
+    bench_dir = tmp_path / "benchmarks"
+    bench_dir.mkdir()
+    (bench_dir / "bench_synthetic.py").write_text("")
+    monkeypatch.setattr(check_bench_trajectory, "BENCH_DIR", bench_dir)
+    current = tmp_path / "current"
+    previous = tmp_path / "previous"
+    _write_synthetic_results(previous, speedup=10.0)
+    _write_synthetic_results(current, speedup=2.0)  # below the 0.5 floor
+    assert check_bench_trajectory.main(
+        ["--results", str(current), "--previous", str(previous)]) == 1
+    _write_synthetic_results(current, speedup=9.0)  # held: within the floor
+    assert check_bench_trajectory.main(
+        ["--results", str(current), "--previous", str(previous)]) == 0
+
+
 def test_regression_comparison_flags_collapsed_speedup():
     current = {"incremental_solver": {"metrics": {
         "disjoint_50x50": {"speedup": 2.0}}}}

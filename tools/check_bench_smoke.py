@@ -62,13 +62,19 @@ def smoke_environment(bench_out: Path | str | None = None) -> dict[str, str]:
     return env
 
 
+SUMMARY_FILENAME = "BENCH_trajectory_summary.json"
+
+
 def missing_emissions(files: list[Path], bench_out: Path) -> list[str]:
-    """Bench modules whose ``BENCH_<name>.json`` did not appear."""
+    """Bench modules whose ``BENCH_<name>.json`` did not appear, plus the
+    aggregate summary the trajectory recorder rewrites on every flush."""
     missing = []
     for bench in files:
         name = bench.name[len("bench_"):-len(".py")]
         if not (bench_out / f"BENCH_{name}.json").is_file():
             missing.append(bench.name)
+    if not (bench_out / SUMMARY_FILENAME).is_file():
+        missing.append(SUMMARY_FILENAME)
     return missing
 
 

@@ -6,8 +6,11 @@ in ``benchmarks/results/`` (written by the bench conftest — see
 ``benchmarks/_trajectory.py`` for the schema).  This gate checks:
 
 - **presence**: one trajectory file per bench module, no orphans for
-  benches that no longer exist,
-- **schema**: required keys with the right shapes, ``"schema": 1``,
+  benches that no longer exist, plus the aggregate
+  ``BENCH_trajectory_summary.json``,
+- **schema**: required keys with the right shapes, ``"schema": 1``; the
+  summary must cover exactly the benches present and agree with their
+  recorded speedups,
 - **regression** (full mode only, with ``--previous DIR``): any metric
   carrying a ``speedup`` value must not collapse below
   ``--min-ratio`` (default 0.5) of the previous PR's recorded speedup —
@@ -35,6 +38,7 @@ DEFAULT_RESULTS = BENCH_DIR / "results"
 
 SCHEMA_VERSION = 1
 FILE_PREFIX = "BENCH_"
+SUMMARY_FILENAME = f"{FILE_PREFIX}trajectory_summary.json"
 
 #: required top-level keys → expected type(s); None-able keys listed apart
 REQUIRED_KEYS = {
@@ -65,14 +69,22 @@ def trajectory_path(results_dir: Path, name: str) -> Path:
 
 
 def check_presence(results_dir: Path) -> list[str]:
-    """Missing trajectory files, plus orphans with no matching bench."""
+    """Missing trajectory files, plus orphans with no matching bench.
+
+    The aggregate ``BENCH_trajectory_summary.json`` is required alongside
+    the per-bench files and is never an orphan (it matches no module by
+    design)."""
     errors = []
     modules = bench_modules()
     for name in modules:
         if not trajectory_path(results_dir, name).is_file():
             errors.append(f"missing trajectory file for bench_{name}.py: "
                           f"{trajectory_path(results_dir, name)}")
+    if modules and not (results_dir / SUMMARY_FILENAME).is_file():
+        errors.append(f"missing aggregate summary: "
+                      f"{results_dir / SUMMARY_FILENAME}")
     known = {f"{FILE_PREFIX}{name}.json" for name in modules}
+    known.add(SUMMARY_FILENAME)
     for path in sorted(results_dir.glob(f"{FILE_PREFIX}*.json")):
         if path.name not in known:
             errors.append(f"orphan trajectory file (no matching bench "
@@ -127,6 +139,8 @@ def load_results(results_dir: Path) -> tuple[dict[str, dict], list[str]]:
     docs: dict[str, dict] = {}
     errors: list[str] = []
     for path in sorted(results_dir.glob(f"{FILE_PREFIX}*.json")):
+        if path.name == SUMMARY_FILENAME:
+            continue  # validated separately by check_summary
         try:
             doc = json.loads(path.read_text())
         except (OSError, ValueError) as exc:
@@ -138,6 +152,73 @@ def load_results(results_dir: Path) -> tuple[dict[str, dict], list[str]]:
         elif isinstance(doc, dict) and isinstance(doc.get("bench"), str):
             docs[doc["bench"]] = doc
     return docs, errors
+
+
+def _doc_speedups(doc: dict) -> dict[str, float]:
+    """Numeric per-metric speedups of one trajectory doc."""
+    speedups = {}
+    for name, values in (doc.get("metrics") or {}).items():
+        if isinstance(values, dict) and isinstance(
+                values.get("speedup"), (int, float)) \
+                and not isinstance(values["speedup"], bool):
+            speedups[name] = float(values["speedup"])
+    return speedups
+
+
+def check_summary(results_dir: Path,
+                  docs: dict[str, dict]) -> list[str]:
+    """Validate ``BENCH_trajectory_summary.json`` against the per-bench
+    files it claims to summarize: schema, coverage (exactly the benches
+    present, no stale leftovers), and headline/per-metric speedups that
+    agree with what the per-bench docs actually record."""
+    path = results_dir / SUMMARY_FILENAME
+    if not path.is_file():
+        return []  # presence is check_presence's report
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    if not isinstance(doc, dict):
+        return [f"{path.name}: top level must be an object"]
+    errors = []
+    if doc.get("schema") != SCHEMA_VERSION:
+        errors.append(f"{path.name}: schema {doc.get('schema')!r} != "
+                      f"{SCHEMA_VERSION}")
+    if doc.get("kind") != "trajectory_summary":
+        errors.append(f"{path.name}: kind {doc.get('kind')!r} != "
+                      f"'trajectory_summary'")
+    if doc.get("git_rev") is not None \
+            and not isinstance(doc.get("git_rev"), str):
+        errors.append(f"{path.name}: git_rev must be a string or null")
+    if not isinstance(doc.get("created_unix"), (int, float)):
+        errors.append(f"{path.name}: created_unix missing or mistyped")
+    benches = doc.get("benches")
+    if not isinstance(benches, dict):
+        errors.append(f"{path.name}: benches missing or mistyped")
+        return errors
+    for missing in sorted(set(docs) - set(benches)):
+        errors.append(f"{path.name}: bench {missing!r} has a trajectory "
+                      f"file but no summary entry")
+    for stale in sorted(set(benches) - set(docs)):
+        errors.append(f"{path.name}: stale summary entry {stale!r} with no "
+                      f"trajectory file")
+    for bench, entry in sorted(benches.items()):
+        if bench not in docs:
+            continue
+        if not isinstance(entry, dict) \
+                or not isinstance(entry.get("speedups"), dict):
+            errors.append(f"{path.name}: entry {bench!r} malformed")
+            continue
+        expected = _doc_speedups(docs[bench])
+        if entry["speedups"] != expected:
+            errors.append(f"{path.name}: entry {bench!r} speedups disagree "
+                          f"with BENCH_{bench}.json")
+        headline = entry.get("headline_speedup")
+        expected_headline = max(expected.values()) if expected else None
+        if headline != expected_headline:
+            errors.append(f"{path.name}: entry {bench!r} headline "
+                          f"{headline!r} != {expected_headline!r}")
+    return errors
 
 
 def compare_speedups(current: dict[str, dict], previous: dict[str, dict],
@@ -188,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
     errors = check_presence(args.results)
     current, load_errors = load_results(args.results)
     errors.extend(load_errors)
+    errors.extend(check_summary(args.results, current))
 
     if not args.smoke and args.previous is not None:
         if not args.previous.is_dir():

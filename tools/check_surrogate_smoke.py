@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Smoke-check the surrogate fast path end to end so it can't rot.
+
+The surrogate sibling of ``tools/check_serving_smoke.py``: run a small
+seeded campaign sweep, train the ridge + k-NN model, verify the JSON
+round-trips, then bring up a Pilgrim HTTP server with the surrogate tier
+armed and walk the whole serving contract — surrogate hit with counters in
+``/stats``, bit-identical fallback when the uncertainty bound forbids
+answering, stale-epoch fallback after a live link mutation, and a
+retrainer flush that refreshes the tier.  Used standalone::
+
+    PYTHONPATH=src python tools/check_surrogate_smoke.py
+
+and wired into tier-1 through ``tests/surrogate/test_surrogate_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Hosts in the synthetic smoke platform (and the training sweep).
+N_HOSTS = 8
+PLATFORM = "surrogate-star"
+#: Loose accuracy sanity floor for the tiny smoke sweep (log2 units); the
+#: benchmark pins the real floor on a full-size held-out sweep.
+MAX_MEDIAN_ERROR = 0.8
+
+
+def main(argv: list[str] | None = None) -> int:
+    import numpy as np
+
+    from repro.core.forecast import NetworkForecastService
+    from repro.core.framework import Pilgrim
+    from repro.core.rest.client import RestClient
+    from repro.scenarios.spec import TopologySpec
+    from repro.scenarios.topologies import build_topology
+    from repro.surrogate import (
+        SurrogateDataset,
+        SurrogateModel,
+        SurrogateRetrainer,
+        SurrogateSweep,
+        SurrogateTier,
+        run_sweep,
+    )
+
+    failures: list[str] = []
+
+    # -- sweep + train + serialization ------------------------------------
+    sweep = SurrogateSweep(
+        samples=10, seed=5,
+        topologies=(("star", {"n_hosts": N_HOSTS}),),
+        sizes=(1e6, 2e7, 1e8),
+    )
+    dataset = run_sweep(sweep)
+    if len(dataset) < 20:
+        failures.append(f"sweep produced only {len(dataset)} rows")
+    if SurrogateDataset.from_json(dataset.to_json()) != dataset:
+        failures.append("dataset JSON round-trip changed the dataset")
+    train, hold = dataset.split_by_sample(0.3, seed=0)
+    model = SurrogateModel.train(train)
+    report = model.evaluate(hold.features, hold.targets)
+    if report["median_abs_log2_error"] > MAX_MEDIAN_ERROR:
+        failures.append(f"held-out median |log2 err| "
+                        f"{report['median_abs_log2_error']:.3f} exceeds "
+                        f"{MAX_MEDIAN_ERROR}")
+    twin = SurrogateModel.from_json(model.to_json())
+    e1, u1 = model.predict(hold.features)
+    e2, u2 = twin.predict(hold.features)
+    if not (np.array_equal(e1, e2) and np.array_equal(u1, u2)):
+        failures.append("model JSON round-trip changed predictions")
+
+    # -- serving integration over HTTP -------------------------------------
+    platform = build_topology(TopologySpec("star", {"n_hosts": N_HOSTS}))
+    hosts = [h.name for h in platform.hosts()]
+    direct = NetworkForecastService({PLATFORM: platform})
+    tier = SurrogateTier(model, bound=0.6)
+    pilgrim = Pilgrim()
+    pilgrim.register_platform(PLATFORM, platform)
+    pilgrim.enable_serving(window=0.002, cache_size=64, surrogate=tier)
+    try:
+        with pilgrim.serve() as server:
+            client = RestClient(server.url)
+            transfers = [
+                [hosts[i], hosts[(i + 1) % len(hosts)], 2e7 * (i + 1)]
+                for i in range(4)
+            ]
+            tuples = [tuple(t) for t in transfers]
+            answered = client.post_predict_transfers(PLATFORM, transfers)
+            truth = [f.to_json() for f in
+                     direct.predict_transfers(PLATFORM, tuples)]
+            stats = client.stats()
+            surrogate = stats.get("serving", {}).get("surrogate", {})
+            if surrogate.get("hits", 0) < 1:
+                failures.append(f"surrogate answered no query: {surrogate}")
+            errors = [abs(float(np.log2(a["duration"] / t["duration"])))
+                      for a, t in zip(answered, truth)]
+            if max(errors) > 2 * MAX_MEDIAN_ERROR:
+                failures.append(f"surrogate answer error {max(errors):.3f} "
+                                f"log2 units is implausibly large")
+
+            # uncertainty bound 0 forbids answering: bit-identical fallback
+            tier.bound = 0.0
+            fallback = client.post_predict_transfers(PLATFORM, transfers)
+            if fallback != truth:
+                failures.append("fallback answer differs from direct "
+                                "simulation")
+            tier.bound = 0.6
+
+            # live epoch bump: tier goes stale, retrainer refreshes it
+            link = platform.links()[0]
+            link.bandwidth = link.bandwidth * 0.6
+            client.post_predict_transfers(PLATFORM, transfers)
+            stale = tier.stats()["fallbacks"]["stale_epoch"]
+            if stale < 1:
+                failures.append("epoch bump did not push the tier to "
+                                "fall back")
+            retrainer = SurrogateRetrainer(tier, platform,
+                                           samples_per_refresh=3, seed=2)
+            if not retrainer.pending:
+                failures.append("retrainer saw nothing pending after an "
+                                "epoch bump")
+            summary = retrainer.flush()
+            if not summary or summary["rows"] < 1:
+                failures.append(f"retrainer flush trained nothing: "
+                                f"{summary}")
+            before = tier.stats()["hits"]
+            refreshed = client.post_predict_transfers(PLATFORM, transfers)
+            truth2 = [f.to_json() for f in
+                      direct.predict_transfers(PLATFORM, tuples)]
+            if tier.stats()["hits"] <= before:
+                failures.append("tier did not resume answering after the "
+                                "retrainer refresh")
+            errors2 = [abs(float(np.log2(a["duration"] / t["duration"])))
+                       for a, t in zip(refreshed, truth2)]
+            if max(errors2) > 2 * MAX_MEDIAN_ERROR:
+                failures.append(f"post-refresh error {max(errors2):.3f} "
+                                f"log2 units is implausibly large")
+
+            stats = client.stats()
+            surrogate = stats.get("serving", {}).get("surrogate", {})
+            for key in ("hits", "fallbacks", "uncertainty", "bound",
+                        "trained_epoch", "refreshes"):
+                if key not in surrogate:
+                    failures.append(f"/stats surrogate section misses "
+                                    f"{key!r}: {surrogate}")
+    finally:
+        pilgrim.disable_serving()
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"surrogate smoke OK: {len(dataset)}-row sweep, held-out median "
+          f"|log2 err| {report['median_abs_log2_error']:.3f}, surrogate "
+          f"hit + bit-identical fallback + epoch-bump retrain confirmed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
