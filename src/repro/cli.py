@@ -44,7 +44,9 @@ def _build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--ongoing", action="append", default=[],
                          metavar="SRC,DST,REMAINING",
                          help="repeatable: in-flight transfers sharing bandwidth")
-    predict.add_argument("--model", default="LV08", choices=("LV08", "CM02"))
+    predict.add_argument("--model", default="LV08",
+                         help="registered sharing model name "
+                              "(see `repro models list`)")
     predict.add_argument("--full-resolve", action="store_true",
                          help="rebuild the whole sharing system at every "
                               "simulation event (slow verification mode) "
@@ -95,6 +97,17 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--surrogate-bound", type=float, default=0.5,
                        help="maximum predicted uncertainty (log2 units) "
                             "the surrogate may answer under")
+    serve.add_argument("--model", default=None,
+                       help="default sharing model for every forecast "
+                            "(a registered name, see `repro models list`); "
+                            "per-request model= parameters still win")
+
+    models = sub.add_parser(
+        "models", help="pluggable network sharing models")
+    models_sub = models.add_subparsers(dest="models_command", required=True)
+    models_sub.add_parser(
+        "list", help="list the registered sharing models, their "
+                     "parameters and defaults")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate one paper figure")
@@ -119,6 +132,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                "from spawned sibling streams)")
     scen_run.add_argument("--seed", type=int, default=None,
                           help="override the preset's root seed")
+    scen_run.add_argument("--model", default=None,
+                          help="override the preset's sharing model "
+                               "(a registered name, see `repro models "
+                               "list`)")
     scen_run.add_argument("--full-resolve", action="store_true",
                           help="verification mode: rebuild the sharing "
                                "system at every event")
@@ -223,7 +240,8 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "size × link-degradation draws)")
     sur_train.add_argument("--seed", type=int, default=0)
     sur_train.add_argument("--model", default="LV08",
-                           choices=("LV08", "CM02"))
+                           help="registered sharing model name "
+                                "(see `repro models list`)")
     sur_train.add_argument("--workers", type=int, default=0,
                            help="sweep worker processes (bit-identical to "
                                 "serial)")
@@ -312,8 +330,13 @@ def _cmd_predict(args, out) -> int:
     service = forecast_service()
     transfers = [TransferSpec.parse(t) for t in args.transfer]
     ongoing = [TransferSpec.parse(t) for t in args.ongoing]
+    try:
+        model = model_by_name(args.model)
+    except ValueError as exc:
+        out.write(f"{exc}\n")
+        return 2
     forecasts = service.predict_transfers(
-        args.platform, transfers, model=model_by_name(args.model),
+        args.platform, transfers, model=model,
         ongoing=ongoing, full_resolve=args.full_resolve,
         vectorized=not args.scalar_solve,
     )
@@ -338,11 +361,23 @@ def _load_surrogate_tier(path, bound, out):
 
 def _cmd_serve(args, out) -> int:
     from repro.core.framework import Pilgrim
+    from repro.simgrid.models import model_by_name
 
+    # `surrogate serve` delegates here without defining --model
+    model_name = getattr(args, "model", None)
+    model = None
+    if model_name:
+        try:
+            model = model_by_name(model_name)
+        except ValueError as exc:
+            out.write(f"{exc}\n")
+            return 2
     if args.shards > 0:
         return _cmd_serve_gateway(args, out)
     out.write("loading Grid'5000 platforms...\n")
-    pilgrim = Pilgrim.with_grid5000()
+    pilgrim = Pilgrim.with_grid5000(model=model)
+    if model is not None:
+        out.write(f"default sharing model: {model_name}\n")
     if not args.no_serving:
         from repro.serving.factories import grid5000_forecast_service
 
@@ -400,6 +435,7 @@ def _cmd_serve_gateway(args, out) -> int:
         cache_size=args.cache_size,
         workers=max(0, args.workers),
         max_requests=args.max_requests,
+        model_name=getattr(args, "model", None) or None,
         surrogate_doc=surrogate_doc,
         surrogate_bound=args.surrogate_bound,
     )
@@ -473,9 +509,15 @@ def _cmd_scenarios(args, out) -> int:
     spec = DEFAULT_REGISTRY.get(args.preset)
     if args.seed is not None:
         spec = spec.replace(seed=args.seed)
-    result = run_scenario(spec, repetitions=args.reps,
-                          full_resolve=args.full_resolve,
-                          vectorized=not args.scalar_solve)
+    if args.model is not None:
+        spec = spec.replace(model=args.model)
+    try:
+        result = run_scenario(spec, repetitions=args.reps,
+                              full_resolve=args.full_resolve,
+                              vectorized=not args.scalar_solve)
+    except ValueError as exc:
+        out.write(f"{exc}\n")
+        return 2
     if args.json:
         out.write(json.dumps(result.to_json(), indent=1) + "\n")
         return 0
@@ -492,6 +534,31 @@ def _cmd_scenarios(args, out) -> int:
             title="dynamics applied (first repetition)",
         ) + "\n")
     return 0
+
+
+def _cmd_models(args, out) -> int:
+    from repro.analysis.tables import render_table
+    from repro.simgrid.models import registered_models
+
+    if args.models_command == "list":
+        rows = []
+        for entry in registered_models():
+            params = ", ".join(
+                name if default is None else f"{name}={default!r}"
+                for name, default in entry.parameters().items()
+            )
+            probe = entry.build()
+            rows.append((entry.name,
+                         "time-varying" if probe.time_varying else "static",
+                         params, entry.description))
+        out.write(render_table(
+            ["model", "weights", "parameters", "description"], rows,
+            title=f"{len(rows)} registered sharing models",
+        ) + "\n")
+        return 0
+    raise AssertionError(
+        f"unhandled models command {args.models_command!r}"
+    )  # pragma: no cover
 
 
 #: Version tag of the `metrology record` trace document.
@@ -796,6 +863,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_experiment(args, out)
     if args.command == "scenarios":
         return _cmd_scenarios(args, out)
+    if args.command == "models":
+        return _cmd_models(args, out)
     if args.command == "metrology":
         return _cmd_metrology(args, out)
     if args.command == "surrogate":

@@ -22,7 +22,7 @@ from repro.core.rest.router import Request, Router
 from repro.core.rest.server import DEFAULT_MAX_BODY, PilgrimHTTPServer
 from repro.core.workflow import WorkflowForecastService
 from repro.metrology.collectors import MetricRegistry
-from repro.simgrid.models import NetworkModel
+from repro.simgrid.models import NetworkModel, SharingModel, model_by_name
 from repro.simgrid.platform import Platform
 
 
@@ -142,13 +142,21 @@ class Pilgrim:
         def metric_info(request: Request, tool: str, site: str, host: str, metric: str):
             return self.metrology.describe(tool, site, host, metric)
 
-        def answer_predict(platform: str, specs, ongoing):
+        def requested_model(name) -> Optional[SharingModel]:
+            if not name:
+                return None
+            try:
+                return model_by_name(str(name))
+            except ValueError as exc:
+                raise BadRequest(str(exc)) from None
+
+        def answer_predict(platform: str, specs, ongoing, model=None):
             if self.serving is not None:
                 forecasts = self.serving.predict(platform, specs,
-                                                 ongoing=ongoing)
+                                                 ongoing=ongoing, model=model)
             else:
                 forecasts = self.forecast.predict_transfers(
-                    platform, specs, ongoing=ongoing
+                    platform, specs, model=model, ongoing=ongoing
                 )
             return [f.to_json() for f in forecasts]
 
@@ -162,7 +170,8 @@ class Pilgrim:
             # in the simulated world but are not part of the answer
             ongoing = [TransferSpec.parse(item)
                        for item in request.params("ongoing")]
-            return answer_predict(platform, specs, ongoing)
+            model = requested_model(request.param("model", default=""))
+            return answer_predict(platform, specs, ongoing, model)
 
         def body_transfers(request: Request, field: str, required: bool):
             if required:
@@ -194,7 +203,8 @@ class Pilgrim:
             # limited by URI length (the serving-layer ingest route)
             specs = body_transfers(request, "transfers", required=True)
             ongoing = body_transfers(request, "ongoing", required=False)
-            return answer_predict(platform, specs, ongoing)
+            model = requested_model(request.body_field("model", default=None))
+            return answer_predict(platform, specs, ongoing, model)
 
         @router.get("/pilgrim/stats")
         def serving_stats(request: Request):

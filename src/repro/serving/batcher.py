@@ -26,6 +26,8 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from repro.simgrid.models import model_key_of
+
 
 def batch_size_bucket(size: int) -> str:
     """Histogram bucket label for a batch of ``size`` requests.
@@ -58,8 +60,8 @@ class PendingRequest:
     def group_key(self) -> tuple:
         """Requests sharing this key can ride one ``predict_transfers_many``
         fan-out (same platform, model parameters and kernel mode)."""
-        return (self.platform_name, repr(self.model), self.full_resolve,
-                self.vectorized)
+        return (self.platform_name, model_key_of(self.model),
+                self.full_resolve, self.vectorized)
 
 
 class RequestCoalescer:

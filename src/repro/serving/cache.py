@@ -31,6 +31,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro._util.lru import BoundedLRU
 from repro.core.forecast import TransferForecast, TransferSpec
+from repro.simgrid.models import model_key_of
 from repro.simgrid.platform import link_epoch
 
 
@@ -65,13 +66,15 @@ def forecast_cache_key(
 ) -> tuple:
     """The cache key for one forecast request.
 
-    ``model`` is identified by ``repr`` — network models are frozen
-    dataclasses, so the repr pins every parameter (factors, gamma).
+    ``model`` is identified by :func:`repro.simgrid.models.model_key_of` —
+    sharing models are frozen dataclasses whose ``model_key()`` pins every
+    parameter (factors, gamma, window tuning), so two models with the same
+    key are interchangeable for forecasting.
     """
     return (
         platform_name,
         link_epoch() if epoch is None else epoch,
-        repr(model),
+        model_key_of(model),
         canonical_transfers(transfers),
         canonical_transfers(ongoing),
         bool(full_resolve),

@@ -78,6 +78,11 @@ class GatewayConfig:
     workers: int = 0
     max_requests: Optional[int] = None
     shard_threads: int = 4
+    #: default sharing model for every shard service (a registered model
+    #: name, resolved via ``model_by_name`` inside the shard process);
+    #: ``None`` keeps the service factory's default.  Per-request
+    #: ``model=`` parameters still win over this default.
+    model_name: Optional[str] = None
     #: virtual nodes per shard on the hash ring
     ring_replicas: int = 64
     #: serialized SurrogateModel (``SurrogateModel.to_json()``) every shard
@@ -115,6 +120,7 @@ class ShardHandle:
                 "workers": config.workers,
                 "max_requests": config.max_requests,
                 "threads": config.shard_threads,
+                "model_name": config.model_name,
                 "surrogate_doc": config.surrogate_doc,
                 "surrogate_bound": config.surrogate_bound,
             },

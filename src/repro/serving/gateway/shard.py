@@ -76,6 +76,7 @@ def shard_main(
     workers: int = 0,
     max_requests: Optional[int] = None,
     threads: int = 4,
+    model_name: Optional[str] = None,
     surrogate_doc: Optional[dict] = None,
     surrogate_bound: float = 0.5,
 ) -> None:
@@ -101,6 +102,12 @@ def shard_main(
     from repro.simgrid.platform import link_epoch
 
     service = service_factory()
+    if model_name is not None:
+        # resolve by name inside the child: registered-model names are
+        # picklable where arbitrary model instances need not be
+        from repro.simgrid.models import model_by_name
+
+        service.model = model_by_name(model_name)
     platforms = {name: service.platform(name)
                  for name in service.platform_names()}
     surrogate = None

@@ -7,9 +7,11 @@ relies on:
   (:mod:`repro.simgrid.platform`, :mod:`repro.simgrid.routing`),
 - the RTT-aware bounded max-min bandwidth-sharing solver
   (:mod:`repro.simgrid.maxmin`),
-- the CM02 / LV08 flow-level TCP network models with their published
-  correction factors and the ``TCP_gamma`` window cap
-  (:mod:`repro.simgrid.models`),
+- a pluggable sharing-model layer — the CM02 / LV08 flow-level TCP network
+  models with their published correction factors and the ``TCP_gamma``
+  window cap, behind a named registry (:mod:`repro.simgrid.models`) —
+  plus the congestion-aware time-varying ``tcp_fluid`` variant
+  (:mod:`repro.simgrid.tcpfluid`),
 - a discrete-event simulation kernel driving communication and computation
   activities (:mod:`repro.simgrid.engine`, :mod:`repro.simgrid.activities`),
 - an MSG-like process API built on generator coroutines
@@ -33,7 +35,18 @@ from repro.simgrid.platform import (
     Router,
     SharingPolicy,
 )
-from repro.simgrid.models import NetworkModel, CM02, LV08
+from repro.simgrid.models import (
+    CM02,
+    LV08,
+    NetworkModel,
+    SharingModel,
+    model_by_name,
+    model_key_of,
+    model_names,
+    register_model,
+    registered_models,
+)
+from repro.simgrid.tcpfluid import TcpFluidModel
 from repro.simgrid.engine import Simulation
 from repro.simgrid.maxmin import MaxMinSystem, SharingSystem
 
@@ -48,8 +61,15 @@ __all__ = [
     "Router",
     "SharingPolicy",
     "NetworkModel",
+    "SharingModel",
+    "TcpFluidModel",
     "CM02",
     "LV08",
+    "model_by_name",
+    "model_key_of",
+    "model_names",
+    "register_model",
+    "registered_models",
     "Simulation",
     "MaxMinSystem",
     "SharingSystem",

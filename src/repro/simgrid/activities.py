@@ -163,14 +163,18 @@ class CommActivity(Activity):
         self.weight = weight
         self.bound = bound
         self.payload = payload
-        self.scale = max(self.size, 1.0)
         if startup_latency > 0.0:
             self.state = ActivityState.LATENCY
             self.remaining = startup_latency
             self.rate = 1.0  # latency drains in real time
+            # the countdown is in seconds, so the completion tolerance must
+            # be too — a byte-scaled epsilon would swallow a whole latency
+            # phase at the first foreign event
+            self.scale = startup_latency
         else:
             self.state = ActivityState.RUNNING
             self.remaining = self.size
+            self.scale = max(self.size, 1.0)
 
     @property
     def in_transfer_phase(self) -> bool:
@@ -181,6 +185,7 @@ class CommActivity(Activity):
             self.state = ActivityState.RUNNING
             self.remaining = self.size
             self.rate = 0.0  # next reshare assigns the bandwidth share
+            self.scale = max(self.size, 1.0)  # tolerance back to byte units
             if self.size > 0.0:
                 return False
         self.state = ActivityState.DONE

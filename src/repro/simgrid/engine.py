@@ -55,7 +55,7 @@ from repro.simgrid.activities import (
     cancel_epoch,
 )
 from repro.simgrid.maxmin import MaxMinSystem, SharingSystem
-from repro.simgrid.models import LV08, NetworkModel
+from repro.simgrid.models import LV08, SharingModel
 from repro.simgrid.platform import Host, Platform, link_epoch
 from repro.simgrid.trace import Trace
 
@@ -76,7 +76,7 @@ class Simulation:
     def __init__(
         self,
         platform: Platform,
-        model: Optional[NetworkModel] = None,
+        model: Optional[SharingModel] = None,
         loopback_bandwidth: float = 1e10,
         loopback_latency: float = 1.5e-6,
         trace: Optional[Trace] = None,
@@ -105,8 +105,15 @@ class Simulation:
                     f"capacity factor for {name!r} must be in (0, 1]: {factor}"
                 )
         self.clock = 0.0
-        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        # timer heap entries are mutable [time, seq, callback] lists so a
+        # scheduled callback can be canceled in place (callback -> None);
+        # canceled heads are lazily pruned before the heap top is read
+        self._timers: list[list] = []
         self._seq = itertools.count()
+        # per-comm pending flow-dynamics round timer (time-varying models):
+        # canceled when the comm completes so a mid-ramp finish does not
+        # leave a live timer inflating the run's final clock
+        self._flow_timers: dict[Activity, list] = {}
         self._runnable: list[tuple[object, object]] = []  # (process, send_value)
         self._share_dirty = True
         self._comm_counter = itertools.count()
@@ -257,12 +264,24 @@ class Simulation:
         else:
             route = self.platform.route(src_host, dst_host)
             startup, weight, bound, usages = self.model.comm_spec(route)
+            dynamics = (self.model.flow_dynamics(route)
+                        if self.model.time_varying else None)
+            if dynamics is not None:
+                weight, bound = dynamics.spec()
             comm = CommActivity(
                 name, src_host, dst_host, size, route=route,
                 startup_latency=startup, weight=weight, bound=bound,
                 payload=payload,
             )
             comm.usages = self._scaled_usages(usages)
+            if dynamics is not None:
+                # first round boundary: one dynamics interval after data
+                # starts flowing (the startup phase covers the handshake)
+                self._flow_timers[comm] = self.schedule(
+                    startup + dynamics.interval,
+                    lambda: self._flow_round(comm, dynamics),
+                )
+                comm.add_done_callback(self._cancel_flow_timer)
         comm.start_time = self.clock
         self._register(comm)
         self._started.append(comm)
@@ -295,11 +314,53 @@ class Simulation:
         self._register(activity)
         return activity
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` ``delay`` simulated seconds from now."""
+    def schedule(self, delay: float, callback: Callable[[], None]) -> list:
+        """Run ``callback`` ``delay`` simulated seconds from now.
+
+        Returns the heap entry as an opaque handle: setting its last element
+        to ``None`` cancels the timer (the engine's flow-dynamics rounds use
+        this; canceled entries are pruned lazily and never gate time)."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        heapq.heappush(self._timers, (self.clock + delay, next(self._seq), callback))
+        entry = [self.clock + delay, next(self._seq), callback]
+        heapq.heappush(self._timers, entry)
+        return entry
+
+    # -- time-varying flow dynamics (congestion-aware models) ---------------
+
+    def _cancel_flow_timer(self, comm: Activity) -> None:
+        """Completion callback of every dynamics-driven comm: drop its
+        pending round timer so it cannot keep the run alive past the last
+        transfer."""
+        entry = self._flow_timers.pop(comm, None)
+        if entry is not None:
+            entry[2] = None
+
+    def _flow_round(self, comm: CommActivity, dynamics: object) -> None:
+        """One RTT round boundary of a time-varying flow.
+
+        Feeds the rate allocated during the ended round to the model's
+        dynamics, applies the resulting ``(weight, bound)`` to the flow's
+        sharing variable, and schedules the next round until the dynamics
+        declare the flow steady."""
+        slot = comm._slot
+        if slot < 0 or comm.state is not ActivityState.RUNNING:
+            self._flow_timers.pop(comm, None)
+            return
+        next_delay = dynamics.advance(float(self._a_rate[slot]))
+        weight, bound = dynamics.spec()
+        if weight != comm.weight or bound != comm.bound:
+            comm.weight = weight
+            comm.bound = bound
+            vid = self._handles.get(comm)
+            if vid is not None:
+                self._sharing.update_variable(vid, weight, bound)
+            self._share_dirty = True
+        if next_delay is not None:
+            self._flow_timers[comm] = self.schedule(
+                next_delay, lambda: self._flow_round(comm, dynamics))
+        else:
+            self._flow_timers.pop(comm, None)
 
     def touch_sharing(self) -> None:
         """Force a re-share at the next event-loop iteration.
@@ -543,8 +604,12 @@ class Simulation:
         np.divide(self._a_rem, rate, out=ttc, where=mask)
         dt = float(ttc.min())
         t = self.clock + dt if dt != math.inf else math.inf
-        if self._timers and self._timers[0][0] < t:
-            t = self._timers[0][0]
+        timers = self._timers
+        while timers and timers[0][2] is None:
+            # lazily drop canceled timers so they never gate time
+            heapq.heappop(timers)
+        if timers and timers[0][0] < t:
+            t = timers[0][0]
         return t
 
     def run(self, until: float = math.inf, max_iterations: int = 50_000_000) -> float:
@@ -614,7 +679,8 @@ class Simulation:
     def _fire_due_timers(self) -> None:
         while self._timers and self._timers[0][0] <= self.clock + 1e-15:
             _, _, callback = heapq.heappop(self._timers)
-            callback()
+            if callback is not None:
+                callback()
 
     def _complete_finished(self) -> None:
         # dead slots fail both terms (remaining inf, eps 0, rate 0), so the
@@ -650,9 +716,11 @@ class Simulation:
                 self._finished.append(activity)
             else:
                 # phase transition (latency -> transfer): the activity now
-                # enters the sharing system
+                # enters the sharing system; the completion tolerance moves
+                # from second units to the transfer's byte scale
                 self._a_rem[slot] = activity.remaining
                 rate_arr[slot] = activity.rate
+                self._a_eps[slot] = _REL_EPS * activity.scale
                 self._started.append(activity)
         if dead:
             # batched _unregister: one fancy write per array for the whole

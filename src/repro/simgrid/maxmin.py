@@ -755,6 +755,41 @@ class SharingSystem:
             self.stats["peak_variables"] = self._live_count
         return vid
 
+    def update_variable(
+        self,
+        vid: int,
+        weight: Optional[float] = None,
+        bound: Optional[float] = None,
+    ) -> None:
+        """Retune a live variable's fairness weight and/or rate bound.
+
+        The variable's connected component is re-solved at the next
+        :meth:`solve_raw` (the dirty variable seeds the component walk, so
+        neighbours sharing its constraints recompute too).  This is the
+        time-varying sharing hook: congestion-aware models
+        (:mod:`repro.simgrid.tcpfluid`) move a flow's window bound every
+        RTT round without re-registering it.  ``None`` leaves a parameter
+        unchanged; validation matches :meth:`add_variable`.
+        """
+        self._check_live(vid)
+        if weight is not None:
+            if not (weight > 0.0) or not math.isfinite(weight):
+                raise MaxMinError(
+                    f"variable #{vid}: weight must be positive and finite, "
+                    f"got {weight}"
+                )
+            self._weights[vid] = float(weight)
+        if bound is not None:
+            if math.isinf(bound) and bound > 0:
+                self._bounds[vid] = math.inf
+            elif bound <= 0 or not math.isfinite(bound):
+                raise MaxMinError(
+                    f"variable #{vid}: bound must be positive, got {bound}"
+                )
+            else:
+                self._bounds[vid] = float(bound)
+        self._dirty_vars.add(vid)
+
     def remove_variable(self, vid: int) -> None:
         """Withdraw a flow; its constraints' components become dirty and
         constraints left without any variable are freed."""

@@ -17,13 +17,22 @@ from repro.surrogate.dataset import (
     run_sample,
     run_sweep,
 )
-from repro.surrogate.features import FEATURE_NAMES, N_FEATURES, featurize_request
+from repro.surrogate.features import (
+    BASE_FEATURE_NAMES,
+    FEATURE_NAMES,
+    MODEL_FEATURE_NAMES,
+    N_FEATURES,
+    featurize_request,
+    model_features,
+)
 from repro.surrogate.model import NotFittedError, SurrogateModel
 from repro.surrogate.retrain import SurrogateRetrainer
 from repro.surrogate.tier import SurrogateTier
 
 __all__ = [
+    "BASE_FEATURE_NAMES",
     "FEATURE_NAMES",
+    "MODEL_FEATURE_NAMES",
     "N_FEATURES",
     "NotFittedError",
     "SurrogateDataset",
@@ -33,6 +42,7 @@ __all__ = [
     "SurrogateTier",
     "SweepSample",
     "featurize_request",
+    "model_features",
     "run_sample",
     "run_sweep",
 ]

@@ -33,11 +33,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.simgrid.models import NetworkModel
+from repro.simgrid.models import SharingModel
 from repro.simgrid.platform import Platform, SharingPolicy, link_epoch
 
-#: Feature vector layout (one row per transfer in the request).
-FEATURE_NAMES: tuple[str, ...] = (
+#: Per-transfer feature columns (one row per transfer in the request).
+BASE_FEATURE_NAMES: tuple[str, ...] = (
     "log2_size",
     "log2_solo_rate",       # single-flow rate: min(effective bw, rate bound)
     "log2_fair_rate",       # contended first-fill share along the route
@@ -47,6 +47,22 @@ FEATURE_NAMES: tuple[str, ...] = (
     "contention",           # peak flows sharing a constraint on this route
     "log2_naive_duration",  # startup + size / fair_rate
 )
+
+#: Model-identity columns appended to every row: a one-hot over the
+#: registered sharing-model families plus the numeric knobs that change
+#: forecasts.  Constant within one request, but they let a single regressor
+#: serve several models without conflating their rate laws.
+MODEL_FEATURE_NAMES: tuple[str, ...] = (
+    "model_is_cm02",
+    "model_is_lv08",
+    "model_is_tcp_fluid",
+    "model_bandwidth_factor",
+    "model_latency_factor",
+    "model_log2_window",    # TCP window cap (gamma / max cwnd), 0 if unbounded
+)
+
+#: Full feature vector layout.
+FEATURE_NAMES: tuple[str, ...] = BASE_FEATURE_NAMES + MODEL_FEATURE_NAMES
 
 #: Dimensionality of one feature row.
 N_FEATURES = len(FEATURE_NAMES)
@@ -59,7 +75,29 @@ def _log2(value: float) -> float:
     return math.log2(max(value, _EPS))
 
 
-def _route_info(platform: Platform, model: NetworkModel,
+def model_features(model: SharingModel) -> tuple[float, ...]:
+    """The :data:`MODEL_FEATURE_NAMES` column values for ``model``.
+
+    Reads the model's declared family name (case-insensitive) for the
+    one-hot and its numeric knobs via ``getattr`` with neutral defaults,
+    so third-party registered models degrade to all-zero one-hot columns
+    instead of raising.
+    """
+    family = str(getattr(model, "name", type(model).__name__)).lower()
+    window = float(getattr(model, "tcp_gamma", 0.0) or 0.0)
+    if not window:
+        window = float(getattr(model, "max_window_bytes", 0.0) or 0.0)
+    return (
+        1.0 if family == "cm02" else 0.0,
+        1.0 if family == "lv08" else 0.0,
+        1.0 if family == "tcp_fluid" else 0.0,
+        float(getattr(model, "bandwidth_factor", 1.0)),
+        float(getattr(model, "latency_factor", 1.0)),
+        _log2(window) if window > 0.0 else 0.0,
+    )
+
+
+def _route_info(platform: Platform, model: SharingModel,
                 src: str, dst: str) -> tuple:
     """Per-route invariants: ``(startup, bound, hops, keys, capacities)``.
 
@@ -89,7 +127,7 @@ def _route_info(platform: Platform, model: NetworkModel,
 
 def featurize_request(
     platform: Platform,
-    model: NetworkModel,
+    model: SharingModel,
     transfers: Sequence[tuple[str, str, float]],
     ongoing: Sequence[tuple[str, str, float]] = (),
     cache: dict | None = None,
@@ -134,6 +172,7 @@ def featurize_request(
             users[key] = users.get(key, 0.0) + 1.0
 
     n_flows = float(len(flows))
+    model_cols = model_features(model)
     rows = np.empty((len(transfers), N_FEATURES), dtype=float)
     for i, (_, _, size) in enumerate(transfers):
         startup, bound, hops, keys, capacities = infos[i]
@@ -159,5 +198,5 @@ def featurize_request(
             _log2(n_flows),
             contention,
             _log2(naive),
-        )
+        ) + model_cols
     return rows

@@ -5,7 +5,8 @@ even the :class:`~repro.serving.cache.ForecastCache` — and answers a
 forecast request from the regressor when it is *confident*:
 
 - the model is fitted and was trained for the request's network model
-  (compared by ``repr``, the same identity the forecast cache keys on),
+  (compared by ``model_key()``, the same identity the forecast cache
+  keys on),
 - the request is not ``full_resolve`` (an explicit ask for the reference
   solver is an ask for simulation, not an approximation),
 - the tier is **epoch-fresh**: the link-mutation epoch equals the epoch
@@ -33,7 +34,7 @@ import threading
 from typing import Optional, Sequence
 
 from repro.core.forecast import TransferForecast
-from repro.simgrid.models import model_by_name
+from repro.simgrid.models import model_by_name, model_key_of
 from repro.simgrid.platform import link_epoch
 from repro.surrogate.features import featurize_request
 from repro.surrogate.model import SurrogateModel
@@ -73,7 +74,7 @@ class SurrogateTier:
         # comparison inside featurize_request invalidates stale entries
         self._route_caches: dict[str, dict] = {}
         self._trained_epoch = link_epoch()
-        self._expected_repr = repr(model_by_name(model.network_model))
+        self._expected_key = model_key_of(model_by_name(model.network_model))
         self._hits = 0
         self._fallbacks = {reason: 0 for reason in FALLBACK_REASONS}
         self._refreshes = 0
@@ -103,7 +104,7 @@ class SurrogateTier:
             return self._fallback("unfitted")
         if full_resolve:
             return self._fallback("full_resolve")
-        if repr(request_model) != self._expected_repr:
+        if model_key_of(request_model) != self._expected_key:
             return self._fallback("model_mismatch")
         if self.require_fresh_epoch and link_epoch() != self._trained_epoch:
             return self._fallback("stale_epoch")

@@ -177,3 +177,40 @@ class TestHTTPPost:
             answers = RestClient(server.url).post_predict_transfers(
                 STAR_PLATFORM, [(hosts[0], hosts[1], 5e7)])
         assert len(answers) == 1
+
+
+class TestModelSelection:
+    """The ``model`` request field: named sharing-model override per call."""
+
+    def test_post_model_field_changes_forecast(self, http, hosts):
+        pairs = [[hosts[0], hosts[1], 5e7]]
+        default = http.post(
+            f"/pilgrim/predict_transfers/{STAR_PLATFORM}",
+            {"transfers": pairs})
+        fluid = http.post(
+            f"/pilgrim/predict_transfers/{STAR_PLATFORM}",
+            {"transfers": pairs, "model": "tcp_fluid"})
+        assert fluid[0]["duration"] != default[0]["duration"]
+
+    def test_get_model_param_matches_post(self, http, hosts):
+        via_get = http.get(
+            f"/pilgrim/predict_transfers/{STAR_PLATFORM}",
+            [("transfer", f"{hosts[0]},{hosts[1]},5e7"),
+             ("model", "tcp_fluid")])
+        via_post = http.post(
+            f"/pilgrim/predict_transfers/{STAR_PLATFORM}",
+            {"transfers": [[hosts[0], hosts[1], 5e7]],
+             "model": "tcp_fluid"})
+        assert via_get == via_post
+
+    def test_unknown_model_is_400_listing_registered(self, http, hosts):
+        with pytest.raises(BadRequest, match="LV08"):
+            http.post(
+                f"/pilgrim/predict_transfers/{STAR_PLATFORM}",
+                {"transfers": [[hosts[0], hosts[1], 5e7]],
+                 "model": "udp_teleport"})
+        with pytest.raises(BadRequest):
+            http.get(
+                f"/pilgrim/predict_transfers/{STAR_PLATFORM}",
+                [("transfer", f"{hosts[0]},{hosts[1]},5e7"),
+                 ("model", "udp_teleport")])

@@ -137,3 +137,102 @@ def test_values_survive_compaction_exactly():
     system.solve()  # removals left the component dirty
     for vid in survivors:
         assert system.value(vid) == pytest.approx(10.0, rel=1e-12)
+
+
+# -- update_variable: the time-varying sharing hook --------------------------
+
+
+class TestUpdateVariable:
+    """Retuning live variables (the TCP-fluid per-round weight/bound path)."""
+
+    def _contended(self, system):
+        shared = ((("bottleneck",), 100.0, 1.0),)
+        return [system.add_variable(1.0, payload=i, usages=shared)
+                for i in range(4)]
+
+    def test_retune_matches_a_fresh_system(self):
+        # mutate weights/bounds in place, then check the solve against a
+        # system built with those parameters from scratch
+        system = SharingSystem(vectorized=True)
+        vids = self._contended(system)
+        system.solve()
+        weights = [1.0, 2.0, 4.0, 8.0]
+        bounds = [float("inf"), 30.0, float("inf"), 5.0]
+        for vid, weight, bound in zip(vids, weights, bounds):
+            system.update_variable(vid, weight=weight, bound=bound)
+        system.solve()
+
+        fresh = SharingSystem(vectorized=True)
+        shared_key = (("bottleneck",), 100.0, 1.0)
+        fresh_vids = [fresh.add_variable(w, bound=b, payload=i,
+                                         usages=(shared_key,))
+                      for i, (w, b) in enumerate(zip(weights, bounds))]
+        fresh.solve()
+        for vid, fvid in zip(vids, fresh_vids):
+            assert system.value(vid) == pytest.approx(fresh.value(fvid),
+                                                      rel=1e-12)
+
+    def test_incremental_equals_full_after_updates(self):
+        system = SharingSystem(vectorized=True)
+        vids = self._contended(system)
+        system.solve()
+        system.update_variable(vids[1], weight=3.0)
+        system.update_variable(vids[3], bound=2.0)
+        system.solve()  # incremental: only the dirty component
+        incremental = [system.value(v) for v in vids]
+        system.solve_raw(full=True)
+        assert [system.value(v) for v in vids] == pytest.approx(incremental,
+                                                                rel=1e-12)
+
+    def test_partial_update_leaves_other_parameter(self):
+        system = SharingSystem(vectorized=True)
+        vid = system.add_variable(2.0, bound=7.0,
+                                  usages=((("l",), 100.0, 1.0),))
+        system.update_variable(vid, weight=4.0)  # bound untouched
+        system.solve()
+        assert system.value(vid) == pytest.approx(7.0)
+        system.update_variable(vid, bound=float("inf"))  # weight untouched
+        system.solve()
+        assert system.value(vid) == pytest.approx(100.0)
+
+    def test_update_dirties_the_shared_component(self):
+        # retuning one flow must re-solve its neighbours too: the other
+        # flow's share moves even though it was never touched directly
+        system = SharingSystem(vectorized=True)
+        a, b, *_ = self._contended(system)[:2]
+        system.solve()
+        before_b = system.value(b)
+        system.update_variable(a, weight=9.0)
+        system.solve()
+        assert system.value(b) != pytest.approx(before_b, rel=1e-6)
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0, float("nan"),
+                                        float("inf")])
+    def test_bad_weight_rejected(self, weight):
+        system = SharingSystem(vectorized=True)
+        vid = system.add_variable(1.0, usages=((("l",), 10.0, 1.0),))
+        with pytest.raises(MaxMinError, match=f"variable #{vid}"):
+            system.update_variable(vid, weight=weight)
+
+    @pytest.mark.parametrize("bound", [0.0, -3.0, float("nan"),
+                                       float("-inf")])
+    def test_bad_bound_rejected(self, bound):
+        system = SharingSystem(vectorized=True)
+        vid = system.add_variable(1.0, usages=((("l",), 10.0, 1.0),))
+        with pytest.raises(MaxMinError, match=f"variable #{vid}"):
+            system.update_variable(vid, bound=bound)
+
+    def test_positive_infinity_bound_means_unbounded(self):
+        system = SharingSystem(vectorized=True)
+        vid = system.add_variable(1.0, bound=1.0,
+                                  usages=((("l",), 50.0, 1.0),))
+        system.update_variable(vid, bound=float("inf"))
+        system.solve()
+        assert system.value(vid) == pytest.approx(50.0)
+
+    def test_dead_vid_rejected(self):
+        system = SharingSystem(vectorized=True)
+        vid = system.add_variable(1.0, usages=((("l",), 10.0, 1.0),))
+        system.remove_variable(vid)
+        with pytest.raises(MaxMinError):
+            system.update_variable(vid, weight=2.0)

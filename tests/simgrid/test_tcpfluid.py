@@ -1,0 +1,232 @@
+"""The TCP-fluid sharing model, pinned against the synthetic testbed.
+
+``testbed/fluid.py`` + ``testbed/tcp.py`` are the seed's reference for
+protocol-realistic flows: RTT-weighted water-filling with slow-start/CUBIC
+window ramps and loss-triggered backoff.  :class:`TcpFluidModel` re-expresses
+those dynamics as time-varying sharing weights inside the SimGrid kernel,
+so on matched topologies (idealized host profiles: zero startup, zero
+stack latency, efficiency-1 links) the two implementations must agree —
+star, dumbbell and cross-traffic profiles, the acceptance gate of the
+pluggable-model refactor.
+"""
+
+import pytest
+
+from repro.simgrid.builder import add_star_cluster
+from repro.simgrid.engine import Simulation
+from repro.simgrid.models import LV08
+from repro.simgrid.platform import Direction, LinkUse, Platform, SharingPolicy
+from repro.simgrid.tcpfluid import TcpFluidModel
+from repro.testbed.fluid import FluidSimulator, Hop, TestbedNetwork
+from repro.testbed.profiles import HostProfile
+from repro.testbed.tcp import TcpParams
+
+CAP = 1.25e8
+LAT = 1e-4
+
+#: Idealized host: no startup jitter, no stack latency — so only the
+#: fluid/window dynamics differ between the two implementations.
+IDEAL = HostProfile(name="ideal", startup_median=0.0, startup_sigma=0.0,
+                    nic_bandwidth=CAP, nic_efficiency=1.0,
+                    stack_latency=0.0, tcp=TcpParams())
+
+#: Single-bottleneck agreement is floating-point exact; multi-bottleneck
+#: reduction orders may differ, so allow a sliver.
+REL_TOL = 1e-9
+
+
+# -- matched topology pairs (simgrid platform, testbed network) --------------
+
+
+def star_platform(n=6):
+    platform = Platform("star")
+    add_star_cluster(platform, "c", n, host_bandwidth=CAP, host_latency=LAT,
+                     routing="Dijkstra")
+    return platform
+
+
+def star_testbed(n=6):
+    net = TestbedNetwork("star")
+    links = {}
+    for i in range(1, n + 1):
+        net.add_node(f"c-{i}", IDEAL)
+        links[i] = net.add_link(f"c-{i}-link", CAP, LAT, efficiency=1.0)
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            if i != j:
+                net.add_route(f"c-{i}", f"c-{j}",
+                              [Hop(links[i], 0), Hop(links[j], 1)],
+                              symmetrical=False)
+    return net
+
+
+def dumbbell_platform(bottleneck=2.5e8, bottleneck_latency=5e-4):
+    platform = Platform("dumbbell", routing="Full")
+    root = platform.root
+    bb = root.add_link("bottleneck", bottleneck, bottleneck_latency,
+                       policy=SharingPolicy.FULLDUPLEX)
+    edges = {}
+    for side in ("left", "right"):
+        for i in (1, 2):
+            name = f"{side}-{i}"
+            root.add_host(name)
+            edges[name] = root.add_link(f"{name}-link", CAP, LAT,
+                                        policy=SharingPolicy.FULLDUPLEX)
+    for li in (1, 2):
+        for ri in (1, 2):
+            root.add_route(f"left-{li}", f"right-{ri}", [
+                LinkUse(edges[f"left-{li}"], Direction.UP),
+                LinkUse(bb, Direction.UP),
+                LinkUse(edges[f"right-{ri}"], Direction.DOWN),
+            ])
+    root.add_route("left-1", "left-2", [
+        LinkUse(edges["left-1"], Direction.UP),
+        LinkUse(edges["left-2"], Direction.DOWN),
+    ])
+    return platform
+
+
+def dumbbell_testbed(bottleneck=2.5e8, bottleneck_latency=5e-4):
+    net = TestbedNetwork("dumbbell")
+    bb = net.add_link("bottleneck", bottleneck, bottleneck_latency,
+                      efficiency=1.0)
+    edges = {}
+    for side in ("left", "right"):
+        for i in (1, 2):
+            name = f"{side}-{i}"
+            net.add_node(name, IDEAL)
+            edges[name] = net.add_link(f"{name}-link", CAP, LAT,
+                                       efficiency=1.0)
+    for li in (1, 2):
+        for ri in (1, 2):
+            net.add_route(f"left-{li}", f"right-{ri}", [
+                Hop(edges[f"left-{li}"], 0),
+                Hop(bb, 0),
+                Hop(edges[f"right-{ri}"], 1),
+            ])
+    net.add_route("left-1", "left-2",
+                  [Hop(edges["left-1"], 0), Hop(edges["left-2"], 1)])
+    return net
+
+
+def run_simgrid(platform, transfers, **kwargs):
+    sim = Simulation(platform, TcpFluidModel(), **kwargs)
+    return [c.duration for c in sim.simulate_transfers(transfers)]
+
+
+def run_testbed(network, transfers):
+    sim = FluidSimulator(network, seed=0)
+    flows = [sim.submit(src, dst, size) for src, dst, size in transfers]
+    sim.run()
+    return [f.completion_time_raw for f in flows]
+
+
+def assert_pinned(simgrid_durations, testbed_durations, rel=REL_TOL):
+    assert len(simgrid_durations) == len(testbed_durations)
+    for got, want in zip(simgrid_durations, testbed_durations):
+        assert got == pytest.approx(want, rel=rel)
+
+
+# -- the pinning gates -------------------------------------------------------
+
+
+class TestPinnedAgainstTestbed:
+    def test_star_incast(self):
+        transfers = [(f"c-{i}", "c-6", 2e8) for i in range(1, 6)]
+        assert_pinned(run_simgrid(star_platform(), transfers),
+                      run_testbed(star_testbed(), transfers))
+
+    def test_star_solo_ramps(self):
+        # small transfers finish mid-slow-start; medium ones cross into
+        # the window cap — every phase boundary must agree
+        for size in (1e4, 1e5, 1e6, 1e7, 1e9):
+            transfers = [("c-1", "c-2", size)]
+            assert_pinned(run_simgrid(star_platform(), transfers),
+                          run_testbed(star_testbed(), transfers))
+
+    def test_star_pairwise_mix(self):
+        transfers = [("c-1", "c-4", 5e7), ("c-2", "c-4", 1.5e8),
+                     ("c-3", "c-5", 3e7), ("c-5", "c-1", 8e7)]
+        assert_pinned(run_simgrid(star_platform(), transfers),
+                      run_testbed(star_testbed(), transfers))
+
+    def test_dumbbell_congestion(self):
+        # four flows over one shared bottleneck with unequal sizes
+        transfers = [("left-1", "right-1", 2e8), ("left-2", "right-2", 1e8),
+                     ("left-1", "right-2", 5e7), ("left-2", "right-1", 5e7)]
+        assert_pinned(run_simgrid(dumbbell_platform(), transfers),
+                      run_testbed(dumbbell_testbed(), transfers))
+
+    def test_dumbbell_cross_traffic(self):
+        # bottleneck flows plus a local flow contending only on edge links
+        transfers = [("left-1", "right-1", 1.2e8),
+                     ("left-2", "right-2", 9e7),
+                     ("left-1", "left-2", 6e7)]
+        assert_pinned(run_simgrid(dumbbell_platform(), transfers),
+                      run_testbed(dumbbell_testbed(), transfers))
+
+    def test_dumbbell_narrow_bottleneck_forces_backoff(self):
+        # fair share far below the window rate: every flow must take the
+        # loss-triggered multiplicative decrease at the same round
+        transfers = [("left-1", "right-1", 5e7), ("left-2", "right-2", 5e7),
+                     ("left-1", "right-2", 5e7)]
+        assert_pinned(
+            run_simgrid(dumbbell_platform(bottleneck=2.5e7), transfers),
+            run_testbed(dumbbell_testbed(bottleneck=2.5e7), transfers))
+
+
+class TestTcpDynamics:
+    def test_rtt_unfairness(self):
+        # same size, same bottleneck, 10x the RTT: the long-RTT flow gets
+        # ~1/10 the share while both compete, so it finishes later
+        platform = dumbbell_platform(bottleneck_latency=5e-3)
+        long_rtt, = run_simgrid(platform, [("left-1", "right-1", 2e8)])
+        platform = dumbbell_platform(bottleneck_latency=5e-3)
+        durations = run_simgrid(platform, [("left-1", "right-1", 2e8),
+                                           ("left-1", "left-2", 2e8)])
+        assert durations[1] < durations[0]
+        # and the contended long-RTT flow still matches the testbed
+        assert_pinned(
+            durations,
+            run_testbed(dumbbell_testbed(bottleneck_latency=5e-3),
+                        [("left-1", "right-1", 2e8),
+                         ("left-1", "left-2", 2e8)]))
+
+    def test_ramp_is_slower_than_wire_speed(self):
+        # a transfer finishing mid-ramp takes much longer than the
+        # uncongested handshake + size/bandwidth lower bound
+        size = 1e6
+        wire = 2 * (2 * LAT) + size / CAP
+        fluid, = run_simgrid(star_platform(), [("c-1", "c-2", size)])
+        assert fluid > 1.2 * wire
+
+    def test_large_transfers_reach_wire_speed(self):
+        # amortized over 8s the ramp must cost well under 1%
+        fluid, = run_simgrid(star_platform(), [("c-1", "c-2", 1e9)])
+        assert fluid == pytest.approx(1e9 / CAP, rel=1e-2)
+
+    def test_makespan_not_inflated_by_round_timers(self):
+        # flows that complete mid-ramp cancel their pending round timers;
+        # the makespan is the last completion, not the last timer
+        sim = Simulation(star_platform(), TcpFluidModel())
+        comms = sim.simulate_transfers([("c-1", "c-2", 1e6)])
+        assert sim.clock == pytest.approx(max(c.duration for c in comms))
+
+    def test_solver_modes_agree(self):
+        transfers = [(f"c-{i}", "c-6", 3e7) for i in range(1, 6)]
+        reference = run_simgrid(star_platform(), transfers)
+        for kwargs in ({"full_resolve": True}, {"vectorized": False}):
+            assert_pinned(run_simgrid(star_platform(), transfers, **kwargs),
+                          reference)
+
+    def test_default_path_unchanged_by_refactor(self):
+        # the static default (LV08) must not grow round timers or new
+        # latency terms: classic startup + size/(factor * bandwidth)
+        model = LV08()
+        duration, = [c.duration for c in
+                     Simulation(star_platform(), model)
+                     .simulate_transfers([("c-1", "c-2", 1e8)])]
+        route_latency = 2 * LAT
+        expected = (model.latency_factor * route_latency
+                    + 1e8 / (model.bandwidth_factor * CAP))
+        assert duration == pytest.approx(expected, rel=1e-12)

@@ -152,6 +152,52 @@ class TestScenarios:
         assert code == 2
         assert "unknown scenario" in text
 
+    def test_model_override_changes_run(self):
+        code, lv08 = run_cli("scenarios", "run", "star-incast", "--json")
+        assert code == 0
+        code, fluid = run_cli("scenarios", "run", "star-incast", "--json",
+                              "--model", "tcp_fluid")
+        assert code == 0
+        assert (json.loads(lv08)["makespans"]
+                != json.loads(fluid)["makespans"])
+
+    def test_unknown_model_rejected(self):
+        code, text = run_cli("scenarios", "run", "star-incast",
+                             "--model", "udp_teleport")
+        assert code == 2
+        assert "udp_teleport" in text
+
+
+class TestModels:
+    def test_list_shows_every_registered_model(self):
+        from repro.simgrid.models import model_names
+
+        code, text = run_cli("models", "list")
+        assert code == 0
+        for name in model_names():
+            assert name in text
+        assert "time-varying" in text  # tcp_fluid's weights column
+        assert "static" in text
+
+    def test_predict_rejects_unknown_model(self):
+        code, text = run_cli(
+            "predict", "--transfer",
+            "sagittaire-1.lyon.grid5000.fr,sagittaire-2.lyon.grid5000.fr,1e8",
+            "--model", "nope")
+        assert code == 2
+        assert "nope" in text and "LV08" in text
+
+    def test_predict_accepts_registered_model_with_params(self):
+        transfer = ("sagittaire-1.lyon.grid5000.fr,"
+                    "sagittaire-2.lyon.grid5000.fr,1e8")
+        code, fluid = run_cli("predict", "--transfer", transfer,
+                              "--model", "tcp_fluid")
+        assert code == 0
+        code, lv08 = run_cli("predict", "--transfer", transfer)
+        assert code == 0
+        assert (json.loads(fluid)[0]["duration"]
+                != json.loads(lv08)[0]["duration"])
+
 
 class TestMetrology:
     def test_record_emits_trace_document(self):
