@@ -14,6 +14,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+#: Module-level miss sentinel: distinguishes "key absent" from a cached
+#: ``None`` value, so storing ``None`` counts as a hit instead of silently
+#: recomputing and inflating the miss counter.
+_MISS = object()
+
 
 class BoundedLRU:
     """A bounded least-recently-used mapping with observability counters."""
@@ -32,11 +37,17 @@ class BoundedLRU:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key) -> Optional[object]:
-        entry = self._entries.get(key)
-        if entry is None:
+    def get(self, key, default: Optional[object] = None) -> Optional[object]:
+        """The cached value, or ``default`` on a miss.
+
+        Any stored value — including ``None`` — is a counted hit; only an
+        absent key is a miss.  Callers that cache ``None`` legitimately can
+        pass their own sentinel as ``default`` to tell the two apart.
+        """
+        entry = self._entries.get(key, _MISS)
+        if entry is _MISS:
             self.misses += 1
-            return None
+            return default
         # refresh recency (dicts iterate in insertion order)
         del self._entries[key]
         self._entries[key] = entry

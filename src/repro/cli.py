@@ -56,6 +56,45 @@ def _build_parser() -> argparse.ArgumentParser:
                               "scalar arena path instead of the batched "
                               "numpy kernel (verification mode)")
 
+    whatif = sub.add_parser(
+        "what-if",
+        help="forecast transfers under a hypothetical link-event schedule",
+        description="Planning query: predict the given transfers while a "
+                    "transient dynamics schedule plays out ('what if the "
+                    "bottleneck degrades 50%% at t+30s?'), optionally under "
+                    "the platform state projected --horizon steps ahead "
+                    "from --observe'd link measurements.",
+    )
+    whatif.add_argument("--platform", default="g5k_test",
+                        choices=("g5k_test", "g5k_cabinets"))
+    whatif.add_argument("--transfer", action="append", required=True,
+                        metavar="SRC,DST,SIZE",
+                        help="repeatable: source,destination,bytes")
+    whatif.add_argument("--ongoing", action="append", default=[],
+                        metavar="SRC,DST,REMAINING",
+                        help="repeatable: in-flight transfers sharing bandwidth")
+    whatif.add_argument("--event", action="append", default=[],
+                        metavar="TIME,LINK,ACTION[,FACTOR]",
+                        help="repeatable: timed link mutation; ACTION is "
+                             "degrade/fail/recover, LINK an fnmatch pattern, "
+                             "FACTOR the degrade fraction of nominal")
+    whatif.add_argument("--horizon", type=int, default=None, metavar="K",
+                        help="project observed link series K steps ahead and "
+                             "use the projection as the baseline state")
+    whatif.add_argument("--observe", action="append", default=[],
+                        metavar="LINK=V1,V2,...",
+                        help="repeatable: feed a link's bandwidth series "
+                             "(bytes/s) into the horizon forecaster")
+    whatif.add_argument("--model", default="LV08",
+                        help="registered sharing model name "
+                             "(see `repro models list`)")
+    whatif.add_argument("--full-resolve", action="store_true",
+                        help="rebuild the whole sharing system at every "
+                             "simulation event (slow verification mode)")
+    whatif.add_argument("--scalar-solve", action="store_true",
+                        help="route incremental re-solves through the "
+                             "scalar arena path (verification mode)")
+
     serve = sub.add_parser("serve", help="run the Pilgrim HTTP services")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
@@ -341,6 +380,43 @@ def _cmd_predict(args, out) -> int:
         vectorized=not args.scalar_solve,
     )
     out.write(json.dumps([f.to_json() for f in forecasts], indent=1) + "\n")
+    return 0
+
+
+def _cmd_what_if(args, out) -> int:
+    from repro.core.forecast import TransferSpec
+    from repro.core.rest.errors import ApiError
+    from repro.experiments.environment import forecast_service
+    from repro.horizon.whatif import parse_event
+    from repro.simgrid.models import model_by_name
+
+    service = forecast_service()
+    try:
+        model = model_by_name(args.model)
+    except ValueError as exc:
+        out.write(f"{exc}\n")
+        return 2
+    try:
+        transfers = [TransferSpec.parse(t) for t in args.transfer]
+        ongoing = [TransferSpec.parse(t) for t in args.ongoing]
+        events = [parse_event(e) for e in args.event]
+        for observation in args.observe:
+            link, _, series = observation.partition("=")
+            if not series:
+                raise ValueError(
+                    f"--observe must be LINK=V1,V2,..., got {observation!r}")
+            for value in series.split(","):
+                service.observe_link(args.platform, link.strip(),
+                                     float(value))
+        result = service.predict_what_if(
+            args.platform, transfers, events, model=model, ongoing=ongoing,
+            horizon=args.horizon, full_resolve=args.full_resolve,
+            vectorized=not args.scalar_solve,
+        )
+    except (ApiError, ValueError) as exc:
+        out.write(f"{exc}\n")
+        return 2
+    out.write(json.dumps(result.to_json(), indent=1) + "\n")
     return 0
 
 
@@ -857,6 +933,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_version(out)
     if args.command == "predict":
         return _cmd_predict(args, out)
+    if args.command == "what-if":
+        return _cmd_what_if(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
     if args.command == "experiment":

@@ -12,13 +12,17 @@ This module implements exactly that, over :mod:`repro.simgrid`.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro._util.parallel import pool_chunk_size
 
 from repro.core.rest.errors import BadRequest, NotFound
+from repro.horizon.forecast import PlatformHorizon
+from repro.horizon.whatif import run_what_if
+from repro.scenarios.spec import LinkEvent
 from repro.simgrid.engine import Simulation
 from repro.simgrid.models import LV08, NetworkModel
 from repro.simgrid.msg import transfer_processes
@@ -59,17 +63,53 @@ class TransferSpec:
 
 @dataclass(frozen=True)
 class TransferForecast:
-    """One predicted transfer: the paper's answer 4-uple."""
+    """One predicted transfer: the paper's answer 4-uple.
+
+    Horizon-aware queries (:meth:`NetworkForecastService.predict_transfers_at`
+    and :meth:`~NetworkForecastService.predict_what_if`) additionally carry a
+    prediction interval on the duration, derived from the per-link horizon
+    intervals (optimistic and pessimistic link-state simulations).  Plain
+    point forecasts leave both ends ``None`` and serialize exactly as
+    before."""
 
     src: str
     dst: str
     size: float
     #: Predicted completion time, seconds (from simultaneous start).
     duration: float
+    #: Prediction-interval endpoints on the duration (seconds), or None.
+    lower: Optional[float] = None
+    upper: Optional[float] = None
 
     def to_json(self) -> dict:
-        return {"src": self.src, "dst": self.dst,
-                "size": self.size, "duration": self.duration}
+        doc = {"src": self.src, "dst": self.dst,
+               "size": self.size, "duration": self.duration}
+        if self.lower is not None:
+            doc["lower"] = self.lower
+        if self.upper is not None:
+            doc["upper"] = self.upper
+        return doc
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Answer to one what-if query: interval-annotated forecasts plus the
+    event schedule that actually fired in the simulated world."""
+
+    forecasts: tuple[TransferForecast, ...]
+    #: ``AppliedEvent.to_json()`` dicts, in firing order.
+    applied: tuple[dict, ...] = ()
+    #: Horizon the baseline platform state was projected to (None = live).
+    horizon: Optional[int] = None
+
+    def to_json(self) -> dict:
+        doc: dict = {
+            "forecasts": [f.to_json() for f in self.forecasts],
+            "applied": list(self.applied),
+        }
+        if self.horizon is not None:
+            doc["horizon"] = self.horizon
+        return doc
 
 
 class NetworkForecastService:
@@ -82,6 +122,13 @@ class NetworkForecastService:
     ) -> None:
         self._platforms: dict[str, Platform] = dict(platforms or {})
         self.model = model if model is not None else LV08()
+        #: lazily created per-platform multi-horizon link-state forecasters
+        self._horizons: dict[str, PlatformHorizon] = {}
+        #: what-if runs transiently mutate live platforms; serialize them
+        self._whatif_lock = threading.Lock()
+        #: query counters surfaced in ``GET /pilgrim/stats``
+        self.what_if_queries = 0
+        self.horizon_queries = 0
 
     # -- platform registry -------------------------------------------------------
 
@@ -98,6 +145,30 @@ class NetworkForecastService:
         return sorted(self._platforms)
 
     # -- the service -------------------------------------------------------------
+
+    def _validated_specs(
+        self,
+        platform_name: str,
+        transfers: Sequence[TransferSpec] | Iterable[tuple[str, str, float]],
+        ongoing: Sequence[TransferSpec] | Iterable[tuple[str, str, float]] = (),
+    ) -> tuple[Platform, list[TransferSpec], list[TransferSpec]]:
+        """Resolve the platform and normalize/validate the transfer lists."""
+        platform = self.platform(platform_name)
+        specs = [
+            t if isinstance(t, TransferSpec) else TransferSpec(*t) for t in transfers
+        ]
+        ongoing_specs = [
+            t if isinstance(t, TransferSpec) else TransferSpec(*t) for t in ongoing
+        ]
+        if not specs:
+            raise BadRequest("at least one transfer is required")
+        for spec in specs + ongoing_specs:
+            for host in (spec.src, spec.dst):
+                if not platform.has_host(host):
+                    raise NotFound(
+                        f"unknown host {host!r} on platform {platform_name!r}"
+                    )
+        return platform, specs, ongoing_specs
 
     def predict_transfers(
         self,
@@ -130,21 +201,8 @@ class NetworkForecastService:
         Raises :class:`NotFound` for unknown platforms or hosts and
         :class:`BadRequest` for empty requests.
         """
-        platform = self.platform(platform_name)
-        specs = [
-            t if isinstance(t, TransferSpec) else TransferSpec(*t) for t in transfers
-        ]
-        ongoing_specs = [
-            t if isinstance(t, TransferSpec) else TransferSpec(*t) for t in ongoing
-        ]
-        if not specs:
-            raise BadRequest("at least one transfer is required")
-        for spec in specs + ongoing_specs:
-            for host in (spec.src, spec.dst):
-                if not platform.has_host(host):
-                    raise NotFound(
-                        f"unknown host {host!r} on platform {platform_name!r}"
-                    )
+        platform, specs, ongoing_specs = self._validated_specs(
+            platform_name, transfers, ongoing)
         sim = Simulation(platform, model or self.model,
                          capacity_factors=capacity_factors,
                          full_resolve=full_resolve, vectorized=vectorized)
@@ -162,6 +220,204 @@ class NetworkForecastService:
                              duration=r["duration"])
             for r in records
         ]
+
+    # -- multi-horizon and what-if queries ---------------------------------------
+
+    def horizon_state(self, platform_name: str, **kwargs) -> PlatformHorizon:
+        """The (lazily created) per-link horizon forecasters of a platform.
+
+        ``kwargs`` tune the underlying :class:`HorizonForecaster`s (phi, z,
+        window, cutoff_frac) and only apply on first creation.
+        """
+        state = self._horizons.get(platform_name)
+        if state is None:
+            platform = self.platform(platform_name)  # raises NotFound
+            state = self._horizons[platform_name] = PlatformHorizon(
+                platform, **kwargs)
+        return state
+
+    def observe_link(self, platform_name: str, link_name: str,
+                     bandwidth: float, weight: int = 1) -> None:
+        """Feed one bandwidth measurement into a link's horizon series."""
+        try:
+            self.horizon_state(platform_name).observe(link_name, bandwidth,
+                                                      weight=weight)
+        except UnknownElementError as exc:
+            raise NotFound(str(exc)) from None
+
+    def horizon_capacity_factors(
+        self,
+        platform_name: str,
+        horizon: int,
+        bound: str = "value",
+        combine: Optional[dict[str, float]] = None,
+    ) -> dict[str, float]:
+        """Projected ``capacity_factors`` for a platform ``horizon`` steps
+        ahead (empty — i.e. live state — when no link series is warm)."""
+        if horizon < 1:
+            raise BadRequest(f"horizon must be >= 1, got {horizon}")
+        state = self._horizons.get(platform_name)
+        if state is None:
+            return dict(combine or {})
+        return state.capacity_factors_at(horizon, bound=bound,
+                                         combine=combine)
+
+    def _interval_annotated(
+        self,
+        point: list[TransferForecast],
+        optimistic: Optional[list[TransferForecast]],
+        pessimistic: Optional[list[TransferForecast]],
+    ) -> list[TransferForecast]:
+        """Fold optimistic/pessimistic durations into per-transfer intervals."""
+        if optimistic is None or pessimistic is None:
+            return point
+        return [
+            replace(f,
+                    lower=min(o.duration, f.duration),
+                    upper=max(p.duration, f.duration))
+            for f, o, p in zip(point, optimistic, pessimistic)
+        ]
+
+    def predict_transfers_at(
+        self,
+        platform_name: str,
+        transfers: Sequence[TransferSpec] | Iterable[tuple[str, str, float]],
+        horizon: int,
+        model: Optional[NetworkModel] = None,
+        ongoing: Sequence[TransferSpec] | Iterable[tuple[str, str, float]] = (),
+        capacity_factors: Optional[dict[str, float]] = None,
+        full_resolve: bool = False,
+        vectorized: bool = True,
+        intervals: bool = True,
+    ) -> list[TransferForecast]:
+        """Forecast transfers under the platform state ``horizon`` steps ahead.
+
+        Per-link horizon projections (see :meth:`observe_link`) become
+        ``capacity_factors`` for the simulation — multiplied into any
+        explicit factors.  With ``intervals`` (and at least one warm link
+        series) the answer carries per-transfer duration intervals from two
+        extra simulations: one under every link's optimistic (interval
+        upper) projection, one under the pessimistic.  Cold platforms fall
+        back to the live link state — a plain point forecast.
+        """
+        self.horizon_queries += 1
+        state = self._horizons.get(platform_name)
+        warm = state is not None and bool(state.ready_links())
+        point_factors = self.horizon_capacity_factors(
+            platform_name, horizon, combine=capacity_factors)
+
+        def predict(factors: Optional[dict[str, float]]):
+            return self.predict_transfers(
+                platform_name, transfers, model=model, ongoing=ongoing,
+                capacity_factors=factors or None,
+                full_resolve=full_resolve, vectorized=vectorized)
+
+        point = predict(point_factors)
+        if not (intervals and warm):
+            return point
+        optimistic = predict(self.horizon_capacity_factors(
+            platform_name, horizon, bound="upper", combine=capacity_factors))
+        pessimistic = predict(self.horizon_capacity_factors(
+            platform_name, horizon, bound="lower", combine=capacity_factors))
+        return self._interval_annotated(point, optimistic, pessimistic)
+
+    def predict_what_if(
+        self,
+        platform_name: str,
+        transfers: Sequence[TransferSpec] | Iterable[tuple[str, str, float]],
+        events: Sequence[LinkEvent] | Sequence[dict],
+        model: Optional[NetworkModel] = None,
+        ongoing: Sequence[TransferSpec] | Iterable[tuple[str, str, float]] = (),
+        capacity_factors: Optional[dict[str, float]] = None,
+        horizon: Optional[int] = None,
+        full_resolve: bool = False,
+        vectorized: bool = True,
+        intervals: bool = True,
+    ) -> WhatIfResult:
+        """Answer a what-if query: "these transfers, under this event
+        schedule" — e.g. link X degrading 50% at t+30s.
+
+        ``events`` (:class:`~repro.scenarios.spec.LinkEvent` objects or
+        their JSON dicts) become a transient dynamics schedule run through
+        the scenario machinery on the live platform — touched link states
+        are snapshotted and restored, and concurrent what-if runs are
+        serialized behind a per-service lock (the transient epoch bumps
+        invalidate epoch-keyed caches by design; see
+        :mod:`repro.horizon.whatif`).  ``horizon=k`` additionally projects
+        the *baseline* link state k steps ahead before applying the
+        schedule, and (with ``intervals``) annotates each forecast with a
+        duration interval from the optimistic/pessimistic projections.
+
+        The answer is bit-identical to hand-building the same schedule with
+        :func:`repro.scenarios.dynamics.schedule_dynamics` on this platform.
+        """
+        self.what_if_queries += 1
+        platform, specs, ongoing_specs = self._validated_specs(
+            platform_name, transfers, ongoing)
+        try:
+            event_objs = [
+                e if isinstance(e, LinkEvent) else LinkEvent.from_json(e)
+                for e in events
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BadRequest(f"bad what-if event: {exc}") from None
+        state = self._horizons.get(platform_name)
+        warm = (horizon is not None and state is not None
+                and bool(state.ready_links()))
+        triples = [(s.src, s.dst, s.size) for s in specs]
+        ongoing_triples = [(s.src, s.dst, s.size) for s in ongoing_specs]
+
+        def run(factors: Optional[dict[str, float]]):
+            try:
+                return run_what_if(
+                    platform, model or self.model, triples, event_objs,
+                    ongoing=ongoing_triples, capacity_factors=factors or None,
+                    full_resolve=full_resolve, vectorized=vectorized)
+            except ValueError as exc:  # unmatched event pattern, bad factor
+                raise BadRequest(str(exc)) from None
+
+        base_factors = capacity_factors
+        if horizon is not None:
+            base_factors = self.horizon_capacity_factors(
+                platform_name, horizon, combine=capacity_factors)
+        with self._whatif_lock:
+            records, log = run(base_factors)
+            optimistic = pessimistic = None
+            if intervals and warm:
+                opt_records, _ = run(self.horizon_capacity_factors(
+                    platform_name, horizon, bound="upper",
+                    combine=capacity_factors))
+                pess_records, _ = run(self.horizon_capacity_factors(
+                    platform_name, horizon, bound="lower",
+                    combine=capacity_factors))
+                optimistic = [TransferForecast(r["src"], r["dst"], r["size"],
+                                               r["duration"])
+                              for r in opt_records]
+                pessimistic = [TransferForecast(r["src"], r["dst"], r["size"],
+                                                r["duration"])
+                               for r in pess_records]
+        point = [
+            TransferForecast(src=r["src"], dst=r["dst"], size=r["size"],
+                             duration=r["duration"])
+            for r in records
+        ]
+        forecasts = self._interval_annotated(point, optimistic, pessimistic)
+        return WhatIfResult(
+            forecasts=tuple(forecasts),
+            applied=tuple(e.to_json() for e in log.applied),
+            horizon=horizon,
+        )
+
+    def planning_stats(self) -> dict:
+        """Horizon/what-if counters for ``GET /pilgrim/stats``."""
+        return {
+            "what_if_queries": self.what_if_queries,
+            "horizon_queries": self.horizon_queries,
+            "horizons": {
+                name: state.info() for name, state in sorted(
+                    self._horizons.items())
+            },
+        }
 
     def predict_transfers_many(
         self,

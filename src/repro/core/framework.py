@@ -21,6 +21,7 @@ from repro.core.rest.errors import BadRequest
 from repro.core.rest.router import Request, Router
 from repro.core.rest.server import DEFAULT_MAX_BODY, PilgrimHTTPServer
 from repro.core.workflow import WorkflowForecastService
+from repro.horizon.whatif import events_from_json
 from repro.metrology.collectors import MetricRegistry
 from repro.simgrid.models import NetworkModel, SharingModel, model_by_name
 from repro.simgrid.platform import Platform
@@ -160,6 +161,20 @@ class Pilgrim:
                 )
             return [f.to_json() for f in forecasts]
 
+        def requested_horizon(raw) -> Optional[int]:
+            if raw in (None, ""):
+                return None
+            try:
+                horizon = int(raw)
+            except (TypeError, ValueError):
+                raise BadRequest(
+                    f"horizon must be a positive integer, got {raw!r}"
+                ) from None
+            if horizon < 1:
+                raise BadRequest(
+                    f"horizon must be a positive integer, got {horizon}")
+            return horizon
+
         @router.get("/pilgrim/predict_transfers/{platform}")
         def predict(request: Request, platform: str):
             raw = request.params("transfer")
@@ -171,6 +186,13 @@ class Pilgrim:
             ongoing = [TransferSpec.parse(item)
                        for item in request.params("ongoing")]
             model = requested_model(request.param("model", default=""))
+            horizon = requested_horizon(request.param("horizon", default=""))
+            if horizon is not None:
+                # horizon queries bypass the serving cache tier: projected
+                # capacity factors are not part of the cache key
+                forecasts = self.forecast.predict_transfers_at(
+                    platform, specs, horizon, model=model, ongoing=ongoing)
+                return [f.to_json() for f in forecasts]
             return answer_predict(platform, specs, ongoing, model)
 
         def body_transfers(request: Request, field: str, required: bool):
@@ -206,6 +228,28 @@ class Pilgrim:
             model = requested_model(request.body_field("model", default=None))
             return answer_predict(platform, specs, ongoing, model)
 
+        @router.post("/pilgrim/what_if/{platform}")
+        def what_if(request: Request, platform: str):
+            # the planning route: transfers + a hypothetical LinkEvent
+            # schedule ("if link X degrades 50% at t+30s"), optionally under
+            # the projected platform state `horizon` steps ahead
+            specs = body_transfers(request, "transfers", required=True)
+            ongoing = body_transfers(request, "ongoing", required=False)
+            model = requested_model(request.body_field("model", default=None))
+            horizon = requested_horizon(
+                request.body_field("horizon", default=None))
+            raw_events = request.body_field("events", default=None) or []
+            if not isinstance(raw_events, list):
+                raise BadRequest("'events' must be a JSON array")
+            try:
+                events = events_from_json(raw_events)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BadRequest(f"bad what-if event: {exc}") from None
+            result = self.forecast.predict_what_if(
+                platform, specs, events, model=model, ongoing=ongoing,
+                horizon=horizon)
+            return result.to_json()
+
         @router.get("/pilgrim/stats")
         def serving_stats(request: Request):
             payload = {
@@ -215,6 +259,7 @@ class Pilgrim:
                     name: self.forecast.platform(name).route_cache_info()
                     for name in self.forecast.platform_names()
                 },
+                "planning": self.forecast.planning_stats(),
             }
             if self.serving is not None:
                 payload["serving"]["enabled"] = True
@@ -226,7 +271,10 @@ class Pilgrim:
             if not raw:
                 raise BadRequest("at least one hypothesis=name:transfers is required")
             hypotheses = [Hypothesis.parse(item) for item in raw]
-            result = self.planner(platform).select_fastest(hypotheses)
+            model = requested_model(request.param("model", default=""))
+            horizon = requested_horizon(request.param("horizon", default=""))
+            result = self.planner(platform).select_fastest(
+                hypotheses, model=model, horizon=horizon)
             return result.to_json()
 
         return router

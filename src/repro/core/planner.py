@@ -8,9 +8,22 @@ hypotheses and only simulate a subset of them, before returning an answer."
 A *hypothesis* is a named set of concurrent transfers (e.g. "send the
 dataset to cluster A" vs "split it between A and B").  The planner scores
 each hypothesis by simulation and returns the fastest; the pruning heuristic
-discards hypotheses whose *static lower bound* (bottleneck bandwidth +
-latency, no contention) already exceeds the best static *upper bound*
-(serialised transfers), so they cannot win.
+discards hypotheses whose *static lower bound* (effective bottleneck
+bandwidth + latency, no contention) already exceeds the best static *upper
+bound* (serialised transfers), so they cannot win.
+
+Both bounds are computed from **effective** capacities: the active model's
+``effective_bandwidth``/``rate_bound`` and any ``capacity_factors``
+derating, exactly as the simulation will see them — so a hypothesis is
+never pruned by a nominal-bandwidth bound the simulated answers would
+contradict.  Time-varying models (``model.time_varying``) have no sound
+static bound (a flow's rate evolves over its lifetime), so pruning is
+skipped and every hypothesis is simulated.
+
+The planner can also rank hypotheses under a *projected future* platform
+state: ``select_fastest(..., horizon=k)`` folds the forecast service's
+multi-horizon link projections (see :mod:`repro.horizon`) into the
+capacity factors used by both the bounds and the simulations.
 """
 
 from __future__ import annotations
@@ -89,31 +102,67 @@ class TransferPlanner:
 
     # -- static bounds for pruning -----------------------------------------------
 
-    def _static_bounds(self, platform: Platform, hyp: Hypothesis) -> tuple[float, float]:
+    def _static_bounds(
+        self,
+        platform: Platform,
+        hyp: Hypothesis,
+        model=None,
+        capacity_factors: Optional[dict[str, float]] = None,
+    ) -> tuple[float, float]:
         """(lower, upper) bounds on the makespan without simulating.
 
-        Lower: each transfer alone at its bottleneck bandwidth (no
-        contention can beat that).  Upper: all transfers serialised on the
-        slowest single path (full contention cannot be slower than fully
-        sequential on the worst shared path).
+        Lower: each transfer alone at its *effective* uncontended rate (no
+        contention can beat that).  Upper: all transfers serialised (full
+        contention under max-min sharing cannot be slower than fully
+        sequential).
+
+        The uncontended rate is exactly what the simulation would grant a
+        lone flow: the model's per-flow ``rate_bound`` further limited by
+        every capacity constraint's effective bandwidth — the model's
+        ``effective_bandwidth`` of the link, derated by its
+        ``capacity_factors`` entry, divided by the constraint coefficient
+        (a SHARED link crossed twice grants half its capacity).  Computing
+        bounds from nominal bandwidths here would *underestimate* durations
+        on derated links, making the "upper bound" not an upper bound and
+        letting pruning discard the true winner.
         """
+        model = model if model is not None else self.forecast.model
         lower = 0.0
         total_serial = 0.0
         for t in hyp.transfers:
             route = platform.route(t.src, t.dst)
-            bw = self.forecast.model.effective_bandwidth(
-                min((u.link.bandwidth for u in route), default=float("inf"))
-            )
-            lat = self.forecast.model.startup_latency(route)
-            alone = lat + (t.size / bw if bw != float("inf") else 0.0)
+            lat, _weight, rate, usages = model.comm_spec(route)
+            for key, capacity, coefficient in usages:
+                factor = (capacity_factors.get(key[0].name, 1.0)
+                          if capacity_factors else 1.0)
+                rate = min(rate, capacity * factor / coefficient)
+            alone = lat + (t.size / rate if rate != float("inf") else 0.0)
             lower = max(lower, alone)
             total_serial += alone
         return lower, total_serial
 
-    def prune(self, hypotheses: Sequence[Hypothesis]) -> list[Hypothesis]:
-        """Keep only hypotheses whose lower bound beats the best upper bound."""
+    def prune(
+        self,
+        hypotheses: Sequence[Hypothesis],
+        model=None,
+        capacity_factors: Optional[dict[str, float]] = None,
+    ) -> list[Hypothesis]:
+        """Keep only hypotheses whose lower bound beats the best upper bound.
+
+        Time-varying models have no sound static bound (per-flow rates
+        evolve over a flow's lifetime, so "alone at the steady-state rate"
+        is not an upper bound on the alone duration): every hypothesis
+        survives and is simulated.
+        """
+        model = model if model is not None else self.forecast.model
+        if getattr(model, "time_varying", False):
+            return list(hypotheses)
         platform = self.forecast.platform(self.platform_name)
-        bounds = {h.name: self._static_bounds(platform, h) for h in hypotheses}
+        bounds = {
+            h.name: self._static_bounds(platform, h, model=model,
+                                        capacity_factors=capacity_factors)
+            for h in hypotheses
+        }
         best_upper = min(upper for (_, upper) in bounds.values())
         return [h for h in hypotheses if bounds[h.name][0] <= best_upper]
 
@@ -123,27 +172,54 @@ class TransferPlanner:
         self,
         hypotheses: Sequence[Hypothesis],
         use_pruning: bool = True,
+        model=None,
+        capacity_factors: Optional[dict[str, float]] = None,
+        full_resolve: bool = False,
+        vectorized: bool = True,
+        horizon: Optional[int] = None,
     ) -> PlannerResult:
-        """Simulate (surviving) hypotheses; best = smallest makespan."""
+        """Simulate (surviving) hypotheses; best = smallest makespan.
+
+        ``model``, ``capacity_factors``, ``full_resolve`` and ``vectorized``
+        are threaded into every ``predict_transfers`` call *and* into the
+        pruning bounds, so simulation and bounds always agree on the
+        platform state they score.  ``horizon=k`` ranks under the projected
+        platform state k steps ahead: the forecast service's per-link
+        horizon projections become capacity factors (combined with any
+        explicit ``capacity_factors`` by multiplication).
+        """
         if not hypotheses:
             raise BadRequest("at least one hypothesis is required")
         names = [h.name for h in hypotheses]
         if len(set(names)) != len(names):
             raise BadRequest("hypothesis names must be unique")
-        survivors = self.prune(hypotheses) if use_pruning else list(hypotheses)
+        model = model if model is not None else self.forecast.model
+        if horizon is not None:
+            capacity_factors = self.forecast.horizon_capacity_factors(
+                self.platform_name, horizon, combine=capacity_factors,
+            )
+        survivors = (
+            self.prune(hypotheses, model=model,
+                       capacity_factors=capacity_factors)
+            if use_pruning else list(hypotheses)
+        )
         surviving_names = {h.name for h in survivors}
         scores: list[HypothesisScore] = []
         for hyp in hypotheses:
             if hyp.name in surviving_names:
                 forecasts = self.forecast.predict_transfers(
-                    self.platform_name, hyp.transfers
+                    self.platform_name, hyp.transfers, model=model,
+                    capacity_factors=capacity_factors,
+                    full_resolve=full_resolve, vectorized=vectorized,
                 )
                 durations = tuple(f.duration for f in forecasts)
                 scores.append(HypothesisScore(hyp.name, max(durations),
                                               durations, simulated=True))
             else:
                 platform = self.forecast.platform(self.platform_name)
-                lower, _ = self._static_bounds(platform, hyp)
+                lower, _ = self._static_bounds(
+                    platform, hyp, model=model,
+                    capacity_factors=capacity_factors)
                 scores.append(HypothesisScore(hyp.name, lower, (), simulated=False))
         best = min((s for s in scores if s.simulated), key=lambda s: s.makespan)
         return PlannerResult(best=best.name, scores=tuple(scores))

@@ -186,6 +186,33 @@ class RestClient:
         """The serving layer's cache/pool/latency counters."""
         return self.get("/pilgrim/stats")  # type: ignore[return-value]
 
+    def what_if(
+        self,
+        platform: str,
+        transfers: Sequence[tuple[str, str, float]],
+        events: Sequence[dict],
+        horizon: Optional[int] = None,
+        model: Optional[str] = None,
+        ongoing: Sequence[tuple[str, str, float]] = (),
+    ) -> dict:
+        """A what-if planning query: transfers under a hypothetical
+        ``LinkEvent`` schedule (``events`` in ``LinkEvent.to_json`` form,
+        e.g. ``{"time": 30, "link": "bottleneck", "action": "degrade",
+        "factor": 0.5}``), optionally under the platform state projected
+        ``horizon`` steps ahead.  Answers with interval-annotated
+        forecasts plus the applied event log."""
+        payload: dict = {
+            "transfers": [[src, dst, size] for src, dst, size in transfers],
+            "events": list(events),
+        }
+        if horizon is not None:
+            payload["horizon"] = horizon
+        if model is not None:
+            payload["model"] = model
+        if ongoing:
+            payload["ongoing"] = [[src, dst, size] for src, dst, size in ongoing]
+        return self.post(f"/pilgrim/what_if/{platform}", payload)  # type: ignore[return-value]
+
     def select_fastest(
         self, platform: str, hypotheses: dict[str, Sequence[tuple[str, str, float]]]
     ) -> dict:

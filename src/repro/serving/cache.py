@@ -29,7 +29,7 @@ from __future__ import annotations
 import threading
 from typing import Iterable, Optional, Sequence
 
-from repro._util.lru import BoundedLRU
+from repro._util.lru import _MISS, BoundedLRU
 from repro.core.forecast import TransferForecast, TransferSpec
 from repro.simgrid.models import model_key_of
 from repro.simgrid.platform import link_epoch
@@ -106,8 +106,10 @@ class ForecastCache(BoundedLRU):
 
     def get(self, key: tuple) -> Optional[list[TransferForecast]]:
         with self._lock:
-            entry = super().get(key)
-            return list(entry) if entry is not None else None
+            # the base class counts any stored value as a hit (even None);
+            # probe with the miss sentinel so the copy applies to hits only
+            entry = super().get(key, _MISS)
+            return None if entry is _MISS else list(entry)
 
     def put(self, key: tuple, forecasts: Sequence[TransferForecast]) -> None:
         with self._lock:

@@ -351,7 +351,8 @@ class ShardedGateway:
         identically on every shard)."""
         parts = path.strip("/").split("/")
         if (len(parts) >= 3 and parts[0] == "pilgrim"
-                and parts[1] in ("predict_transfers", "select_fastest")):
+                and parts[1] in ("predict_transfers", "select_fastest",
+                                 "what_if")):
             key = parts[2]
         else:
             key = path

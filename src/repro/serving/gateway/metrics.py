@@ -81,11 +81,12 @@ class GatewayMetrics:
     """One metrics registry per gateway: routes, sheds, connections.
 
     Routes are coarse classes (``predict_transfers``, ``select_fastest``,
-    ``stats``, ``other``) — per-URI cardinality would make ``/stats``
-    unbounded under platform churn.
+    ``what_if``, ``stats``, ``other``) — per-URI cardinality would make
+    ``/stats`` unbounded under platform churn.
     """
 
-    ROUTE_CLASSES = ("predict_transfers", "select_fastest", "stats", "other")
+    ROUTE_CLASSES = ("predict_transfers", "select_fastest", "what_if",
+                     "stats", "other")
 
     def __init__(self, reservoir_size: int = 4096) -> None:
         self._routes = {name: LatencyReservoir(reservoir_size)
@@ -102,7 +103,8 @@ class GatewayMetrics:
     def route_class(cls, path: str) -> str:
         parts = path.strip("/").split("/")
         if len(parts) >= 2 and parts[0] == "pilgrim":
-            if parts[1] in ("predict_transfers", "select_fastest", "stats"):
+            if parts[1] in ("predict_transfers", "select_fastest", "what_if",
+                            "stats"):
                 return parts[1]
         return "other"
 

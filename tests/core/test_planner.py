@@ -5,8 +5,9 @@ import pytest
 from repro.core.forecast import NetworkForecastService, TransferSpec
 from repro.core.planner import Hypothesis, TransferPlanner
 from repro.core.rest.errors import BadRequest
-from repro.simgrid.builder import build_two_level_grid
+from repro.simgrid.builder import build_dumbbell, build_two_level_grid
 from repro.simgrid.models import CM02
+from repro.simgrid.tcpfluid import TcpFluidModel
 
 
 def make_planner():
@@ -151,3 +152,93 @@ class TestPruning:
         with_pruning = planner.select_fastest(hypotheses, use_pruning=True)
         without = planner.select_fastest(hypotheses, use_pruning=False)
         assert with_pruning.best == without.best
+
+
+class TestEffectiveBounds:
+    """Pruning bounds must reflect effective — not nominal — capacities."""
+
+    DIRECT = Hypothesis("direct", (TransferSpec("left-1", "right-1", 1e9),))
+    LOCAL = Hypothesis("local", (TransferSpec("left-1", "left-2", 1.2e10),))
+    # the bottleneck is derated to 10%: 'direct' now crawls while 'local'
+    # (which never crosses the bottleneck) is unaffected
+    FACTORS = {"bottleneck": 0.1}
+
+    def make_dumbbell_planner(self):
+        service = NetworkForecastService({"dumb": build_dumbbell()},
+                                         model=CM02())
+        return TransferPlanner(service, "dumb")
+
+    def test_nominal_bounds_would_discard_the_true_winner(self):
+        # the regression: bounds computed from nominal bandwidths keep only
+        # 'direct' (8.0s vs 9.6s), but on the derated platform 'direct'
+        # actually takes ~80s — pruning would discard the true winner
+        planner = self.make_dumbbell_planner()
+        nominal = planner.prune([self.DIRECT, self.LOCAL])
+        assert {h.name for h in nominal} == {"direct"}
+        effective = planner.prune([self.DIRECT, self.LOCAL],
+                                  capacity_factors=self.FACTORS)
+        assert {h.name for h in effective} == {"local"}
+
+    def test_selection_under_derated_factors_finds_local(self):
+        planner = self.make_dumbbell_planner()
+        hypotheses = [self.DIRECT, self.LOCAL]
+        pruned = planner.select_fastest(hypotheses,
+                                        capacity_factors=self.FACTORS)
+        unpruned = planner.select_fastest(hypotheses, use_pruning=False,
+                                          capacity_factors=self.FACTORS)
+        assert pruned.best == unpruned.best == "local"
+        scores = {s.name: s for s in pruned.scores}
+        assert not scores["direct"].simulated  # pruned as a provable loser
+        assert scores["local"].makespan == pytest.approx(
+            {s.name: s for s in unpruned.scores}["local"].makespan)
+
+    def test_bounds_scale_with_capacity_factors(self):
+        planner = self.make_dumbbell_planner()
+        platform = planner.forecast.platform("dumb")
+        lower, upper = planner._static_bounds(platform, self.DIRECT)
+        derated_lower, derated_upper = planner._static_bounds(
+            platform, self.DIRECT, capacity_factors=self.FACTORS)
+        # 1e9 B across a 10%-derated 1 Gbps bottleneck: 10x the transfer time
+        assert derated_lower == pytest.approx(10 * (lower - 0.0011) + 0.0011)
+        assert derated_upper >= derated_lower
+        # 'local' never crosses the bottleneck: bounds unchanged
+        assert planner._static_bounds(
+            platform, self.LOCAL, capacity_factors=self.FACTORS
+        ) == planner._static_bounds(platform, self.LOCAL)
+
+    def test_time_varying_model_skips_pruning(self):
+        # a TCP-fluid flow ramps up: its steady-state rate_bound is not an
+        # upper bound on the alone rate, so no static bound is sound
+        planner = self.make_dumbbell_planner()
+        survivors = planner.prune([self.DIRECT, self.LOCAL],
+                                  model=TcpFluidModel())
+        assert {h.name for h in survivors} == {"direct", "local"}
+        result = planner.select_fastest([self.DIRECT, self.LOCAL],
+                                        model=TcpFluidModel())
+        assert all(s.simulated for s in result.scores)
+
+    def test_kwargs_thread_through_to_simulation(self):
+        planner = self.make_dumbbell_planner()
+        hypotheses = [self.DIRECT, self.LOCAL]
+        baseline = planner.select_fastest(hypotheses,
+                                          capacity_factors=self.FACTORS)
+        for kwargs in ({"full_resolve": True}, {"vectorized": False}):
+            result = planner.select_fastest(
+                hypotheses, capacity_factors=self.FACTORS, **kwargs)
+            assert result.best == baseline.best
+            for ours, theirs in zip(result.scores, baseline.scores):
+                assert ours.makespan == pytest.approx(theirs.makespan)
+
+    def test_horizon_ranks_under_projected_state(self):
+        # a bottleneck trending to 10% flips the ranking: live state picks
+        # 'direct', the projected state picks 'local'
+        planner = self.make_dumbbell_planner()
+        service = planner.forecast
+        nominal = service.platform("dumb").link("bottleneck").bandwidth
+        for _ in range(8):
+            service.observe_link("dumb", "bottleneck", nominal * 0.1)
+        assert planner.select_fastest([self.DIRECT, self.LOCAL]).best == \
+            "direct"
+        projected = planner.select_fastest([self.DIRECT, self.LOCAL],
+                                           horizon=3)
+        assert projected.best == "local"

@@ -1,0 +1,25 @@
+"""Tier-1 hook for the planning smoke check.
+
+The planning stack (horizon projections + what-if REST route + stats
+counters) must come up, answer with intervals, restore the platform and
+shut down cleanly — see ``tools/check_horizon_smoke.py``.  Like the
+serving smoke, this is millisecond-scale and runs in-process on every
+tier-1 pass.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_horizon_smoke  # noqa: E402
+
+
+def test_standalone_horizon_smoke_passes(capsys):
+    assert check_horizon_smoke.main() == 0
+    out = capsys.readouterr().out
+    assert "horizon smoke OK" in out
+    assert "FAIL" not in out

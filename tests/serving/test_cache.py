@@ -119,3 +119,46 @@ class TestEpochInvalidation:
         link.latency = link.latency + 1e-6
         fresh = forecast_cache_key("p", model, [("a", "b", 1e6)])
         assert cache.get(fresh) is None  # recalibration invalidated the hit
+
+
+class TestCounterConsistency:
+    """Hits + misses must equal lookups for every BoundedLRU derivative."""
+
+    def test_forecast_cache_counters_partition_lookups(self):
+        cache = ForecastCache(maxsize=4)
+        key_a, key_b = ("a",), ("b",)
+        cache.put(key_a, [forecast(1)])
+        lookups = [key_a, key_b, key_a, key_a, key_b]
+        answered = [cache.get(key) for key in lookups]
+        assert cache.hits + cache.misses == len(lookups)
+        assert (cache.hits, cache.misses) == (3, 2)
+        assert [a is not None for a in answered] == [
+            True, False, True, True, False]
+
+    def test_forecast_cache_empty_answer_is_a_hit(self):
+        # an empty forecast list is falsy but cached: it must count as a
+        # hit and come back as [], not be conflated with a miss
+        cache = ForecastCache(maxsize=4)
+        cache.put(("empty",), [])
+        assert cache.get(("empty",)) == []
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_disabled_forecast_cache_stays_consistent(self):
+        cache = ForecastCache(maxsize=0)
+        cache.put(("k",), [forecast(1)])
+        assert cache.get(("k",)) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert cache.info()["enabled"] is False
+
+    def test_route_cache_counters_partition_lookups(self, star4):
+        cache = star4._route_cache
+        cache.clear()
+        cache.hits = cache.misses = 0
+        hosts = [h.name for h in star4.hosts()]
+        pairs = [(hosts[0], hosts[1]), (hosts[0], hosts[2]),
+                 (hosts[0], hosts[1]), (hosts[2], hosts[3])]
+        for src, dst in pairs:
+            star4.route(src, dst)
+        lookups = cache.hits + cache.misses
+        assert lookups == len(pairs)
+        assert (cache.hits, cache.misses) == (1, 3)

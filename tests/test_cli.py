@@ -244,3 +244,54 @@ class TestMetrology:
         assert code == 0
         assert "recalibration beats the static baseline" in text
         assert "updates applied" in text
+
+
+class TestWhatIf:
+    HOSTS = ("chti-1.lille.grid5000.fr", "chti-2.lille.grid5000.fr")
+    LINK = "chti-1.lille.grid5000.fr-link"
+
+    def test_degrading_event_slows_the_transfer(self):
+        transfer = f"{self.HOSTS[0]},{self.HOSTS[1]},5e8"
+        _, plain = run_cli("predict", "--platform", "g5k_test",
+                           "--transfer", transfer)
+        code, text = run_cli(
+            "what-if", "--platform", "g5k_test", "--transfer", transfer,
+            "--event", f"0.5,{self.LINK},degrade,0.25",
+        )
+        assert code == 0
+        result = json.loads(text)
+        assert len(result["applied"]) == 1
+        assert result["forecasts"][0]["duration"] > \
+            json.loads(plain)[0]["duration"]
+
+    def test_horizon_with_observations_yields_intervals(self):
+        series = ",".join(["6e8", "5e8"] * 5)  # noisy, below nominal 1 Gbps
+        code, text = run_cli(
+            "what-if", "--platform", "g5k_test",
+            "--transfer", f"{self.HOSTS[0]},{self.HOSTS[1]},5e8",
+            "--event", f"0.5,{self.LINK},degrade,0.5",
+            "--horizon", "3",
+            "--observe", f"{self.LINK}={series}",
+        )
+        assert code == 0
+        result = json.loads(text)
+        assert result["horizon"] == 3
+        forecast = result["forecasts"][0]
+        assert forecast["lower"] <= forecast["duration"] <= forecast["upper"]
+
+    def test_bad_event_rejected(self):
+        code, text = run_cli(
+            "what-if", "--platform", "g5k_test",
+            "--transfer", f"{self.HOSTS[0]},{self.HOSTS[1]},5e8",
+            "--event", "0.5,missing-fields",
+        )
+        assert code == 2
+        assert "event" in text
+
+    def test_unmatched_event_link_rejected(self):
+        code, _ = run_cli(
+            "what-if", "--platform", "g5k_test",
+            "--transfer", f"{self.HOSTS[0]},{self.HOSTS[1]},5e8",
+            "--event", "0.5,no-such-link,fail",
+        )
+        assert code == 2

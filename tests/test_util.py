@@ -5,6 +5,7 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
+from repro._util.lru import BoundedLRU
 from repro._util.rng import (
     derive_seed,
     rng_for,
@@ -126,3 +127,55 @@ class TestStats:
     def test_box_stats_ordering_invariant(self, values):
         stats = box_stats(values)
         assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+
+
+class TestBoundedLRU:
+    """The shared LRU's hit/miss contract — in particular cached ``None``."""
+
+    def test_cached_none_is_a_hit(self):
+        # the regression: a stored None used to be indistinguishable from a
+        # miss, so callers recomputed it forever and the miss counter lied
+        cache = BoundedLRU(4)
+        cache.put("k", None)
+        assert cache.get("k") is None
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_miss_returns_default(self):
+        cache = BoundedLRU(4)
+        sentinel = object()
+        assert cache.get("absent") is None
+        assert cache.get("absent", sentinel) is sentinel
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_sentinel_default_distinguishes_cached_none(self):
+        cache = BoundedLRU(4)
+        sentinel = object()
+        cache.put("k", None)
+        assert cache.get("k", sentinel) is None  # stored None, not a miss
+        assert cache.get("other", sentinel) is sentinel
+
+    def test_counters_partition_lookups(self):
+        cache = BoundedLRU(2)
+        cache.put("a", 1)
+        cache.put("b", None)
+        lookups = ["a", "b", "c", "a", "missing", "b"]
+        for key in lookups:
+            cache.get(key)
+        assert cache.hits + cache.misses == len(lookups)
+        assert (cache.hits, cache.misses) == (4, 2)
+        assert cache.info()["hits"] == 4
+
+    def test_cached_none_refreshes_recency(self):
+        cache = BoundedLRU(2)
+        cache.put("a", None)
+        cache.put("b", 1)
+        cache.get("a")  # touch: 'b' becomes the eviction candidate
+        cache.put("c", 2)
+        assert cache.get("a", "gone") is None
+        assert cache.get("b", "gone") == "gone"
+
+    def test_disabled_cache_counts_misses_for_none_too(self):
+        cache = BoundedLRU(0)
+        cache.put("k", None)
+        assert cache.get("k", "default") == "default"
+        assert (cache.hits, cache.misses) == (0, 1)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Smoke-check the planning subsystem end to end so it can't rot.
+
+The planning sibling of ``tools/check_serving_smoke.py``: build a dumbbell
+platform, warm one link's horizon series, bring up a Pilgrim HTTP server,
+POST a what-if query (events + horizon), GET a horizon-projected forecast,
+cross-check both against the direct service answers, confirm the platform
+was restored and ``/pilgrim/stats`` counted the queries, and shut down.
+Used standalone::
+
+    PYTHONPATH=src python tools/check_horizon_smoke.py
+
+and wired into tier-1 through ``tests/horizon/test_horizon_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Platform name registered with the smoke server.
+PLATFORM = "dumbbell"
+#: Warm-up observations per link (derated to 60% of nominal).
+WARMUP, DERATE = 8, 0.6
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.core.framework import Pilgrim
+    from repro.core.rest.client import RestClient
+    from repro.simgrid.builder import build_dumbbell
+
+    platform = build_dumbbell()
+    pilgrim = Pilgrim()
+    pilgrim.register_platform(PLATFORM, platform)
+    service = pilgrim.forecast
+    nominal = platform.link("bottleneck").bandwidth
+    for _ in range(WARMUP):
+        service.observe_link(PLATFORM, "bottleneck", nominal * DERATE)
+
+    transfers = [["left-1", "right-1", 1e9], ["left-2", "right-2", 5e8]]
+    events = [{"time": 1.0, "link": "bottleneck", "action": "degrade",
+               "factor": 0.5},
+              {"time": 10.0, "link": "bottleneck", "action": "recover"}]
+    failures: list[str] = []
+    with pilgrim.serve() as server:
+        client = RestClient(server.url)
+
+        answer = client.what_if(
+            PLATFORM, [tuple(t) for t in transfers], events, horizon=3)
+        direct = service.predict_what_if(
+            PLATFORM, [tuple(t) for t in transfers], events,
+            horizon=3).to_json()
+        if answer != direct:
+            failures.append("POST what_if differs from direct simulation")
+        if len(answer.get("applied", ())) != len(events):
+            failures.append(f"what_if applied {answer.get('applied')} "
+                            f"events, scheduled {len(events)}")
+        for forecast in answer.get("forecasts", ()):
+            lower, upper = forecast.get("lower"), forecast.get("upper")
+            if lower is None or upper is None:
+                failures.append(f"warm what_if answer lacks intervals: "
+                                f"{forecast}")
+            elif not lower <= forecast["duration"] <= upper:
+                failures.append(f"interval does not bracket the forecast: "
+                                f"{forecast}")
+
+        projected = client.get(
+            f"/pilgrim/predict_transfers/{PLATFORM}",
+            [("transfer", f"{src},{dst},{size:g}")
+             for src, dst, size in (tuple(t) for t in transfers)]
+            + [("horizon", "3")])
+        live = client.predict_transfers(
+            PLATFORM, [tuple(t) for t in transfers])
+        for now, later in zip(live, projected):
+            if later["duration"] <= now["duration"]:
+                failures.append(
+                    f"projected forecast not slower than live on the "
+                    f"derated bottleneck: {now} vs {later}")
+
+        if platform.link("bottleneck").bandwidth != nominal:
+            failures.append("what_if left the platform mutated")
+
+        planning = client.stats().get("planning", {})
+        if planning.get("what_if_queries", 0) < 2:
+            failures.append(f"/stats missed what-if queries: {planning}")
+        if planning.get("horizon_queries", 0) < 1:
+            failures.append(f"/stats missed horizon queries: {planning}")
+        horizons = planning.get("horizons", {}).get(PLATFORM, {})
+        if horizons.get("ready", 0) < 1:
+            failures.append(f"/stats reports no warm link series: {planning}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"horizon smoke OK: dumbbell platform, what_if + horizon "
+          f"round trips, intervals bracket, platform restored, "
+          f"/stats consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
